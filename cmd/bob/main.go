@@ -1,0 +1,176 @@
+// Command bob trains and queries the research agent interactively.
+//
+// Usage:
+//
+//	bob chat    [-memory knowledge.json]                # interactive session
+//	bob train   [-memory knowledge.json] [-seed N] [-social] [-trace]
+//	bob ask     [-memory knowledge.json] "question"
+//	bob learn   [-memory knowledge.json] [-threshold N] "question"
+//	bob report  [-memory knowledge.json] "question"   # investigate + markdown report
+//	bob plan    [-memory knowledge.json]
+//
+// train populates the knowledge memory by running Bob's role goals
+// through the autonomous loop and saves it to the memory file. ask
+// answers from the stored knowledge only. learn runs the full knowledge
+// testing + self-learning loop and saves the grown memory. plan asks for
+// a response strategy.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/memory"
+	"repro/internal/repl"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	memPath := fs.String("memory", "knowledge.json", "knowledge memory file")
+	seed := fs.Uint64("seed", 42, "world/corpus seed")
+	social := fs.Bool("social", false, "enable the social-media crawler extension")
+	threshold := fs.Int("threshold", 7, "confidence threshold for self-learning")
+	showTrace := fs.Bool("trace", false, "print the agent trace afterwards")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	eng := websim.NewEngine(corpus.Generate(world.Default(), *seed), websim.Options{EnableSocial: *social})
+	store := memory.NewStore(memory.DefaultWeights)
+	if _, err := os.Stat(*memPath); err == nil {
+		if err := store.Load(*memPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d knowledge items from %s\n", store.Len(), *memPath)
+	}
+	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, store,
+		agent.Config{ConfidenceThreshold: *threshold})
+	ctx := context.Background()
+
+	switch cmd {
+	case "train":
+		report, err := bob.Train(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		for _, g := range report.Goals {
+			fmt.Printf("goal %q: %d searches, %d pages, %d facts, completed=%v\n",
+				clip(g.Goal, 50), g.Searches, g.PagesRead, g.FactsSaved, g.Completed)
+		}
+		fmt.Printf("memory now holds %d items\n", store.Len())
+		save(store, *memPath)
+
+	case "ask":
+		question := strings.Join(fs.Args(), " ")
+		if question == "" {
+			fatal(fmt.Errorf("ask needs a question"))
+		}
+		ans, err := bob.Ask(ctx, question)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("answer: %s\nconfidence: %d/10\n", ans.Text, ans.Confidence)
+		if len(ans.Missing) > 0 {
+			fmt.Printf("missing evidence: %s\n", strings.Join(ans.Missing, "; "))
+		}
+
+	case "learn":
+		question := strings.Join(fs.Args(), " ")
+		if question == "" {
+			fatal(fmt.Errorf("learn needs a question"))
+		}
+		inv, err := bob.Investigate(ctx, question)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range inv.Rounds {
+			fmt.Printf("round %d: confidence %d", r.Round, r.Confidence)
+			if len(r.Searches) > 0 {
+				fmt.Printf(", searched %d queries, %d new items", len(r.Searches), r.NewItems)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("final answer: %s\nfinal confidence: %d/10\n", inv.Final.Text, inv.Final.Confidence)
+		save(store, *memPath)
+
+	case "report":
+		question := strings.Join(fs.Args(), " ")
+		if question == "" {
+			fatal(fmt.Errorf("report needs a question"))
+		}
+		inv, err := bob.Investigate(ctx, question)
+		if err != nil {
+			fatal(err)
+		}
+		rep := report.Build(bob, inv)
+		if err := rep.WriteMarkdown(os.Stdout); err != nil {
+			fatal(err)
+		}
+		save(store, *memPath)
+
+	case "chat":
+		session := &repl.Session{Agent: bob, MemoryPath: *memPath}
+		if err := session.Run(ctx, os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+
+	case "plan":
+		items, err := bob.Plan(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if len(items) == 0 {
+			fmt.Println("the agent has no response-planning knowledge yet; run train and learn first")
+		}
+		for _, it := range items {
+			fmt.Printf("- %s: %s\n", it.Name, it.Description)
+		}
+
+	default:
+		usage()
+	}
+
+	if *showTrace {
+		fmt.Println("\n--- trace ---")
+		fmt.Print(bob.Trace.String())
+	}
+	_ = trace.KindNote
+}
+
+func save(store *memory.Store, path string) {
+	if err := store.Save(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved knowledge memory to %s\n", path)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bob <train|ask|learn|report|plan|chat> [flags] [question]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bob: %v\n", err)
+	os.Exit(1)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

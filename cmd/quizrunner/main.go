@@ -1,0 +1,133 @@
+// Command quizrunner regenerates every table and series in the paper's
+// evaluation (plus the ablations) and prints them.
+//
+// Usage:
+//
+//	quizrunner [-exp all|e1|e2|e3|e4|e5|e6|a1|a2|a3] [-seed N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run: all, e1..e12, a1..a3")
+	seed := flag.Uint64("seed", 42, "world/corpus seed")
+	flag.Parse()
+
+	setup := eval.DefaultSetup()
+	setup.Seed = *seed
+	ctx := context.Background()
+	out := os.Stdout
+
+	run := func(name string) error {
+		switch name {
+		case "e1":
+			r, err := eval.RunE1(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE1(out, r)
+		case "e2":
+			r, err := eval.RunE2(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE2(out, r)
+		case "e3":
+			r, err := eval.RunE3(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE3(out, r)
+		case "e4":
+			r, err := eval.RunE4(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE4(out, r)
+		case "e5":
+			r, err := eval.RunE5(ctx, setup, nil)
+			if err != nil {
+				return err
+			}
+			eval.PrintE5(out, r)
+		case "e6":
+			r, err := eval.RunE6(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE6(out, r)
+		case "e7":
+			r, err := eval.RunE7(ctx, setup, 10)
+			if err != nil {
+				return err
+			}
+			eval.PrintE7(out, r)
+		case "e8":
+			r, err := eval.RunE8(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE8(out, r)
+		case "e9":
+			r, err := eval.RunE9(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE9(out, r)
+		case "e10":
+			r, err := eval.RunE10(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE10(out, r)
+		case "e11":
+			r, err := eval.RunE11(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE11(out, r)
+		case "e12":
+			r, err := eval.RunE12(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintE12(out, r)
+		case "a1":
+			r, err := eval.RunA1(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintA1(out, r)
+		case "a2":
+			r, err := eval.RunA2(ctx, setup)
+			if err != nil {
+				return err
+			}
+			eval.PrintA2(out, r)
+		case "a3":
+			eval.PrintA3(out, eval.RunA3(setup))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*expFlag}
+	if *expFlag == "all" {
+		names = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3"}
+	}
+	for _, n := range names {
+		if err := run(strings.ToLower(n)); err != nil {
+			fmt.Fprintf(os.Stderr, "quizrunner: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command stormsim runs a geomagnetic storm against the world model with
+// a chosen response plan and prints the timeline and outcome.
+//
+// Usage:
+//
+//	stormsim [-storm "Carrington Event"] [-seed N] \
+//	         [-actions "predictive shutdown,redundancy utilization,..."]
+//	stormsim -list        # list known storms and actions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/solar"
+	"repro/internal/stormsim"
+	"repro/internal/world"
+)
+
+func main() {
+	stormName := flag.String("storm", "Carrington Event", "historical storm to replay")
+	actionsFlag := flag.String("actions", "", "comma-separated response actions (empty = no plan)")
+	seed := flag.Uint64("seed", 1, "failure-draw seed")
+	list := flag.Bool("list", false, "list known storms and actions, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("storms:")
+		for _, s := range solar.HistoricalStorms() {
+			fmt.Printf("  %-28s %d  Dst %.0f nT  (%s)\n", s.Name, s.Year, s.DstMin, s.Class())
+		}
+		fmt.Println("actions:")
+		for a := stormsim.ActionPredictiveShutdown; a <= stormsim.ActionGradualReboot; a++ {
+			fmt.Printf("  %s\n", a)
+		}
+		return
+	}
+
+	storm, ok := solar.StormByName(*stormName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stormsim: unknown storm %q (use -list)\n", *stormName)
+		os.Exit(1)
+	}
+	var names []string
+	if *actionsFlag != "" {
+		names = strings.Split(*actionsFlag, ",")
+	}
+	actions := stormsim.ActionsFromPlan(names)
+	if len(names) > 0 && len(actions) == 0 {
+		fmt.Fprintf(os.Stderr, "stormsim: no recognized actions in %q (use -list)\n", *actionsFlag)
+		os.Exit(1)
+	}
+
+	out := stormsim.Simulate(world.Default(), storm, actions, stormsim.Config{Seed: *seed})
+	fmt.Printf("storm: %s (%s, Dst %.0f nT), plan: %d actions\n\n",
+		storm.Name, storm.Class(), storm.DstMin, len(actions))
+	for _, e := range out.Events {
+		fmt.Printf("  t=%6.1fh  %s\n", e.THours, e.What)
+	}
+	fmt.Printf("\ngrids failed: %d   cables failed: %d   data centers offline: %d\n",
+		len(out.GridsFailed), len(out.CablesFailed), out.DCsOffline)
+	fmt.Printf("capacity loss: %.1f%%   data loss: %.1f%%   recovery: %.0f h\n",
+		out.CapacityLossPct, out.DataLossPct, out.RecoveryHours)
+	fmt.Printf("damage score: %.3f (0 = unscathed, 1 = catastrophic)\n", out.DamageScore)
+}

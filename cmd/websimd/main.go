@@ -1,0 +1,41 @@
+// Command websimd serves the simulated Internet over HTTP, so agents
+// (and curl) can search and fetch against a long-running instance:
+//
+//	websimd [-addr :8080] [-seed N] [-social] [-latency 0ms]
+//
+//	GET /search?q=solar+storms&k=5
+//	GET /fetch?url=https://...
+//	GET /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 42, "corpus seed")
+	social := flag.Bool("social", false, "enable the social-media crawler extension")
+	latency := flag.Duration("latency", 0, "simulated per-request latency")
+	flag.Parse()
+
+	eng := websim.NewEngine(corpus.Generate(world.Default(), *seed), websim.Options{
+		EnableSocial: *social,
+		Latency:      *latency,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           websim.Handler(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("websimd: serving the simulated Internet on %s (social=%v)\n", *addr, *social)
+	log.Fatal(srv.ListenAndServe())
+}

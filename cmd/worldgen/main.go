@@ -1,0 +1,80 @@
+// Command worldgen emits the ground-truth world model or the generated
+// synthetic web corpus as JSON, for inspection and for feeding external
+// tooling.
+//
+// Usage:
+//
+//	worldgen [-what world|corpus|assessment] [-seed N] [-o file]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/world"
+)
+
+func main() {
+	what := flag.String("what", "corpus", "what to emit: world, corpus, or assessment")
+	seed := flag.Uint64("seed", 42, "corpus seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	wm := world.Default()
+	if err := wm.Validate(); err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+
+	switch *what {
+	case "world":
+		if err := enc.Encode(wm); err != nil {
+			fatal(err)
+		}
+	case "corpus":
+		if err := enc.Encode(corpus.Generate(wm, *seed)); err != nil {
+			fatal(err)
+		}
+	case "assessment":
+		type assessment struct {
+			Cables        []world.CableAssessment    `json:"cables"`
+			Operators     []world.OperatorAssessment `json:"operators"`
+			Grids         []world.GridAssessment     `json:"grids"`
+			Concentration world.ConcentrationStats   `json:"concentration"`
+		}
+		var a assessment
+		for _, c := range wm.Cables {
+			a.Cables = append(a.Cables, world.AssessCable(c, 1.0))
+		}
+		for _, op := range wm.Operators() {
+			a.Operators = append(a.Operators, world.AssessOperator(wm, op, 1.0))
+		}
+		a.Grids = world.RankGrids(wm, 1.0)
+		a.Concentration = world.Concentration(wm)
+		if err := enc.Encode(a); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -what %q", *what))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+	os.Exit(1)
+}

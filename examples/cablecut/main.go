@@ -1,0 +1,66 @@
+// Cablecut investigates a natural-disaster incident (§2's second
+// disruption class): the 2004 Indian Ocean tsunami's submarine-cable
+// damage. The agent studies the event, answers questions about it, and
+// produces a recovery-oriented response plan.
+//
+//	go run ./examples/cablecut
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func main() {
+	ctx := context.Background()
+	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	role := agent.IncidentAnalystRole("2004 Indian Ocean earthquake and tsunami")
+	ada := agent.New(role, llm.NewSim(), web, nil, agent.Config{})
+
+	fmt.Println("=== training on the 2004 tsunami cable cuts ===")
+	if _, err := ada.Train(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range []string{
+		"What caused the 2004 Indian Ocean earthquake and tsunami?",
+		"What was the impact of the 2004 Indian Ocean earthquake and tsunami?",
+	} {
+		inv, err := ada.Investigate(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q: %s\nA: %s\n\n", q, inv.Final.Text)
+	}
+
+	// Response planning for the cable-cut scenario: first gather the
+	// continuity-planning material, then ask for a focused plan.
+	if _, err := ada.SelfLearn(ctx, []string{
+		"continuity planning shutdown sequencing backups recovery",
+		"operator response planning severe space weather",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	items, err := ada.PlanFor(ctx, "submarine cable damage recovery")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("proposed response plan:")
+	for _, it := range items {
+		fmt.Printf("  - %s: %s\n", it.Name, clip(it.Description, 90))
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,62 @@
+// Facebookoutage investigates a configuration-error incident (§2's first
+// disruption class): an incident-analyst agent studies the 2021 Facebook
+// outage from news coverage and answers cause, mechanism and impact
+// questions — showing the architecture generalizes beyond solar storms.
+//
+//	go run ./examples/facebookoutage
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/agent"
+	"repro/internal/bgpsim"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func main() {
+	ctx := context.Background()
+	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	ada := agent.New(agent.IncidentAnalystRole("2021 Facebook outage"), llm.NewSim(), web, nil, agent.Config{})
+
+	fmt.Println("=== training agent Ada (role: incident analyst) ===")
+	report, err := ada.Train(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  memorized %d knowledge items across %d goals\n\n", report.MemoryItems, len(report.Goals))
+
+	questions := []string{
+		"What caused the 2021 Facebook outage?",
+		"How did the 2021 Facebook outage unfold?",
+		"What was the impact of the 2021 Facebook outage?",
+	}
+	for _, q := range questions {
+		inv, err := ada.Investigate(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q: %s\nA: %s\n   (confidence %d/10, %d rounds)\n\n",
+			q, inv.Final.Text, inv.Final.Confidence, len(inv.Rounds))
+	}
+
+	// Validate the learned account mechanically: replay the outage on
+	// the routing substrate and test the incident's first lesson (an
+	// independent out-of-band network) as a counterfactual.
+	fmt.Println("=== replaying the outage on the BGP/DNS substrate ===")
+	replay := bgpsim.ReplayFacebookOutage(false)
+	for _, e := range replay.Events {
+		fmt.Printf("  t=%4.1fh resolve=%3.0f%% available=%-5v %s\n",
+			e.THours, 100*e.ResolveRate, e.Available, e.What)
+	}
+	fmt.Printf("  => %s\n", replay.Describe())
+
+	counterfactual := bgpsim.ReplayFacebookOutage(true)
+	fmt.Printf("  => counterfactual with an independent out-of-band network: outage %.1f h instead of %.1f h\n",
+		counterfactual.OutageHours, replay.OutageHours)
+}

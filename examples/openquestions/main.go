@@ -1,0 +1,75 @@
+// Openquestions demonstrates the paper's §5 research directions as
+// working extensions: the agent generates its own research questions,
+// reads route-map images with a vision-capable model, and self-corrects
+// a stale conclusion after the world drifts.
+//
+//	go run ./examples/openquestions
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func main() {
+	ctx := context.Background()
+
+	fmt.Println("=== generating research questions (§5, open question 1) ===")
+	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	bob := agent.New(agent.BobRole(), llm.NewSim(), web, nil, agent.Config{})
+	if _, err := bob.Train(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.SelfLearn(ctx, []string{
+		"submarine cable route analysis geomagnetic latitude",
+		"power grid profile transmission lines",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	questions, err := bob.GenerateQuestions(ctx, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range questions {
+		fmt.Println("  ?", q)
+	}
+	if len(questions) > 0 {
+		inv, err := bob.Investigate(ctx, questions[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  investigating the first one: verdict %q at confidence %d/10\n",
+			inv.Final.Verdict, inv.Final.Confidence)
+	}
+
+	fmt.Println("\n=== seeing like a human: route-map images (§5, multimodal) ===")
+	rows, err := eval.RunE11(ctx, eval.DefaultSetup())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		v := r.Verdict
+		if v == "" {
+			v = "(stuck — cannot read the map)"
+		}
+		fmt.Printf("  %-10s -> %s (confidence %d)\n", r.Model, v, r.Confidence)
+	}
+
+	fmt.Println("\n=== long-term robustness under world drift (§5) ===")
+	drift, err := eval.RunE12(ctx, eval.DefaultSetup())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range drift {
+		fmt.Printf("  %-28s cites latitude %d (confidence %d)\n", r.Phase, r.CitedLat, r.Confidence)
+	}
+	fmt.Println("  the revisit adopts the published revision by majority over the stale memory.")
+}

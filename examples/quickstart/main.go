@@ -1,0 +1,52 @@
+// Quickstart: build a research agent, train it on its role goals, and ask
+// it the paper's flagship question with self-learning.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. The world: ground-truth infrastructure rendered into a
+	//    searchable synthetic web.
+	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+
+	// 2. The agent: role definition + simulated LLM + web + fresh memory.
+	bob := agent.New(agent.BobRole(), llm.NewSim(), web, nil, agent.Config{})
+
+	// 3. Train: the autonomous loop searches and memorizes knowledge for
+	//    each role goal.
+	report, err := bob.Train(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d goals, memorized %d knowledge items\n",
+		len(report.Goals), report.MemoryItems)
+
+	// 4. Investigate: answer with knowledge testing + self-learning.
+	question := "Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?"
+	inv, err := bob.Investigate(ctx, question)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range inv.Rounds {
+		fmt.Printf("round %d: confidence %d/10", r.Round, r.Confidence)
+		if len(r.Searches) > 0 {
+			fmt.Printf("  (searched: %v)", r.Searches)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nfinal answer: %s\n", inv.Final.Text)
+}

@@ -1,0 +1,49 @@
+// Threshold demonstrates §3's effort/quality tradeoff interactively: the
+// same question investigated under different confidence thresholds, with
+// the per-threshold cost (rounds, searches) and outcome printed.
+//
+//	go run ./examples/threshold
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+const question = "Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?"
+
+func main() {
+	ctx := context.Background()
+	fmt.Println("question:", question)
+	fmt.Println()
+	for _, th := range []int{3, 5, 7, 9} {
+		web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+		bob := agent.New(agent.BobRole(), llm.NewSim(), web, nil,
+			agent.Config{ConfidenceThreshold: th})
+		if _, err := bob.Train(ctx); err != nil {
+			log.Fatal(err)
+		}
+		inv, err := bob.Investigate(ctx, question)
+		if err != nil {
+			log.Fatal(err)
+		}
+		searches := 0
+		for _, r := range inv.Rounds {
+			searches += len(r.Searches)
+		}
+		verdict := inv.Final.Verdict
+		if verdict == "" {
+			verdict = "(undecided)"
+		}
+		fmt.Printf("threshold %d: %d rounds, %d searches, final confidence %d, verdict %q\n",
+			th, len(inv.Rounds), searches, inv.Final.Confidence, verdict)
+	}
+	fmt.Println("\nhigher thresholds buy grounded verdicts with more self-learning effort.")
+}

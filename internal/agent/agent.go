@@ -1,0 +1,410 @@
+// Package agent implements the paper's primary contribution: the
+// interactive research-agent architecture of Figure 1, with its four
+// components —
+//
+//  1. Role definition: a role plus initial goals (§3.2 step 1).
+//  2. Information retrieval: autonomous web search and reading via the
+//     Auto-GPT loop (§3.2 step 2, internal/autogpt).
+//  3. Knowledge memory: a persistent knowledge.json store loaded into
+//     every prompt (§3.2 step 3, internal/memory).
+//  4. Knowledge testing and self-learning: per-question confidence
+//     assessment with iterative gap-directed retrieval until the agent is
+//     confident or saturated (§3.2 step 4).
+//
+// The agent is model-agnostic: anything implementing llm.Model works,
+// and everything the model sees travels through the prompt protocol.
+package agent
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/autogpt"
+	"repro/internal/llm"
+	"repro/internal/memory"
+	"repro/internal/prompt"
+	"repro/internal/trace"
+	"repro/internal/websim"
+)
+
+// Role defines who the agent is and what it initially sets out to learn.
+type Role struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Goals       []string `json:"goals"`
+}
+
+// BobRole returns the role definition of agent Bob from §3.2/§4.1: an
+// Internet researcher investigating solar superstorms.
+func BobRole() Role {
+	return Role{
+		Name: "Agent Bob",
+		Description: "An Internet researcher who searches for knowledge of solar superstorms " +
+			"and network infrastructure, and investigates their impact on the Internet.",
+		Goals: []string{
+			"Understand solar superstorms and Coronal Mass Ejection, and principles of their formation and effects.",
+			"Gain knowledge of past solar superstorm events and their damage and impact.",
+			"Understand the current global large-scale network infrastructure equipment such as fiber optic cables, power supply systems, and data centers.",
+		},
+	}
+}
+
+// IncidentAnalystRole returns a role for investigating a specific
+// historical incident (used by the non-solar examples).
+func IncidentAnalystRole(incident string) Role {
+	return Role{
+		Name: "Agent Ada",
+		Description: "An Internet incident analyst who investigates the causes, failure chains " +
+			"and impacts of Internet disruption events.",
+		Goals: []string{
+			"Understand what happened during the " + incident + " and what caused it.",
+			"Understand the failure chain and the lessons of the " + incident + ".",
+		},
+	}
+}
+
+// Config tunes the agent.
+type Config struct {
+	// ConfidenceThreshold is the paper's self-learning gate (default 7):
+	// below it the agent keeps searching.
+	ConfidenceThreshold int
+	// MaxRounds bounds self-learning iterations per question (default 4).
+	MaxRounds int
+	// KnowledgeItems is how many memory items are loaded into each
+	// prompt's KNOWLEDGE section (default 16).
+	KnowledgeItems int
+	// LearnResults is how many search results each self-learning query
+	// reads (default 2).
+	LearnResults int
+	// Runner configures the Auto-GPT training loop.
+	Runner autogpt.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConfidenceThreshold <= 0 {
+		c.ConfidenceThreshold = 7
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 4
+	}
+	if c.KnowledgeItems <= 0 {
+		c.KnowledgeItems = 16
+	}
+	if c.LearnResults <= 0 {
+		c.LearnResults = 2
+	}
+	return c
+}
+
+// Agent is one interactive research agent.
+type Agent struct {
+	Role   Role
+	Model  llm.Model
+	Web    websim.Web
+	Memory *memory.Store
+	Trace  *trace.Log
+	Config Config
+}
+
+// New assembles an agent. A nil store gets a fresh default-weight memory.
+func New(role Role, model llm.Model, web websim.Web, store *memory.Store, cfg Config) *Agent {
+	if store == nil {
+		store = memory.NewStore(memory.DefaultWeights)
+	}
+	return &Agent{Role: role, Model: model, Web: web, Memory: store, Trace: trace.New(), Config: cfg}
+}
+
+// TrainReport summarizes initial goal-driven training.
+type TrainReport struct {
+	Goals       []autogpt.GoalReport `json:"goals"`
+	MemoryItems int                  `json:"memory_items"`
+}
+
+// Train runs every role goal through the Auto-GPT loop, populating the
+// knowledge memory (§3.2 steps 1-3).
+func (a *Agent) Train(ctx context.Context) (TrainReport, error) {
+	cfg := a.Config.withDefaults()
+	runner := &autogpt.Runner{
+		Model:  a.Model,
+		Web:    a.Web,
+		Memory: a.Memory,
+		Trace:  a.Trace,
+		Config: cfg.Runner,
+	}
+	var report TrainReport
+	for _, goal := range a.Role.Goals {
+		a.Trace.Add(trace.KindNote, "training goal: %s", goal)
+		gr, err := runner.RunGoal(ctx, a.roleText(), goal)
+		if err != nil {
+			return report, fmt.Errorf("agent: train goal %q: %w", goal, err)
+		}
+		report.Goals = append(report.Goals, gr)
+	}
+	report.MemoryItems = a.Memory.Len()
+	return report, nil
+}
+
+// Answer is the agent's response to one question.
+type Answer struct {
+	Text       string   `json:"text"`
+	Verdict    string   `json:"verdict"`
+	Confidence int      `json:"confidence"`
+	Missing    []string `json:"missing"`
+}
+
+// Ask answers a question from current knowledge only (no self-learning).
+func (a *Agent) Ask(ctx context.Context, question string) (Answer, error) {
+	cfg := a.Config.withDefaults()
+	p := prompt.Prompt{
+		Task:      prompt.TaskAnswer,
+		Role:      a.roleText(),
+		Knowledge: a.Memory.KnowledgeText(question, cfg.KnowledgeItems),
+		Question:  question,
+	}
+	out, err := a.Model.Complete(ctx, p.Encode())
+	if err != nil {
+		return Answer{}, fmt.Errorf("agent: ask: %w", err)
+	}
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		return Answer{}, fmt.Errorf("agent: parse answer: %w", err)
+	}
+	a.Trace.Add(trace.KindConfidence, "question %q -> confidence %d", truncate(question, 60), reply.Confidence)
+	return Answer{Text: reply.Answer, Verdict: reply.Verdict, Confidence: reply.Confidence, Missing: reply.Missing}, nil
+}
+
+// ProposeSearches asks the model what to search to better answer the
+// question (the paper's self-learning prompt).
+func (a *Agent) ProposeSearches(ctx context.Context, question string) ([]string, error) {
+	cfg := a.Config.withDefaults()
+	p := prompt.Prompt{
+		Task:      prompt.TaskSearches,
+		Role:      a.roleText(),
+		Knowledge: a.Memory.KnowledgeText(question, cfg.KnowledgeItems),
+		Question:  question,
+	}
+	out, err := a.Model.Complete(ctx, p.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("agent: propose searches: %w", err)
+	}
+	reply, err := prompt.ParseSearches(out)
+	if err != nil {
+		return nil, fmt.Errorf("agent: parse searches: %w", err)
+	}
+	return reply.Queries, nil
+}
+
+// SelfLearn runs the given queries against the web and memorizes what it
+// finds. It returns the number of new memory items.
+func (a *Agent) SelfLearn(ctx context.Context, queries []string) (int, error) {
+	cfg := a.Config.withDefaults()
+	added := 0
+	for _, q := range queries {
+		results, err := a.Web.Search(ctx, q, cfg.LearnResults)
+		if err != nil {
+			if ctx.Err() != nil {
+				return added, fmt.Errorf("agent: self-learn search %q: %w", q, err)
+			}
+			// A transient search failure costs this query, not the whole
+			// investigation; the next round can retry it.
+			a.Trace.Add(trace.KindError, "self-learn search %q: %v", q, err)
+			continue
+		}
+		a.Trace.Add(trace.KindSearch, "self-learn %q -> %d results", q, len(results))
+		for _, res := range results {
+			page, err := a.Web.Fetch(ctx, res.URL)
+			if err != nil {
+				// Access-gated pages (social without crawler, restricted
+				// papers) are an expected dead end, not a failure.
+				a.Trace.Add(trace.KindError, "self-learn fetch %s: %v", res.URL, err)
+				continue
+			}
+			if _, ok := a.Memory.Add(page.Body, page.URL, q); ok {
+				added++
+				a.Trace.Add(trace.KindMemoryAdd, "self-learn memorized %s", page.URL)
+			}
+		}
+	}
+	return added, nil
+}
+
+// Round records one iteration of the knowledge-testing loop.
+type Round struct {
+	Round      int      `json:"round"`
+	Confidence int      `json:"confidence"`
+	Verdict    string   `json:"verdict"`
+	Searches   []string `json:"searches"`
+	NewItems   int      `json:"new_items"`
+}
+
+// Investigation is the full record of answering one question with
+// self-learning.
+type Investigation struct {
+	Question string  `json:"question"`
+	Rounds   []Round `json:"rounds"`
+	Final    Answer  `json:"final"`
+	// Saturated is true when the loop stopped because no new knowledge
+	// could be found, rather than because confidence passed the
+	// threshold.
+	Saturated bool `json:"saturated"`
+}
+
+// Investigate runs the knowledge testing + self-learning loop (§3.2 step
+// 4): answer, check confidence against the threshold, and if below it,
+// search for the missing evidence and repeat — until confident, out of
+// rounds, or saturated (no new knowledge reachable).
+func (a *Agent) Investigate(ctx context.Context, question string) (Investigation, error) {
+	cfg := a.Config.withDefaults()
+	inv := Investigation{Question: question}
+	for round := 0; ; round++ {
+		ans, err := a.Ask(ctx, question)
+		if err != nil {
+			return inv, err
+		}
+		rec := Round{Round: round, Confidence: ans.Confidence, Verdict: ans.Verdict}
+		inv.Final = ans
+		a.Trace.Add(trace.KindRound, "round %d: confidence %d verdict %q", round, ans.Confidence, ans.Verdict)
+
+		if ans.Confidence >= cfg.ConfidenceThreshold || round >= cfg.MaxRounds {
+			inv.Rounds = append(inv.Rounds, rec)
+			return inv, nil
+		}
+		queries, err := a.ProposeSearches(ctx, question)
+		if err != nil {
+			return inv, err
+		}
+		rec.Searches = queries
+		if len(queries) == 0 {
+			inv.Rounds = append(inv.Rounds, rec)
+			inv.Saturated = true
+			return inv, nil
+		}
+		added, err := a.SelfLearn(ctx, queries)
+		if err != nil {
+			return inv, err
+		}
+		rec.NewItems = added
+		inv.Rounds = append(inv.Rounds, rec)
+		if added == 0 {
+			// Fixed point: the web has nothing new for these queries.
+			inv.Saturated = true
+			return inv, nil
+		}
+	}
+}
+
+// Revisit re-opens a previously answered question: even when the agent
+// is already confident, it re-runs the evidence-gap searches — or, when
+// the model proposes none, searches the question text itself — so newly
+// published material can correct stale memory. It returns the refreshed
+// answer and the number of new knowledge items picked up. This is the
+// long-term-robustness mechanism (§5): conclusions track a drifting
+// world instead of fossilizing.
+func (a *Agent) Revisit(ctx context.Context, question string) (Answer, int, error) {
+	queries, err := a.ProposeSearches(ctx, question)
+	if err != nil {
+		return Answer{}, 0, err
+	}
+	if len(queries) == 0 {
+		queries = []string{question}
+	}
+	added, err := a.SelfLearn(ctx, queries)
+	if err != nil {
+		return Answer{}, added, err
+	}
+	ans, err := a.Ask(ctx, question)
+	return ans, added, err
+}
+
+// PlanItem re-exports the prompt plan item for callers.
+type PlanItem = prompt.PlanItem
+
+// Plan asks the trained agent for a response plan (§4.3's "shutdown"
+// strategy).
+func (a *Agent) Plan(ctx context.Context) ([]PlanItem, error) {
+	cfg := a.Config.withDefaults()
+	p := prompt.Prompt{
+		Task:      prompt.TaskPlan,
+		Role:      a.roleText(),
+		Knowledge: a.Memory.KnowledgeText("response plan mitigation strategy shutdown recovery", cfg.KnowledgeItems),
+	}
+	out, err := a.Model.Complete(ctx, p.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("agent: plan: %w", err)
+	}
+	reply, err := prompt.ParsePlan(out)
+	if err != nil {
+		return nil, fmt.Errorf("agent: parse plan: %w", err)
+	}
+	return reply.Items, nil
+}
+
+// PlanFor is Plan with a scenario hint that focuses knowledge retrieval,
+// e.g. "submarine cable cut recovery".
+func (a *Agent) PlanFor(ctx context.Context, scenario string) ([]PlanItem, error) {
+	cfg := a.Config.withDefaults()
+	p := prompt.Prompt{
+		Task:      prompt.TaskPlan,
+		Role:      a.roleText(),
+		Knowledge: a.Memory.KnowledgeText(scenario+" response plan mitigation strategy", cfg.KnowledgeItems),
+	}
+	out, err := a.Model.Complete(ctx, p.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("agent: plan: %w", err)
+	}
+	reply, err := prompt.ParsePlan(out)
+	if err != nil {
+		return nil, fmt.Errorf("agent: parse plan: %w", err)
+	}
+	return reply.Items, nil
+}
+
+// GenerateQuestions asks the trained agent to propose research questions
+// grounded in its knowledge (§5's first open question). The topic, when
+// non-empty, filters the questions to those sharing vocabulary with it.
+func (a *Agent) GenerateQuestions(ctx context.Context, topic string) ([]string, error) {
+	cfg := a.Config.withDefaults()
+	retrievalKey := topic
+	if strings.TrimSpace(retrievalKey) == "" {
+		retrievalKey = "vulnerability comparison infrastructure incidents"
+	}
+	p := prompt.Prompt{
+		Task:      prompt.TaskQuestions,
+		Role:      a.roleText(),
+		Knowledge: a.Memory.KnowledgeText(retrievalKey, cfg.KnowledgeItems),
+		Question:  topic,
+	}
+	out, err := a.Model.Complete(ctx, p.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("agent: generate questions: %w", err)
+	}
+	reply, err := prompt.ParseQuestions(out)
+	if err != nil {
+		return nil, fmt.Errorf("agent: parse questions: %w", err)
+	}
+	return reply.Questions, nil
+}
+
+// SawSource reports whether any memorized knowledge came from a URL
+// containing the given fragment — used to verify the agent never read the
+// restricted source paper (§4.1's methodology check).
+func (a *Agent) SawSource(fragment string) bool {
+	for _, src := range a.Memory.Sources() {
+		if strings.Contains(src, fragment) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Agent) roleText() string {
+	return a.Role.Name + ": " + a.Role.Description
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

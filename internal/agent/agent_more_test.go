@@ -1,0 +1,143 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func TestGenerateQuestionsFromAgent(t *testing.T) {
+	bob := newBob(t, websim.Options{}, Config{})
+	ctx := context.Background()
+	if _, err := bob.SelfLearn(ctx, []string{"submarine cable route analysis geomagnetic latitude"}); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := bob.GenerateQuestions(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("trained agent generated no questions")
+	}
+	for _, q := range qs {
+		if !strings.HasSuffix(q, "?") {
+			t.Errorf("question without question mark: %q", q)
+		}
+	}
+}
+
+func TestPlanForScenario(t *testing.T) {
+	bob := newBob(t, websim.Options{EnableSocial: true}, Config{})
+	ctx := context.Background()
+	if _, err := bob.SelfLearn(ctx, []string{
+		"operator response planning severe space weather",
+		"storm shutdown playbooks response planning discussion",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	items, err := bob.PlanFor(ctx, "submarine cable damage recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) == 0 {
+		t.Fatal("scenario plan empty")
+	}
+}
+
+func TestRevisitWithNoChangeIsStable(t *testing.T) {
+	bob := newBob(t, websim.Options{}, Config{})
+	ctx := context.Background()
+	q := "Which is more vulnerable to solar activity? The TAT-14 cable or the SACS cable?"
+	inv, err := bob.Investigate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _, err := bob.Revisit(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Verdict != inv.Final.Verdict {
+		t.Errorf("revisit without drift changed the verdict: %q -> %q", inv.Final.Verdict, ans.Verdict)
+	}
+}
+
+// brokenModel fails every completion.
+type brokenModel struct{}
+
+func (brokenModel) Complete(context.Context, string) (string, error) {
+	return "", errors.New("model unavailable")
+}
+
+func TestModelErrorsPropagate(t *testing.T) {
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	bob := New(BobRole(), brokenModel{}, eng, nil, Config{})
+	ctx := context.Background()
+	if _, err := bob.Ask(ctx, "q"); err == nil {
+		t.Error("Ask should surface model errors")
+	}
+	if _, err := bob.Train(ctx); err == nil {
+		t.Error("Train should surface model errors")
+	}
+	if _, err := bob.ProposeSearches(ctx, "q"); err == nil {
+		t.Error("ProposeSearches should surface model errors")
+	}
+	if _, err := bob.Plan(ctx); err == nil {
+		t.Error("Plan should surface model errors")
+	}
+	if _, err := bob.GenerateQuestions(ctx, ""); err == nil {
+		t.Error("GenerateQuestions should surface model errors")
+	}
+	if _, err := bob.Investigate(ctx, "q"); err == nil {
+		t.Error("Investigate should surface model errors")
+	}
+}
+
+// gibberishModel returns unparseable text, simulating a model that
+// ignores the reply format.
+type gibberishModel struct{}
+
+func (gibberishModel) Complete(context.Context, string) (string, error) {
+	return "I am a language model and here are my musings, free of any format.", nil
+}
+
+func TestUnparseableRepliesAreErrors(t *testing.T) {
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	bob := New(BobRole(), gibberishModel{}, eng, nil, Config{})
+	ctx := context.Background()
+	if _, err := bob.Ask(ctx, "q"); err == nil {
+		t.Error("unparseable answer should error")
+	}
+	if _, err := bob.Plan(ctx); err == nil {
+		t.Error("unparseable plan should error")
+	}
+}
+
+func TestEnsembleAgentMatchesSingle(t *testing.T) {
+	// An ensemble of identical members must behave like one member on
+	// the full investigation path.
+	ctx := context.Background()
+	q := "Which is more vulnerable to solar activity? The TAT-14 cable or the SACS cable?"
+	single := newBob(t, websim.Options{}, Config{})
+	invSingle, err := single.Investigate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	ens := New(BobRole(), llm.NewEnsemble(llm.NewSim(), llm.NewSim(), llm.NewSim()), eng, nil, Config{})
+	if _, err := ens.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	invEns, err := ens.Investigate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invEns.Final.Verdict != invSingle.Final.Verdict {
+		t.Errorf("ensemble verdict %q != single %q", invEns.Final.Verdict, invSingle.Final.Verdict)
+	}
+}

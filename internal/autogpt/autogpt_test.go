@@ -1,0 +1,231 @@
+package autogpt
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/memory"
+	"repro/internal/prompt"
+	"repro/internal/trace"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func newRunner(t *testing.T, cfg Config) (*Runner, *websim.Engine) {
+	t.Helper()
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	return &Runner{
+		Model:  llm.NewSim(),
+		Web:    eng,
+		Memory: memory.NewStore(memory.DefaultWeights),
+		Trace:  trace.New(),
+		Config: cfg,
+	}, eng
+}
+
+const solarGoal = "Understand solar superstorms and Coronal Mass Ejection, and principles of their formation and effects."
+
+func TestRunGoalCompletes(t *testing.T) {
+	r, eng := newRunner(t, Config{})
+	report, err := r.RunGoal(context.Background(), "Agent Bob, an Internet researcher", solarGoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Completed {
+		t.Errorf("goal did not complete: %+v", report)
+	}
+	if report.Searches < 1 {
+		t.Errorf("no searches performed: %+v", report)
+	}
+	if report.PagesRead < 1 {
+		t.Errorf("no pages read: %+v", report)
+	}
+	if r.Memory.Len() == 0 {
+		t.Error("nothing memorized")
+	}
+	if report.FactsSaved == 0 {
+		t.Error("no structured facts saved from the solar goal")
+	}
+	if eng.Stats().Queries == 0 {
+		t.Error("engine saw no queries")
+	}
+	// The trace must show the full cycle.
+	for _, kind := range []trace.Kind{trace.KindModelCall, trace.KindCommand, trace.KindSearch, trace.KindFetch, trace.KindMemoryAdd} {
+		if r.Trace.CountKind(kind) == 0 {
+			t.Errorf("trace missing %s events", kind)
+		}
+	}
+}
+
+func TestRunGoalMemorizesRelevantKnowledge(t *testing.T) {
+	r, _ := newRunner(t, Config{})
+	if _, err := r.RunGoal(context.Background(), "Bob", solarGoal); err != nil {
+		t.Fatal(err)
+	}
+	text := r.Memory.KnowledgeText("solar storm latitude", 10)
+	if !strings.Contains(strings.ToLower(text), "geomagnetic") {
+		t.Errorf("memorized knowledge lacks domain content: %q", text)
+	}
+}
+
+func TestStepBudgetRespected(t *testing.T) {
+	r, _ := newRunner(t, Config{MaxSteps: 2})
+	report, err := r.RunGoal(context.Background(), "Bob", solarGoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Steps > 2 {
+		t.Errorf("steps = %d, want <= 2", report.Steps)
+	}
+	if report.Completed {
+		t.Error("2-step budget cannot complete search+browse+complete cycle")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	r, _ := newRunner(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunGoal(ctx, "Bob", solarGoal); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// scriptedModel replays fixed step replies, for driving the runner down
+// specific command paths.
+type scriptedModel struct {
+	replies []prompt.StepReply
+	calls   int
+}
+
+func (m *scriptedModel) Complete(_ context.Context, encoded string) (string, error) {
+	p, err := prompt.Parse(encoded)
+	if err != nil {
+		return "", err
+	}
+	if p.Task != prompt.TaskStep {
+		return "", errors.New("scripted model only does steps")
+	}
+	if m.calls >= len(m.replies) {
+		return prompt.StepReply{Thoughts: "t", Reasoning: "r",
+			Command: prompt.Command{Name: "task_complete"}}.Encode(), nil
+	}
+	reply := m.replies[m.calls]
+	m.calls++
+	return reply.Encode(), nil
+}
+
+func TestCommandErrorsAreSurvivable(t *testing.T) {
+	c := corpus.Generate(world.Default(), 42)
+	eng := websim.NewEngine(c, websim.Options{})
+	var restrictedURL string
+	for _, d := range c.Docs {
+		if d.Source == corpus.SourceRestricted {
+			restrictedURL = d.URL
+		}
+	}
+	m := &scriptedModel{replies: []prompt.StepReply{
+		{Thoughts: "t", Reasoning: "r", Command: prompt.Command{Name: "browse_website", Arg: restrictedURL}},
+		{Thoughts: "t", Reasoning: "r", Command: prompt.Command{Name: "browse_website", Arg: "https://missing.example/x"}},
+		{Thoughts: "t", Reasoning: "r", Command: prompt.Command{Name: "bogus_command", Arg: ""}},
+	}}
+	r := &Runner{Model: m, Web: eng, Memory: memory.NewStore(memory.DefaultWeights), Config: Config{MaxSteps: 5}}
+	report, err := r.RunGoal(context.Background(), "Bob", "goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 3 {
+		t.Errorf("errors = %d, want 3", report.Errors)
+	}
+	if !report.Completed {
+		t.Error("runner should recover from errors and complete")
+	}
+	if report.PagesRead != 0 {
+		t.Errorf("restricted/missing pages were read: %+v", report)
+	}
+}
+
+func TestFileCommands(t *testing.T) {
+	m := &scriptedModel{replies: []prompt.StepReply{
+		{Thoughts: "t", Reasoning: "r", Command: prompt.Command{Name: "write_to_file", Arg: "notes.txt::solar storm findings"}},
+		{Thoughts: "t", Reasoning: "r", Command: prompt.Command{Name: "read_file", Arg: "notes.txt"}},
+		{Thoughts: "t", Reasoning: "r", Command: prompt.Command{Name: "read_file", Arg: "missing.txt"}},
+	}}
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	r := &Runner{Model: m, Web: eng, Memory: memory.NewStore(memory.DefaultWeights), Config: Config{MaxSteps: 5}}
+	report, err := r.RunGoal(context.Background(), "Bob", "goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 1 {
+		t.Errorf("errors = %d, want 1 (missing file)", report.Errors)
+	}
+	if r.files["notes.txt"] != "solar storm findings" {
+		t.Errorf("file content = %q", r.files["notes.txt"])
+	}
+}
+
+func TestMemoryAddCommand(t *testing.T) {
+	m := &scriptedModel{replies: []prompt.StepReply{
+		{Thoughts: "t", Reasoning: "r", Command: prompt.Command{Name: "memory_add",
+			Arg: "Geomagnetic storm effects are far stronger at higher geomagnetic latitudes."}},
+	}}
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	store := memory.NewStore(memory.DefaultWeights)
+	r := &Runner{Model: m, Web: eng, Memory: store, Config: Config{MaxSteps: 3}}
+	report, err := r.RunGoal(context.Background(), "Bob", "goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Errorf("memory len = %d, want 1", store.Len())
+	}
+	if report.FactsSaved != 1 {
+		t.Errorf("facts saved = %d, want 1 (the latitude rule)", report.FactsSaved)
+	}
+}
+
+func TestChainOfThoughtWidensThinSearches(t *testing.T) {
+	// A query matching exactly one document: CoT decomposition should
+	// trigger extra sub-searches.
+	m := &scriptedModel{replies: []prompt.StepReply{
+		{Thoughts: "t", Reasoning: "r", Command: prompt.Command{Name: "google",
+			Arg: "zorbulated flux capacitor quuxification blorp whizzle"}},
+	}}
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	eng.Publish(corpus.Document{ID: "only-hit", URL: "https://x.example/only",
+		Site: "x.example", Title: "zorbulated quuxification", Body: "flux capacitor zorbulated quuxification blorp whizzle", Source: corpus.SourceNews})
+
+	run := func(cot bool) int {
+		m.calls = 0
+		r := &Runner{Model: m, Web: eng, Memory: memory.NewStore(memory.DefaultWeights),
+			Config: Config{MaxSteps: 3, ChainOfThought: cot}}
+		report, err := r.RunGoal(context.Background(), "Bob", "goal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report.Searches
+	}
+	without := run(false)
+	with := run(true)
+	if with <= without {
+		t.Errorf("CoT searches = %d, want > %d", with, without)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	if got := decompose("two words"); got != nil {
+		t.Errorf("short query should not decompose: %v", got)
+	}
+	got := decompose("solar storm network infrastructure effects")
+	if len(got) != 2 {
+		t.Fatalf("decompose returned %v", got)
+	}
+	if !strings.Contains(got[0], "solar") || !strings.Contains(got[1], "effects") {
+		t.Errorf("chunks lost content: %v", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package bgpsim is a small path-vector routing and DNS substrate used
+// to replay configuration-error incidents — the paper's first class of
+// Internet disruption (§2), exemplified by the 2021 Facebook outage.
+//
+// The model is deliberately compact but mechanically real: ASes exchange
+// prefix announcements along links, each AS keeps its shortest AS-path
+// route with loop prevention, withdrawals propagate, anycast DNS service
+// requires a reachable prefix, and services become unreachable when
+// either their DNS or their content prefixes disappear — including the
+// out-of-band-dependency trap that turned Facebook's withdrawal into a
+// seven-hour outage.
+package bgpsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ASN identifies an autonomous system.
+type ASN int
+
+// Network is the routing substrate.
+type Network struct {
+	names map[ASN]string
+	links map[ASN]map[ASN]bool
+	// origin prefixes currently announced
+	announced map[string]ASN
+	// computed routing tables: routes[asn][prefix] = AS path (origin last)
+	routes map[ASN]map[string][]ASN
+	dirty  bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		names:     map[ASN]string{},
+		links:     map[ASN]map[ASN]bool{},
+		announced: map[string]ASN{},
+		routes:    map[ASN]map[string][]ASN{},
+		dirty:     true,
+	}
+}
+
+// AddAS registers an AS.
+func (n *Network) AddAS(asn ASN, name string) {
+	n.names[asn] = name
+	if n.links[asn] == nil {
+		n.links[asn] = map[ASN]bool{}
+	}
+	n.dirty = true
+}
+
+// Link connects two ASes bidirectionally. Unknown ASes are registered.
+func (n *Network) Link(a, b ASN) {
+	if _, ok := n.names[a]; !ok {
+		n.AddAS(a, fmt.Sprintf("AS%d", a))
+	}
+	if _, ok := n.names[b]; !ok {
+		n.AddAS(b, fmt.Sprintf("AS%d", b))
+	}
+	n.links[a][b] = true
+	n.links[b][a] = true
+	n.dirty = true
+}
+
+// Announce originates a prefix from an AS.
+func (n *Network) Announce(prefix string, origin ASN) error {
+	if _, ok := n.names[origin]; !ok {
+		return fmt.Errorf("bgpsim: unknown origin AS%d", origin)
+	}
+	n.announced[prefix] = origin
+	n.dirty = true
+	return nil
+}
+
+// Withdraw removes a prefix announcement. Withdrawing an unannounced
+// prefix is a no-op.
+func (n *Network) Withdraw(prefix string) {
+	delete(n.announced, prefix)
+	n.dirty = true
+}
+
+// Announced reports whether a prefix is currently originated.
+func (n *Network) Announced(prefix string) bool {
+	_, ok := n.announced[prefix]
+	return ok
+}
+
+// recompute floods every announced prefix with BFS, which yields the
+// shortest AS path with inherent loop prevention.
+func (n *Network) recompute() {
+	if !n.dirty {
+		return
+	}
+	n.routes = map[ASN]map[string][]ASN{}
+	for asn := range n.names {
+		n.routes[asn] = map[string][]ASN{}
+	}
+	prefixes := make([]string, 0, len(n.announced))
+	for p := range n.announced {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		origin := n.announced[prefix]
+		// BFS from the origin.
+		n.routes[origin][prefix] = []ASN{origin}
+		queue := []ASN{origin}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			curPath := n.routes[cur][prefix]
+			neighbors := make([]ASN, 0, len(n.links[cur]))
+			for nb := range n.links[cur] {
+				neighbors = append(neighbors, nb)
+			}
+			sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+			for _, nb := range neighbors {
+				if _, seen := n.routes[nb][prefix]; seen {
+					continue
+				}
+				path := make([]ASN, 0, len(curPath)+1)
+				path = append(path, nb)
+				path = append(path, curPath...)
+				n.routes[nb][prefix] = path
+				queue = append(queue, nb)
+			}
+		}
+	}
+	n.dirty = false
+}
+
+// Route returns the AS path from an AS to a prefix's origin, or false if
+// unreachable (not announced or partitioned).
+func (n *Network) Route(from ASN, prefix string) ([]ASN, bool) {
+	n.recompute()
+	path, ok := n.routes[from][prefix]
+	return path, ok
+}
+
+// Reachable reports whether an AS currently has a route to the prefix.
+func (n *Network) Reachable(from ASN, prefix string) bool {
+	_, ok := n.Route(from, prefix)
+	return ok
+}
+
+// --- DNS and services on top of routing ---
+
+// DNS maps zones to the anycast prefixes of their authoritative servers.
+type DNS struct {
+	zones map[string][]string // zone -> nameserver prefixes
+}
+
+// NewDNS returns an empty zone table.
+func NewDNS() *DNS { return &DNS{zones: map[string][]string{}} }
+
+// AddZone registers a zone served from the given nameserver prefixes.
+func (d *DNS) AddZone(zone string, nsPrefixes ...string) {
+	d.zones[zone] = append(d.zones[zone], nsPrefixes...)
+}
+
+// Resolve reports whether a resolver homed at the given AS can resolve
+// the zone: at least one authoritative prefix must be reachable.
+func (d *DNS) Resolve(n *Network, resolver ASN, zone string) error {
+	prefixes, ok := d.zones[zone]
+	if !ok {
+		return fmt.Errorf("bgpsim: no such zone %q", zone)
+	}
+	for _, p := range prefixes {
+		if n.Reachable(resolver, p) {
+			return nil
+		}
+	}
+	return fmt.Errorf("bgpsim: zone %q unresolvable from AS%d: all nameserver prefixes unreachable", zone, resolver)
+}
+
+// Service is an application reachable via DNS + content prefixes.
+type Service struct {
+	Name            string
+	Zone            string
+	ContentPrefixes []string
+	// OOBManagementZone is the zone the operator's own tooling depends
+	// on; when it matches the service's zone, losing DNS also locks the
+	// operators out (the Facebook-outage trap).
+	OOBManagementZone string
+}
+
+// Available reports whether a user behind the given AS can use the
+// service: resolve the zone, then reach at least one content prefix.
+func (s Service) Available(n *Network, d *DNS, user ASN) error {
+	if err := d.Resolve(n, user, s.Zone); err != nil {
+		return fmt.Errorf("service %s: %w", s.Name, err)
+	}
+	for _, p := range s.ContentPrefixes {
+		if n.Reachable(user, p) {
+			return nil
+		}
+	}
+	return fmt.Errorf("service %s: content prefixes unreachable", s.Name)
+}
+
+// OperatorsLockedOut reports whether the operator tooling is unusable
+// because its management zone cannot be resolved from the operator AS.
+func (s Service) OperatorsLockedOut(n *Network, d *DNS, operatorAS ASN) bool {
+	if s.OOBManagementZone == "" {
+		return false
+	}
+	return d.Resolve(n, operatorAS, s.OOBManagementZone) != nil
+}

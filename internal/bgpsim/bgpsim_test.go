@@ -1,0 +1,205 @@
+package bgpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// lineNet builds A-B-C-D with a prefix announced at A.
+func lineNet(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	n.Link(1, 2)
+	n.Link(2, 3)
+	n.Link(3, 4)
+	if err := n.Announce("10.0.0.0/8", 1); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRoutePropagation(t *testing.T) {
+	n := lineNet(t)
+	path, ok := n.Route(4, "10.0.0.0/8")
+	if !ok {
+		t.Fatal("prefix unreachable from AS4")
+	}
+	want := []ASN{4, 3, 2, 1}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestShortestPathPreferred(t *testing.T) {
+	n := NewNetwork()
+	// Two paths from 4 to 1: 4-1 direct and 4-3-2-1.
+	n.Link(1, 2)
+	n.Link(2, 3)
+	n.Link(3, 4)
+	n.Link(4, 1)
+	if err := n.Announce("10.0.0.0/8", 1); err != nil {
+		t.Fatal(err)
+	}
+	path, ok := n.Route(4, "10.0.0.0/8")
+	if !ok || len(path) != 2 {
+		t.Errorf("expected the 2-hop path, got %v", path)
+	}
+}
+
+func TestWithdrawPropagates(t *testing.T) {
+	n := lineNet(t)
+	if !n.Reachable(4, "10.0.0.0/8") {
+		t.Fatal("precondition failed")
+	}
+	n.Withdraw("10.0.0.0/8")
+	if n.Reachable(4, "10.0.0.0/8") {
+		t.Error("withdrawn prefix still reachable")
+	}
+	if n.Announced("10.0.0.0/8") {
+		t.Error("withdrawn prefix still announced")
+	}
+	// Withdrawing twice is a no-op.
+	n.Withdraw("10.0.0.0/8")
+	// Re-announce restores reachability.
+	if err := n.Announce("10.0.0.0/8", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Reachable(4, "10.0.0.0/8") {
+		t.Error("re-announced prefix unreachable")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := NewNetwork()
+	n.Link(1, 2)
+	n.AddAS(5, "isolated")
+	if err := n.Announce("10.0.0.0/8", 1); err != nil {
+		t.Fatal(err)
+	}
+	if n.Reachable(5, "10.0.0.0/8") {
+		t.Error("partitioned AS should not reach the prefix")
+	}
+}
+
+func TestAnnounceUnknownOrigin(t *testing.T) {
+	n := NewNetwork()
+	if err := n.Announce("10.0.0.0/8", 99); err == nil {
+		t.Error("announcing from an unknown AS should fail")
+	}
+}
+
+func TestLoopSafety(t *testing.T) {
+	// A cycle must not produce paths that revisit an AS.
+	n := NewNetwork()
+	n.Link(1, 2)
+	n.Link(2, 3)
+	n.Link(3, 1)
+	if err := n.Announce("10.0.0.0/8", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range []ASN{1, 2, 3} {
+		path, ok := n.Route(asn, "10.0.0.0/8")
+		if !ok {
+			t.Fatalf("AS%d unreachable", asn)
+		}
+		seen := map[ASN]bool{}
+		for _, hop := range path {
+			if seen[hop] {
+				t.Fatalf("loop in path %v", path)
+			}
+			seen[hop] = true
+		}
+	}
+}
+
+func TestDNSResolve(t *testing.T) {
+	n := lineNet(t)
+	d := NewDNS()
+	d.AddZone("example.com", "10.0.0.0/8")
+	if err := d.Resolve(n, 4, "example.com"); err != nil {
+		t.Errorf("resolve failed: %v", err)
+	}
+	if err := d.Resolve(n, 4, "nozone.example"); err == nil {
+		t.Error("unknown zone should fail")
+	}
+	n.Withdraw("10.0.0.0/8")
+	if err := d.Resolve(n, 4, "example.com"); err == nil {
+		t.Error("resolve should fail after withdrawal")
+	}
+}
+
+func TestDNSAnycastFailover(t *testing.T) {
+	n := lineNet(t)
+	if err := n.Announce("10.1.0.0/16", 2); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDNS()
+	d.AddZone("example.com", "10.0.0.0/8", "10.1.0.0/16")
+	n.Withdraw("10.0.0.0/8")
+	if err := d.Resolve(n, 4, "example.com"); err != nil {
+		t.Errorf("anycast failover should keep the zone resolvable: %v", err)
+	}
+}
+
+func TestServiceAvailability(t *testing.T) {
+	n := lineNet(t)
+	if err := n.Announce("10.2.0.0/16", 1); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDNS()
+	d.AddZone("svc.example", "10.0.0.0/8")
+	svc := Service{Name: "svc", Zone: "svc.example", ContentPrefixes: []string{"10.2.0.0/16"}}
+	if err := svc.Available(n, d, 4); err != nil {
+		t.Errorf("service should be available: %v", err)
+	}
+	// DNS gone, content still routed: service still down for users.
+	n.Withdraw("10.0.0.0/8")
+	if err := svc.Available(n, d, 4); err == nil {
+		t.Error("service should fail without DNS even with content routed")
+	}
+}
+
+func TestReplayFacebookOutage(t *testing.T) {
+	r := ReplayFacebookOutage(false)
+	if r.OutageHours < 6.5 || r.OutageHours > 7.5 {
+		t.Errorf("outage = %.1f hours, want ~7 (as reported)", r.OutageHours)
+	}
+	if !r.LockedOut {
+		t.Error("without independent OOB, operators must be locked out")
+	}
+	if len(r.Events) < 4 {
+		t.Fatalf("timeline too sparse: %+v", r.Events)
+	}
+	first, last := r.Events[0], r.Events[len(r.Events)-1]
+	if first.ResolveRate != 1 || !first.Available {
+		t.Errorf("steady state broken: %+v", first)
+	}
+	if last.ResolveRate != 1 || !last.Available {
+		t.Errorf("recovery incomplete: %+v", last)
+	}
+	// Mid-outage: nothing resolves anywhere.
+	mid := r.Events[1]
+	if mid.ResolveRate != 0 || mid.Available {
+		t.Errorf("outage not total: %+v", mid)
+	}
+	if !strings.Contains(r.Describe(), "locked out") {
+		t.Errorf("Describe = %q", r.Describe())
+	}
+}
+
+func TestReplayWithOOBIsShort(t *testing.T) {
+	withOOB := ReplayFacebookOutage(true)
+	without := ReplayFacebookOutage(false)
+	if withOOB.OutageHours >= without.OutageHours/3 {
+		t.Errorf("OOB outage %.1f h should be far shorter than %.1f h",
+			withOOB.OutageHours, without.OutageHours)
+	}
+	if withOOB.LockedOut {
+		t.Error("independent OOB must prevent lockout")
+	}
+}

@@ -1,0 +1,150 @@
+// Package corpus generates the synthetic web the agent learns from. Every
+// document is rendered from the ground-truth world model
+// (internal/world), so the corpus is internally consistent and the quiz
+// grader can meaningfully compare agent answers against the same world.
+//
+// Two properties are deliberate:
+//
+//   - Documents carry *ingredient* facts (a cable's route and latitude, the
+//     causal rule that storm effects grow with geomagnetic latitude, an
+//     operator's regional footprint) but never the final comparative
+//     verdicts the quiz asks about. The agent has to retrieve several
+//     documents and combine them, exactly as the paper's agent Bob did.
+//
+//   - The answer-bearing facts appear in canonical sentence shapes that
+//     internal/llm's extractor understands, embedded in paragraphs of
+//     ordinary prose. Retrieval quality therefore matters: a bad search
+//     returns documents whose prose mentions the topic but lacks the
+//     extractable facts.
+//
+// The corpus also contains distractor documents on unrelated topics and a
+// restricted document standing in for the SIGCOMM'21 paper itself, which
+// the simulated search engine never returns — mirroring the paper's
+// methodology of verifying Bob had no access to the source paper.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/textgen"
+	"repro/internal/world"
+)
+
+// Source classifies where a document lives on the simulated web.
+type Source string
+
+// Document source classes. Search engines index wiki/news/blog/reference
+// by default; social requires the crawler extension (the paper notes
+// Auto-GPT cannot fetch Twitter/Reddit); restricted is never served.
+const (
+	SourceWiki       Source = "wiki"
+	SourceNews       Source = "news"
+	SourceBlog       Source = "blog"
+	SourceReference  Source = "reference"
+	SourceSocial     Source = "social"
+	SourceRestricted Source = "restricted"
+)
+
+// Document is one synthetic web page or post.
+type Document struct {
+	ID     string   `json:"id"`
+	URL    string   `json:"url"`
+	Site   string   `json:"site"`
+	Title  string   `json:"title"`
+	Body   string   `json:"body"`
+	Source Source   `json:"source"`
+	Topics []string `json:"topics"`
+	Year   int      `json:"year"`
+}
+
+// Corpus is the generated document collection.
+type Corpus struct {
+	Docs []Document `json:"docs"`
+}
+
+// ByID returns the document with the given ID.
+func (c *Corpus) ByID(id string) (Document, bool) {
+	for _, d := range c.Docs {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Document{}, false
+}
+
+// CountBySource tallies documents per source class.
+func (c *Corpus) CountBySource() map[Source]int {
+	out := map[Source]int{}
+	for _, d := range c.Docs {
+		out[d.Source]++
+	}
+	return out
+}
+
+// Generate renders the world into the full synthetic web. The same world
+// and seed always produce the identical corpus.
+func Generate(w *world.World, seed uint64) *Corpus {
+	rng := textgen.NewRNG(seed)
+	var docs []Document
+	docs = append(docs, cableDocs(w, rng.Fork("cables"))...)
+	docs = append(docs, operatorDocs(w, rng.Fork("operators"))...)
+	docs = append(docs, solarScienceDocs(rng.Fork("science"))...)
+	docs = append(docs, stormHistoryDocs(w, rng.Fork("storms"))...)
+	docs = append(docs, gridDocs(w, rng.Fork("grids"))...)
+	docs = append(docs, incidentDocs(w, rng.Fork("incidents"))...)
+	docs = append(docs, technologyDocs(rng.Fork("tech"))...)
+	docs = append(docs, ixpDocs(w, rng.Fork("ixps"))...)
+	docs = append(docs, socialDocs(w, rng.Fork("social"))...)
+	docs = append(docs, restrictedDocs()...)
+	docs = append(docs, noiseDocs(rng.Fork("noise"))...)
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
+	return &Corpus{Docs: docs}
+}
+
+// regionOfCountry maps landing countries to the coarse region labels used
+// in cable summaries ("a transatlantic cable between Brazil and Europe").
+var regionOfCountry = map[string]string{
+	"United States":  "the United States",
+	"Brazil":         "Brazil",
+	"Chile":          "South America",
+	"Argentina":      "South America",
+	"Portugal":       "Europe",
+	"Spain":          "Europe",
+	"France":         "Europe",
+	"United Kingdom": "Europe",
+	"Germany":        "Europe",
+	"Denmark":        "Europe",
+	"Norway":         "the Arctic",
+	"Senegal":        "Africa",
+	"Angola":         "Africa",
+	"Nigeria":        "Africa",
+	"South Africa":   "Africa",
+	"Kenya":          "Africa",
+	"Egypt":          "Africa",
+	"Sri Lanka":      "South Asia",
+	"Singapore":      "Southeast Asia",
+	"Japan":          "Japan",
+	"Australia":      "Australia",
+	"New Zealand":    "Oceania",
+}
+
+func regionPhrase(country string) string {
+	if r, ok := regionOfCountry[country]; ok {
+		return r
+	}
+	return country
+}
+
+func doc(id, site, title, body string, src Source, year int, topics ...string) Document {
+	return Document{
+		ID:     id,
+		URL:    fmt.Sprintf("https://%s/%s", site, textgen.Slug(title)),
+		Site:   site,
+		Title:  title,
+		Body:   body,
+		Source: src,
+		Topics: topics,
+		Year:   year,
+	}
+}

@@ -1,0 +1,226 @@
+package corpus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/facts"
+	"repro/internal/media"
+	"repro/internal/world"
+)
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	return Generate(world.Default(), 42)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := world.Default()
+	a := Generate(w, 42)
+	b := Generate(w, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := Generate(w, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora (noise docs should differ)")
+	}
+}
+
+func TestCorpusInventory(t *testing.T) {
+	c := testCorpus(t)
+	if len(c.Docs) < 60 {
+		t.Errorf("corpus has %d docs, want >= 60", len(c.Docs))
+	}
+	counts := c.CountBySource()
+	for _, src := range []Source{SourceWiki, SourceNews, SourceBlog, SourceReference, SourceSocial, SourceRestricted} {
+		if counts[src] == 0 {
+			t.Errorf("no documents with source %s", src)
+		}
+	}
+	// IDs unique, URLs well-formed.
+	seen := map[string]bool{}
+	for _, d := range c.Docs {
+		if seen[d.ID] {
+			t.Errorf("duplicate doc ID %s", d.ID)
+		}
+		seen[d.ID] = true
+		if !strings.HasPrefix(d.URL, "https://") {
+			t.Errorf("doc %s has bad URL %q", d.ID, d.URL)
+		}
+		if d.Title == "" || d.Body == "" {
+			t.Errorf("doc %s missing title or body", d.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	c := testCorpus(t)
+	if _, ok := c.ByID("science-cme"); !ok {
+		t.Error("missing science-cme doc")
+	}
+	if _, ok := c.ByID("does-not-exist"); ok {
+		t.Error("ByID should miss")
+	}
+}
+
+// factKeys returns the set of fact keys extractable from the whole corpus
+// by a vision-capable reader (images revealed), optionally excluding
+// restricted documents.
+func factKeys(c *Corpus, includeRestricted bool) map[string]bool {
+	keys := map[string]bool{}
+	for _, d := range c.Docs {
+		if d.Source == SourceRestricted && !includeRestricted {
+			continue
+		}
+		for _, f := range facts.Extract(media.Reveal(d.Body)) {
+			keys[f.Key()] = true
+		}
+	}
+	return keys
+}
+
+func TestImageOnlyLatitudesAreOpaqueToText(t *testing.T) {
+	// The multimodal gate: the latitude facts of the image-only cables
+	// must not be extractable from any document without vision.
+	c := testCorpus(t)
+	for _, d := range c.Docs {
+		for _, f := range facts.Extract(d.Body) {
+			for name := range imageOnlyLatitude {
+				if f.Key() == "cablelat:"+name {
+					t.Errorf("doc %s leaks %s in plain text", d.ID, f.Key())
+				}
+			}
+		}
+	}
+	// But a vision-capable reading recovers them.
+	keys := factKeys(c, false)
+	for name := range imageOnlyLatitude {
+		if !keys["cablelat:"+name] {
+			t.Errorf("image doc for %s missing or undecodable", name)
+		}
+	}
+}
+
+func TestCorpusCarriesIngredientFacts(t *testing.T) {
+	c := testCorpus(t)
+	keys := factKeys(c, false)
+	// Every cable contributes a route, a spec and a latitude fact.
+	w := world.Default()
+	for _, cab := range w.Cables {
+		for _, prefix := range []string{"route:", "cablespec:", "cablelat:"} {
+			if !keys[prefix+cab.Name] {
+				t.Errorf("missing fact %s%s", prefix, cab.Name)
+			}
+		}
+	}
+	// Both operators contribute footprints; all rules present; all five
+	// mitigations present.
+	for _, k := range []string{"footprint:Google", "footprint:Facebook"} {
+		if !keys[k] {
+			t.Errorf("missing fact %s", k)
+		}
+	}
+	for _, r := range facts.AllRules() {
+		if !keys[r.Key()] {
+			t.Errorf("missing rule %s", r.Key())
+		}
+	}
+	for _, m := range facts.CanonicalMitigations() {
+		if !keys[m.Key()] {
+			t.Errorf("missing mitigation %s", m.Key())
+		}
+	}
+	for _, g := range w.Grids {
+		if !keys["grid:"+g.Name] {
+			t.Errorf("missing grid fact for %s", g.Name)
+		}
+	}
+	for _, in := range w.Incidents {
+		if !keys["cause:"+in.Name] {
+			t.Errorf("missing cause fact for %s", in.Name)
+		}
+	}
+}
+
+func TestNoVerdictLeakageOutsideRestricted(t *testing.T) {
+	// The comparative verdicts must not appear verbatim in any
+	// non-restricted document; the agent has to derive them.
+	c := testCorpus(t)
+	leaks := []string{
+		"less probability of being affected",
+		"better spread",
+		"more vulnerable than",
+		"CONCLUSION:",
+	}
+	for _, d := range c.Docs {
+		if d.Source == SourceRestricted {
+			continue
+		}
+		for _, leak := range leaks {
+			if strings.Contains(d.Body, leak) {
+				t.Errorf("doc %s leaks verdict phrase %q", d.ID, leak)
+			}
+		}
+	}
+}
+
+func TestRestrictedDocHoldsTheAnswers(t *testing.T) {
+	c := testCorpus(t)
+	d, ok := c.ByID("paper-solar-superstorms")
+	if !ok {
+		t.Fatal("missing restricted paper doc")
+	}
+	if d.Source != SourceRestricted {
+		t.Fatalf("paper doc source = %s", d.Source)
+	}
+	if !strings.Contains(d.Body, "CONCLUSION:") {
+		t.Error("restricted paper should contain conclusions")
+	}
+}
+
+func TestLatitudeFactsLiveOutsideWikiPages(t *testing.T) {
+	// The latitude fact for each cable must NOT be in the cable's wiki
+	// page — it lives in the separate route-analysis doc. This split is
+	// what drives the paper's self-learning dynamics.
+	c := testCorpus(t)
+	for _, d := range c.Docs {
+		if !strings.HasPrefix(d.ID, "cable-") {
+			continue
+		}
+		for _, f := range facts.Extract(d.Body) {
+			if strings.HasPrefix(f.Key(), "cablelat:") {
+				t.Errorf("wiki doc %s carries the latitude fact; it should be in the route analysis only", d.ID)
+			}
+		}
+	}
+}
+
+func TestSocialDocsGated(t *testing.T) {
+	c := testCorpus(t)
+	social := 0
+	for _, d := range c.Docs {
+		if d.Source == SourceSocial {
+			social++
+			if d.Site != "twitter.com" && d.Site != "reddit.com" {
+				t.Errorf("social doc %s on unexpected site %s", d.ID, d.Site)
+			}
+		}
+	}
+	if social < 3 {
+		t.Errorf("expected >= 3 social docs, got %d", social)
+	}
+}
+
+func TestNoiseDocsCarryNoFacts(t *testing.T) {
+	c := testCorpus(t)
+	for _, d := range c.Docs {
+		if !strings.HasPrefix(d.ID, "noise-") {
+			continue
+		}
+		if fs := facts.Extract(d.Body); len(fs) != 0 {
+			t.Errorf("noise doc %s carries facts: %v", d.ID, fs)
+		}
+	}
+}

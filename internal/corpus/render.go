@@ -1,0 +1,417 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/facts"
+	"repro/internal/media"
+	"repro/internal/solar"
+	"repro/internal/textgen"
+	"repro/internal/world"
+)
+
+// imageOnlyLatitude lists the cables whose latitude profile is published
+// only as a route-map image — the multimodal material §5 plans to
+// incorporate. A text-only agent indexes and fetches the map but cannot
+// read it; a vision-capable model can (see internal/media).
+var imageOnlyLatitude = map[string]bool{
+	"Amitie":  true,
+	"Firmina": true,
+}
+
+// cableDocs renders two documents per cable: a wiki page with the route
+// and engineering specification, and a separate route-analysis blog post
+// carrying the geomagnetic-latitude profile. Splitting the latitude fact
+// into its own document is what forces the agent into self-learning: the
+// initial goal searches surface the wiki pages, but answering a
+// vulnerability question needs the latitude analysis, which only a
+// follow-up search for the specific route retrieves. For the cables in
+// imageOnlyLatitude the latitude ships as a route-map image instead of
+// prose.
+func cableDocs(w *world.World, rng *textgen.RNG) []Document {
+	intros := []string{
+		"Submarine cables are the undersea lifelines of Internet connectivity, carrying almost all intercontinental traffic.",
+		"Far beneath the ocean surface, fiber optic cable systems tie the world's networks together.",
+		"Intercontinental connectivity rests on a small number of high capacity fiber optic systems.",
+	}
+	var docs []Document
+	for _, c := range w.Cables {
+		first, last := c.Endpoints()
+		route := facts.CableRoute{
+			Cable:       c.Name,
+			FromCity:    first.City,
+			FromCountry: first.Country,
+			ToCity:      last.City,
+			ToCountry:   last.Country,
+			FromRegion:  regionPhrase(first.Country),
+			ToRegion:    regionPhrase(last.Country),
+		}
+		spec := facts.CableSpec{
+			Cable:     c.Name,
+			LengthKm:  int(math.Round(c.LengthKm()/100) * 100),
+			Repeaters: c.RepeaterCount(),
+		}
+		kind := "submarine cable system"
+		if !c.Submarine {
+			kind = "terrestrial long haul fiber route"
+		}
+		wikiBody := textgen.Paragraph(
+			textgen.Pick(rng, intros),
+			fmt.Sprintf("%s is a %s that entered service in %d, owned by %s, with a design capacity of %s.",
+				c.Name, kind, c.YearReady, textgen.JoinAnd(c.Owners), c.DesignCapacity),
+			route.Sentence(),
+			spec.Sentence(),
+		)
+		docs = append(docs, doc(
+			"cable-"+textgen.Slug(c.Name), "en.wikipedia.org",
+			c.Name+" (cable system)", wikiBody, SourceWiki, c.YearReady,
+			"submarine cables", "infrastructure"))
+
+		lat := facts.CableLatitude{Cable: c.Name, MaxGeomagLat: int(math.Round(c.MaxGeomagneticLat()))}
+		if imageOnlyLatitude[c.Name] {
+			caption := fmt.Sprintf("route map of the specific path of the %s submarine cable with its geomagnetic latitude profile", c.Name)
+			docs = append(docs, doc(
+				"map-"+textgen.Slug(c.Name), "cablemaps.example.org",
+				"Route map of the "+c.Name+" cable",
+				media.EncodeImage(caption, lat.Sentence()),
+				SourceReference, 2023, "submarine cables", "route analysis", "geomagnetic latitude"))
+			continue
+		}
+		analysisBody := textgen.Paragraph(
+			fmt.Sprintf("This route analysis examines the specific geographic path of the %s cable between %s and %s.",
+				c.Name, first.City, last.City),
+			facts.Rule{Kind: facts.RuleLatitude}.Sentence(),
+			lat.Sentence(),
+			fmt.Sprintf("Operators planning around solar activity should weigh this profile against the system's %d repeaters.", spec.Repeaters),
+		)
+		docs = append(docs, doc(
+			"route-"+textgen.Slug(c.Name), "submarinenetworks.com",
+			"Route analysis: the specific path of "+c.Name, analysisBody,
+			SourceBlog, 2023, "submarine cables", "route analysis", "geomagnetic latitude"))
+	}
+	return docs
+}
+
+// operatorDocs renders, per operator, a general wiki page (prose only) and
+// a detailed infrastructure-map reference carrying the footprint fact.
+func operatorDocs(w *world.World, rng *textgen.RNG) []Document {
+	var docs []Document
+	for _, op := range w.Operators() {
+		fleet := w.DataCentersOf(op)
+		assessment := world.AssessOperator(w, op, 1.0)
+		regions := map[string]bool{}
+		var cities []string
+		for _, d := range fleet {
+			regions[d.Region] = true
+			cities = append(cities, d.City+", "+d.Country)
+		}
+		regionList := make([]string, 0, len(regions))
+		for _, d := range fleet { // preserve stable fleet order
+			if regions[d.Region] {
+				regionList = append(regionList, d.Region)
+				regions[d.Region] = false
+			}
+		}
+		wikiBody := textgen.Paragraph(
+			fmt.Sprintf("%s is one of the largest operators of hyperscale data centers in the world.", op),
+			fmt.Sprintf("The company runs facilities in locations such as %s.", textgen.JoinAnd(cities[:min(4, len(cities))])),
+			"Data centers are designed and maintained to high standards to ensure resilience and redundancy, with multiple layers of power backup.",
+		)
+		docs = append(docs, doc(
+			"operator-"+textgen.Slug(op), "en.wikipedia.org",
+			op+" data centers", wikiBody, SourceWiki, 2022,
+			"data centers", op))
+
+		fp := facts.OperatorFootprint{
+			Operator:       op,
+			Facilities:     len(fleet),
+			RegionCount:    assessment.Regions,
+			Regions:        regionList,
+			ShareLowLatPct: int(math.Round(assessment.ShareLowLat * 100)),
+		}
+		mapBody := textgen.Paragraph(
+			fmt.Sprintf("A detailed map of the location and design of %s's data centers, compiled from public filings and energy permits.", op),
+			fp.Sentence(),
+			"Geographic dispersion matters for resilience planning: facilities concentrated in one latitude band share a common exposure to regional hazards.",
+		)
+		docs = append(docs, doc(
+			"dcmap-"+textgen.Slug(op), "datacentermap.com",
+			"The geographic spread and design of "+op+" data center locations", mapBody,
+			SourceReference, 2023, "data centers", "locations", op))
+	}
+	_ = rng
+	return docs
+}
+
+// solarScienceDocs renders the space-weather science articles that carry
+// the core causal rules (latitude dependence, auroral expansion).
+func solarScienceDocs(rng *textgen.RNG) []Document {
+	low, high := solar.CarringtonDecadalProbability()
+	cme := textgen.Paragraph(
+		"A coronal mass ejection, or CME, is a powerful ejection of a large mass of highly magnetized particles from the Sun.",
+		"When a CME is directed at Earth, it compresses the magnetosphere and drives a geomagnetic storm measured by the disturbance storm time index, or Dst.",
+		"The formation of a CME begins with the twisting of magnetic field lines in the solar corona, which stores energy that is released explosively.",
+		facts.Rule{Kind: facts.RuleLatitude}.Sentence(),
+		facts.Rule{Kind: facts.RuleAuroral}.Sentence(),
+		fmt.Sprintf("Estimates place the probability of a Carrington class superstorm between %.1f and %.0f percent per decade.", low*100, high*100),
+	)
+	gic := textgen.Paragraph(
+		"Geomagnetically induced currents, or GIC, flow through ground based conductors when a storm perturbs Earth's magnetic field.",
+		"Magnetic fields affect the performance of electronic devices and integrated circuits through induced voltages rather than direct particle damage at ground level.",
+		facts.Rule{Kind: facts.RuleLength}.Sentence(),
+		facts.Rule{Kind: facts.RuleGrid}.Sentence(),
+		"The 1989 collapse of the Hydro Quebec grid remains the canonical modern example of GIC damage.",
+	)
+	ionosphere := textgen.Paragraph(
+		"High and mid latitude and near subsolar point ionospheric and thermospheric responses to solar flares and geomagnetic storms differ sharply.",
+		"During low solar activity periods of 2017 and 2020, researchers observed that high latitude responses remained an order of magnitude stronger than equatorial ones.",
+		facts.Rule{Kind: facts.RuleLatitude}.Sentence(),
+	)
+	_ = rng
+	return []Document{
+		doc("science-cme", "spaceweather.org", "Coronal mass ejections and solar superstorms explained", cme, SourceReference, 2022, "solar storms", "science"),
+		doc("science-gic", "electricity-magnetism.org", "How geomagnetically induced currents affect electronic devices and power systems", gic, SourceReference, 2023, "solar storms", "GIC", "power grids"),
+		doc("science-ionosphere", "advancesinspaceresearch.org", "Latitude dependence of ionospheric responses to geomagnetic storms", ionosphere, SourceReference, 2022, "solar storms", "science"),
+	}
+}
+
+// stormHistoryDocs renders one article per historical storm.
+func stormHistoryDocs(w *world.World, rng *textgen.RNG) []Document {
+	var docs []Document
+	for _, s := range w.Storms {
+		ev := facts.StormEvent{Name: s.Name, Year: s.Year, Effect: s.Notes}
+		body := textgen.Paragraph(
+			fmt.Sprintf("The %s of %d was a %s, with the Dst index reaching about %.0f nanotesla.", s.Name, s.Year, s.Class(), s.DstMin),
+			ev.Sentence(),
+			"Historical storms of this kind anchor the planning scenarios used by infrastructure operators today.",
+		)
+		docs = append(docs, doc(
+			"storm-"+textgen.Slug(s.Name), "en.wikipedia.org",
+			s.Name, body, SourceWiki, s.Year, "solar storms", "history"))
+	}
+	_ = rng
+	return docs
+}
+
+// gridDocs renders a profile document per power grid.
+func gridDocs(w *world.World, rng *textgen.RNG) []Document {
+	var docs []Document
+	for _, g := range w.Grids {
+		fp := facts.GridProfile{
+			Grid:      g.Name,
+			GeomagLat: int(math.Round(g.GeomagneticLat())),
+			LineKm:    int(g.AvgLineLengthKm),
+			Hardened:  g.Hardened,
+		}
+		body := textgen.Paragraph(
+			fmt.Sprintf("The %s serves the %s region with about %d high voltage transformers.", g.Name, g.Region, g.HVTransformers),
+			fp.Sentence(),
+			facts.Rule{Kind: facts.RuleGrid}.Sentence(),
+			"Power supply systems are the hidden dependency of the Internet: data centers and cable landing stations fail when their grid does.",
+		)
+		docs = append(docs, doc(
+			"grid-"+textgen.Slug(g.Name), "powergridinternational.com",
+			"Grid profile: "+g.Name, body, SourceReference, 2022,
+			"power grids", "infrastructure"))
+	}
+	_ = rng
+	return docs
+}
+
+// incidentDocs renders news coverage per historical incident, plus the
+// operations handbook that carries the mitigation strategies.
+func incidentDocs(w *world.World, rng *textgen.RNG) []Document {
+	var docs []Document
+	for _, in := range w.Incidents {
+		cause := facts.IncidentCause{Incident: in.Name, Cause: in.Cause}
+		mech := facts.IncidentMechanism{Incident: in.Name, Mechanism: in.Mechanism}
+		parts := []string{
+			fmt.Sprintf("News coverage of the %s, a %s event affecting %s.", in.Name, in.Kind, textgen.JoinAnd(in.Regions)),
+			cause.Sentence(),
+			mech.Sentence(),
+		}
+		for _, e := range in.Effects {
+			parts = append(parts, facts.IncidentImpact{Incident: in.Name, Impact: e}.Sentence())
+		}
+		for _, l := range in.Lessons {
+			parts = append(parts, textgen.Sentence("Analysts noted that", l))
+		}
+		docs = append(docs, doc(
+			"incident-"+textgen.Slug(in.Name), "netnews.example.org",
+			"What happened during the "+in.Name, textgen.Paragraph(parts...),
+			SourceNews, in.Year, "incidents", string(in.Kind)))
+	}
+
+	// Operations handbook: carries predictive shutdown and redundancy
+	// utilization — the two elements the paper found "highly consistent"
+	// with the agent's plan. The remaining three strategies live only in
+	// social-media discussions (see socialDocs), reproducing the paper's
+	// §4.3 limitation: Bob could not fully train for planning because
+	// Twitter/Reddit material was unreachable to Auto-GPT.
+	mits := facts.CanonicalMitigations()
+	handbook := textgen.Paragraph(
+		"An operations handbook for network operators preparing a response plan for severe space weather.",
+		"When a coronal mass ejection is observed, warning time before the storm front arrives is typically between 13 hours and three days.",
+		mits[0].Sentence(), // predictive shutdown
+		mits[1].Sentence(), // redundancy utilization
+	)
+	docs = append(docs, doc(
+		"ops-handbook", "nanog.org",
+		"Operator response planning for severe space weather", handbook,
+		SourceReference, 2023, "response planning", "mitigation", "solar storms"))
+	_ = rng
+	return docs
+}
+
+// technologyDocs renders the cable-engineering explainers carrying the
+// repeater and terrestrial rules.
+func technologyDocs(rng *textgen.RNG) []Document {
+	repeaters := textgen.Paragraph(
+		"Diving deep into submarine cables: the undersea lifelines of Internet connectivity.",
+		"A modern submarine cable carries optical amplifiers, called repeaters, roughly every 60 to 80 kilometers, fed by a constant current over a copper conductor at up to 15 kilovolts from the landing stations.",
+		facts.Rule{Kind: facts.RuleRepeater}.Sentence(),
+		facts.Rule{Kind: facts.RuleLength}.Sentence(),
+	)
+	terrestrial := textgen.Paragraph(
+		"How terrestrial fiber networks differ from submarine systems.",
+		"On land, fiber spans between regeneration sites are short and equipment is locally powered from the grid with battery backup.",
+		facts.Rule{Kind: facts.RuleTerrestrial}.Sentence(),
+	)
+	resilience := textgen.Paragraph(
+		"Designing Internet services for regional failures.",
+		facts.Rule{Kind: facts.RuleSpread}.Sentence(),
+		"Anycast routing and geo replication let a service survive the loss of an entire region if capacity exists elsewhere.",
+	)
+	_ = rng
+	return []Document{
+		doc("tech-repeaters", "kentik.com", "Diving deep into submarine cables and their powered repeaters", repeaters, SourceBlog, 2023, "submarine cables", "technology"),
+		doc("tech-terrestrial", "networkworld.example.com", "Terrestrial fiber versus submarine cable systems", terrestrial, SourceBlog, 2022, "infrastructure", "technology"),
+		doc("tech-resilience", "acmqueue.example.org", "Regional failure domains and service resilience", resilience, SourceBlog, 2021, "resilience", "data centers"),
+	}
+}
+
+// ixpDocs renders the Internet-exchange landscape: one directory page
+// listing the major IXPs and an analysis piece on the latitude skew of
+// Internet infrastructure (the SIGCOMM'21 concentration observation),
+// computed live from the world model.
+func ixpDocs(w *world.World, rng *textgen.RNG) []Document {
+	var entries []string
+	for _, x := range w.IXPs {
+		entries = append(entries, fmt.Sprintf("%s in %s, %s interconnects about %d networks.",
+			x.Name, x.City, x.Country, x.Peers))
+	}
+	directory := textgen.Paragraph(append([]string{
+		"Internet exchange points are the meeting rooms of the Internet, where networks interconnect to exchange traffic.",
+	}, entries...)...)
+
+	st := world.Concentration(w)
+	skew := textgen.Paragraph(
+		"An analysis of where the Internet physically lives, compared with where its users live.",
+		fmt.Sprintf("By route length, %.0f percent of submarine cable mileage runs through the exposed high geomagnetic latitude band.", 100*st.CableShareHighLat),
+		fmt.Sprintf("About %.0f percent of hyperscale data centers and %.0f percent of large exchange points sit in that band, against roughly %.0f percent of global Internet users.",
+			100*st.DCShareHighLat, 100*st.IXPShareHighLat, 100*st.UserShareHighLat),
+		"The Internet's infrastructure is concentrated far more poleward than its users, which skews its exposure to space weather.",
+	)
+	_ = rng
+	return []Document{
+		doc("ixp-directory", "internetexchangemap.com", "Directory of major Internet exchange points", directory, SourceReference, 2023, "IXPs", "infrastructure"),
+		doc("infra-concentration", "oii.example.org", "The latitude skew of Internet infrastructure versus its users", skew, SourceReference, 2022, "infrastructure", "concentration", "geomagnetic latitude"),
+	}
+}
+
+// socialDocs renders short social-media posts. They are gated behind the
+// crawler extension (Source = social), matching the paper's note that
+// Auto-GPT cannot fetch Twitter or Reddit content.
+func socialDocs(w *world.World, rng *textgen.RNG) []Document {
+	var docs []Document
+	add := func(id, site, title, body string, topics ...string) {
+		docs = append(docs, doc(id, site, title, body, SourceSocial, 2023, topics...))
+	}
+	// Social posts restate a few high-value facts tersely; with the
+	// crawler enabled, the agent reaches them in fewer search rounds.
+	for i, c := range w.Cables {
+		if i%3 != 0 || imageOnlyLatitude[c.Name] {
+			continue
+		}
+		lat := facts.CableLatitude{Cable: c.Name, MaxGeomagLat: int(math.Round(c.MaxGeomagneticLat()))}
+		add("tweet-cable-"+textgen.Slug(c.Name), "twitter.com",
+			"Thread on "+c.Name+" and space weather",
+			textgen.Paragraph(
+				fmt.Sprintf("Interesting thread about %s and solar storm risk.", c.Name),
+				lat.Sentence(),
+			), "submarine cables", "social")
+	}
+	// The operational folklore the paper says Auto-GPT cannot reach: the
+	// plan elements beyond the handbook's two live only in these posts.
+	mits := facts.CanonicalMitigations()
+	add("reddit-shutdown", "reddit.com",
+		"r/networking discusses storm shutdown playbooks and response planning",
+		textgen.Paragraph(
+			"A long discussion on what operators would actually do with a day of CME warning.",
+			mits[2].Sentence(), // phased shutdown
+			mits[3].Sentence(), // data preservation
+			mits[4].Sentence(), // gradual reboot
+		), "response planning", "mitigation", "social")
+	_ = rng
+	return docs
+}
+
+// restrictedDocs returns the stand-in for the SIGCOMM'21 paper. The
+// simulated search engine never serves restricted documents; the document
+// exists so tests can verify the agent's conclusions were not copied from
+// the source paper.
+func restrictedDocs() []Document {
+	body := strings.Join([]string{
+		"Solar Superstorms: Planning for an Internet Apocalypse.",
+		"CONCLUSION: The cable between Brazil and Europe has less probability of being affected compared to the cables connecting the US and Europe.",
+		"CONCLUSION: Google data centers have a better spread, particularly in Asia and South America; Facebook is more vulnerable.",
+		"CONCLUSION: Submarine cables are more vulnerable than terrestrial fiber because of their powered repeaters.",
+		"CONCLUSION: Infrastructure concentrated at higher latitudes faces disproportionate risk.",
+	}, " ")
+	return []Document{doc(
+		"paper-solar-superstorms", "dl.acm.org",
+		"Solar Superstorms: Planning for an Internet Apocalypse", body,
+		SourceRestricted, 2021, "academic paper")}
+}
+
+// noiseDocs renders distractor documents so that retrieval has to
+// discriminate. Topics are deliberately disjoint from the domain.
+func noiseDocs(rng *textgen.RNG) []Document {
+	topics := []struct {
+		id, site, title string
+		sentences       []string
+	}{
+		{"noise-pasta", "cooking.example.com", "A complete guide to cooking pasta",
+			[]string{"Boil a large pot of salted water before adding the pasta.", "Stir occasionally and taste a minute before the package time.", "Reserve a cup of cooking water to finish the sauce."}},
+		{"noise-marathon", "running.example.com", "Training for your first marathon",
+			[]string{"Build weekly mileage gradually to avoid injury.", "Long runs teach the body to burn fat efficiently.", "Taper for two weeks before race day."}},
+		{"noise-gardening", "garden.example.com", "Tomato gardening in raised beds",
+			[]string{"Tomatoes need six hours of direct sun and consistent watering.", "Prune suckers to focus growth on fruiting branches.", "Rotate crops each season to keep soil healthy."}},
+		{"noise-chess", "chess.example.com", "Five opening principles for club players",
+			[]string{"Develop knights before bishops and castle early.", "Control the center with pawns or pieces.", "Avoid moving the same piece twice in the opening."}},
+		{"noise-coffee", "coffee.example.com", "Dialing in espresso at home",
+			[]string{"Grind finer if the shot runs too fast.", "A double shot should extract in 25 to 30 seconds.", "Fresh beans matter more than expensive machines."}},
+		{"noise-birds", "birds.example.com", "Backyard bird identification basics",
+			[]string{"Note the size, beak shape and wing bars first.", "Song is often more diagnostic than plumage.", "Keep feeders clean to prevent disease."}},
+		{"noise-photography", "photo.example.com", "Understanding exposure in photography",
+			[]string{"Aperture, shutter speed and ISO trade against each other.", "Expose for the highlights when shooting digital.", "A tripod opens up long exposure techniques."}},
+		{"noise-hiking", "hiking.example.com", "Packing for a weekend backpacking trip",
+			[]string{"The big three are shelter, sleep system and pack.", "Water treatment saves carrying weight.", "Check the forecast and tell someone your route."}},
+	}
+	var docs []Document
+	for _, tp := range topics {
+		sentences := append([]string(nil), tp.sentences...)
+		textgen.Shuffle(rng, sentences)
+		docs = append(docs, doc(tp.id, tp.site, tp.title, textgen.Paragraph(sentences...), SourceBlog, 2021+rng.Intn(3)))
+	}
+	return docs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+// Package cost estimates the economic impact of Internet disruptions,
+// standing in for the NetBlocks Cost of Shutdown Tool the paper's
+// introduction cites ("the economic impact of widespread Internet
+// disruption can lead to a loss of revenue of 7 billion [dollars]").
+//
+// The model follows the COST tool's shape: a region's daily loss is its
+// digital-economy output (GDP times an Internet-economy share) scaled by
+// how much of its connectivity is down; partial outages cost
+// proportionally, with a convex penalty for near-total outages (when the
+// fallback channels die too).
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RegionEconomy describes one region's digital economy.
+type RegionEconomy struct {
+	Region            string  `json:"region"`
+	GDPBillionsPerDay float64 `json:"gdp_billions_per_day"`
+	InternetShare     float64 `json:"internet_share"` // fraction of GDP that needs connectivity
+}
+
+// Economies returns the reference regional table. Figures are
+// order-of-magnitude realistic (daily GDP from annual ~2021 values) —
+// the model needs the relative sizes, not precision.
+func Economies() []RegionEconomy {
+	return []RegionEconomy{
+		{Region: "North America", GDPBillionsPerDay: 74, InternetShare: 0.10},
+		{Region: "Europe", GDPBillionsPerDay: 62, InternetShare: 0.09},
+		{Region: "Northern Europe", GDPBillionsPerDay: 6, InternetShare: 0.11},
+		{Region: "Asia", GDPBillionsPerDay: 85, InternetShare: 0.08},
+		{Region: "Southeast Asia", GDPBillionsPerDay: 9, InternetShare: 0.08},
+		{Region: "South America", GDPBillionsPerDay: 10, InternetShare: 0.06},
+		{Region: "Oceania", GDPBillionsPerDay: 5, InternetShare: 0.08},
+		{Region: "Africa", GDPBillionsPerDay: 8, InternetShare: 0.05},
+	}
+}
+
+// EconomyOf returns the named region's economy.
+func EconomyOf(region string) (RegionEconomy, bool) {
+	for _, e := range Economies() {
+		if e.Region == region {
+			return e, true
+		}
+	}
+	return RegionEconomy{}, false
+}
+
+// OutageCostBillions estimates the loss (billions of dollars) when a
+// region loses the given connectivity fraction (0..1) for the given
+// number of hours. The severity curve is convex: losing the last 30% of
+// connectivity costs disproportionately because failover channels are
+// gone.
+func OutageCostBillions(e RegionEconomy, lossFraction, hours float64) float64 {
+	if lossFraction <= 0 || hours <= 0 {
+		return 0
+	}
+	if lossFraction > 1 {
+		lossFraction = 1
+	}
+	severity := lossFraction * (0.6 + 0.4*math.Pow(lossFraction, 2))
+	return e.GDPBillionsPerDay * e.InternetShare * severity * hours / 24
+}
+
+// Event is a multi-region disruption: per-region connectivity loss
+// fractions and a duration.
+type Event struct {
+	LossByRegion map[string]float64 `json:"loss_by_region"`
+	Hours        float64            `json:"hours"`
+}
+
+// RegionCost is one region's share of an event's total.
+type RegionCost struct {
+	Region       string  `json:"region"`
+	CostBillions float64 `json:"cost_billions"`
+}
+
+// EventCost totals an event across regions, returning the grand total
+// and the per-region breakdown sorted by cost descending.
+func EventCost(ev Event) (total float64, breakdown []RegionCost) {
+	for region, loss := range ev.LossByRegion {
+		e, ok := EconomyOf(region)
+		if !ok {
+			continue
+		}
+		c := OutageCostBillions(e, loss, ev.Hours)
+		if c > 0 {
+			breakdown = append(breakdown, RegionCost{Region: region, CostBillions: c})
+			total += c
+		}
+	}
+	sort.Slice(breakdown, func(i, j int) bool {
+		if breakdown[i].CostBillions != breakdown[j].CostBillions {
+			return breakdown[i].CostBillions > breakdown[j].CostBillions
+		}
+		return breakdown[i].Region < breakdown[j].Region
+	})
+	return total, breakdown
+}
+
+// GlobalOutageCostBillions is the headline number the paper cites: the
+// cost of a uniform global disruption of the given fraction and length.
+func GlobalOutageCostBillions(lossFraction, hours float64) float64 {
+	total := 0.0
+	for _, e := range Economies() {
+		total += OutageCostBillions(e, lossFraction, hours)
+	}
+	return total
+}
+
+// Format renders a billions figure as "$4.2B".
+func Format(billions float64) string {
+	return fmt.Sprintf("$%.1fB", billions)
+}

@@ -1,0 +1,121 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEconomiesWellFormed(t *testing.T) {
+	es := Economies()
+	if len(es) < 6 {
+		t.Fatalf("only %d economies", len(es))
+	}
+	seen := map[string]bool{}
+	for _, e := range es {
+		if seen[e.Region] {
+			t.Errorf("duplicate region %s", e.Region)
+		}
+		seen[e.Region] = true
+		if e.GDPBillionsPerDay <= 0 || e.InternetShare <= 0 || e.InternetShare >= 1 {
+			t.Errorf("implausible economy: %+v", e)
+		}
+	}
+	if _, ok := EconomyOf("North America"); !ok {
+		t.Error("missing North America")
+	}
+	if _, ok := EconomyOf("Atlantis"); ok {
+		t.Error("EconomyOf should miss unknown regions")
+	}
+}
+
+func TestOutageCostBasics(t *testing.T) {
+	e, _ := EconomyOf("North America")
+	if c := OutageCostBillions(e, 0, 24); c != 0 {
+		t.Errorf("zero loss should cost nothing, got %f", c)
+	}
+	if c := OutageCostBillions(e, 0.5, 0); c != 0 {
+		t.Errorf("zero duration should cost nothing, got %f", c)
+	}
+	full := OutageCostBillions(e, 1, 24)
+	if math.Abs(full-e.GDPBillionsPerDay*e.InternetShare) > 1e-9 {
+		t.Errorf("full-day full outage = %f, want %f", full, e.GDPBillionsPerDay*e.InternetShare)
+	}
+	// Clamping above 1.
+	if c := OutageCostBillions(e, 1.5, 24); c != full {
+		t.Errorf("loss > 1 should clamp: %f != %f", c, full)
+	}
+}
+
+func TestOutageCostMonotoneAndConvex(t *testing.T) {
+	e, _ := EconomyOf("Europe")
+	prev := -1.0
+	for loss := 0.1; loss <= 1.0; loss += 0.1 {
+		c := OutageCostBillions(e, loss, 24)
+		if c <= prev {
+			t.Errorf("cost not increasing at loss %.1f", loss)
+		}
+		prev = c
+	}
+	// Convexity: the second half of connectivity costs more than the first.
+	firstHalf := OutageCostBillions(e, 0.5, 24)
+	secondHalf := OutageCostBillions(e, 1.0, 24) - firstHalf
+	if secondHalf <= firstHalf {
+		t.Errorf("severity should be convex: %f <= %f", secondHalf, firstHalf)
+	}
+}
+
+func TestOutageCostProperty(t *testing.T) {
+	e, _ := EconomyOf("Asia")
+	f := func(loss, hours float64) bool {
+		loss = math.Mod(math.Abs(loss), 1.2)
+		hours = math.Mod(math.Abs(hours), 200)
+		c := OutageCostBillions(e, loss, hours)
+		return c >= 0 && !math.IsNaN(c) && !math.IsInf(c, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventCost(t *testing.T) {
+	total, breakdown := EventCost(Event{
+		LossByRegion: map[string]float64{
+			"North America": 0.4,
+			"Europe":        0.3,
+			"Nowhere":       0.9, // unknown region ignored
+		},
+		Hours: 12,
+	})
+	if len(breakdown) != 2 {
+		t.Fatalf("breakdown has %d entries", len(breakdown))
+	}
+	if breakdown[0].Region != "North America" {
+		t.Errorf("largest cost should lead: %+v", breakdown)
+	}
+	sum := breakdown[0].CostBillions + breakdown[1].CostBillions
+	if math.Abs(total-sum) > 1e-9 {
+		t.Errorf("total %f != sum %f", total, sum)
+	}
+}
+
+func TestGlobalOutageHeadline(t *testing.T) {
+	// The paper's motivating figure: a day of widespread disruption
+	// costs on the order of billions. A full-day global outage in this
+	// model should land in the tens of billions — same order as the
+	// cited "$7B" for large partial disruptions.
+	day := GlobalOutageCostBillions(1, 24)
+	if day < 10 || day > 100 {
+		t.Errorf("full-day global outage = %.1fB, want tens of billions", day)
+	}
+	partial := GlobalOutageCostBillions(0.3, 24)
+	if partial >= day {
+		t.Error("partial outage should cost less than total")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if got := Format(4.25); got != "$4.2B" && got != "$4.3B" {
+		t.Errorf("Format = %q", got)
+	}
+}

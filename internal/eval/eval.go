@@ -1,0 +1,545 @@
+// Package eval runs the reproduction's experiments. Each experiment
+// regenerates one result of the paper's evaluation (§4) or one ablation
+// DESIGN.md calls for, and prints the corresponding table or series.
+//
+// Experiment index (see DESIGN.md §4 for the full mapping):
+//
+//	E1  conclusion-consistency table (baseline vs trained agent, §4.2)
+//	E2  confidence trajectory per self-learning round (§4.2 case studies)
+//	E3  planning-ability overlap vs the human reference plan (§4.3)
+//	E4  end-to-end pipeline walk of the Figure 1 architecture
+//	E5  confidence-threshold sweep (§3's effort/quality tradeoff)
+//	E6  source-availability ablation (§5's Auto-GPT crawler limitation)
+//	E7  response-plan value under simulated storms (stormsim + cost)
+//	E8  adversarial knowledge-memory injection (§5 security)
+//	E9  multi-model ensemble robustness (§5 multi-LLM)
+//	E10 research-question generation (§5 open question 1)
+//	E11 multimodal capability gate (§5 see-and-listen)
+//	E12 long-term robustness under world drift (§5)
+//	A1  memory-retrieval scoring ablation
+//	A2  chain-of-thought decomposition ablation
+//	A3  search-ranking ablation (BM25 vs term frequency, with SEO spam)
+package eval
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/autogpt"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/llm"
+	"repro/internal/memory"
+	"repro/internal/plan"
+	"repro/internal/quiz"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+// Setup fixes the world, web and agent configuration for an experiment.
+type Setup struct {
+	Seed        uint64
+	WebOptions  websim.Options
+	AgentConfig agent.Config
+	MemoryW     memory.Weights
+}
+
+// DefaultSetup is the standard configuration all experiments start from.
+func DefaultSetup() Setup {
+	return Setup{Seed: 42}
+}
+
+// NewBob builds the simulated web and a fresh (untrained) agent Bob.
+func NewBob(s Setup) (*agent.Agent, *websim.Engine) {
+	eng := websim.NewEngine(corpus.Generate(world.Default(), s.Seed), s.WebOptions)
+	store := memory.NewStore(s.MemoryW)
+	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, store, s.AgentConfig)
+	return bob, eng
+}
+
+// TrainedBob builds and trains Bob.
+func TrainedBob(ctx context.Context, s Setup) (*agent.Agent, *websim.Engine, error) {
+	bob, eng := NewBob(s)
+	if _, err := bob.Train(ctx); err != nil {
+		return nil, nil, fmt.Errorf("eval: train: %w", err)
+	}
+	return bob, eng, nil
+}
+
+// --- E1: conclusion consistency ---
+
+// E1Row is one line of the conclusion-consistency table.
+type E1Row struct {
+	QID                int    `json:"qid"`
+	Statement          string `json:"statement"`
+	BaselineVerdict    string `json:"baseline_verdict"`
+	BaselineConsistent bool   `json:"baseline_consistent"`
+	AgentVerdict       string `json:"agent_verdict"`
+	AgentConfidence    int    `json:"agent_confidence"`
+	Rounds             int    `json:"rounds"`
+	AgentConsistent    bool   `json:"agent_consistent"`
+}
+
+// E1Result is the full table plus headline scores.
+type E1Result struct {
+	Rows          []E1Row `json:"rows"`
+	BaselineScore int     `json:"baseline_score"`
+	AgentScore    int     `json:"agent_score"`
+	Total         int     `json:"total"`
+}
+
+// RunE1 reproduces §4.2: the untrained baseline model versus trained Bob
+// with self-learning, graded on all eight conclusions.
+func RunE1(ctx context.Context, s Setup) (E1Result, error) {
+	baseline, _ := NewBob(s) // untrained: the vanilla-LLM baseline
+	baseRes, err := quiz.Run(ctx, quiz.AgentOneShot(baseline))
+	if err != nil {
+		return E1Result{}, fmt.Errorf("eval e1 baseline: %w", err)
+	}
+	bob, _, err := TrainedBob(ctx, s)
+	if err != nil {
+		return E1Result{}, err
+	}
+	agentRes, err := quiz.Run(ctx, quiz.AgentInvestigator(bob))
+	if err != nil {
+		return E1Result{}, fmt.Errorf("eval e1 agent: %w", err)
+	}
+	var out E1Result
+	for i := range agentRes {
+		out.Rows = append(out.Rows, E1Row{
+			QID:                agentRes[i].Conclusion.ID,
+			Statement:          agentRes[i].Conclusion.Statement,
+			BaselineVerdict:    baseRes[i].Verdict,
+			BaselineConsistent: baseRes[i].Consistent,
+			AgentVerdict:       agentRes[i].Verdict,
+			AgentConfidence:    agentRes[i].Confidence,
+			Rounds:             agentRes[i].Rounds,
+			AgentConsistent:    agentRes[i].Consistent,
+		})
+	}
+	out.BaselineScore, _ = quiz.Score(baseRes)
+	out.AgentScore, out.Total = quiz.Score(agentRes)
+	return out, nil
+}
+
+// --- E2: confidence trajectories ---
+
+// E2Trajectory is the per-round confidence series for one question.
+type E2Trajectory struct {
+	QID         int      `json:"qid"`
+	Question    string   `json:"question"`
+	Confidences []int    `json:"confidences"`
+	Verdicts    []string `json:"verdicts"`
+	Searches    []int    `json:"searches_per_round"`
+	NewItems    []int    `json:"new_items_per_round"`
+	Saturated   bool     `json:"saturated"`
+}
+
+// RunE2 reproduces the §4.2 case-study dynamics: for each quiz question a
+// freshly trained agent is investigated so every trajectory starts from
+// the same post-training knowledge state.
+func RunE2(ctx context.Context, s Setup) ([]E2Trajectory, error) {
+	var out []E2Trajectory
+	for _, c := range quiz.Conclusions() {
+		bob, _, err := TrainedBob(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		inv, err := bob.Investigate(ctx, c.Question)
+		if err != nil {
+			return nil, fmt.Errorf("eval e2 q%d: %w", c.ID, err)
+		}
+		tr := E2Trajectory{QID: c.ID, Question: c.Question, Saturated: inv.Saturated}
+		for _, r := range inv.Rounds {
+			tr.Confidences = append(tr.Confidences, r.Confidence)
+			tr.Verdicts = append(tr.Verdicts, r.Verdict)
+			tr.Searches = append(tr.Searches, len(r.Searches))
+			tr.NewItems = append(tr.NewItems, r.NewItems)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// --- E3: planning ability ---
+
+// E3Result is the plan-overlap report.
+type E3Result struct {
+	Items  []agent.PlanItem `json:"items"`
+	Report plan.Report      `json:"report"`
+}
+
+// RunE3 reproduces §4.3: the trained agent proposes a shutdown strategy,
+// scored against the human reference plan.
+func RunE3(ctx context.Context, s Setup) (E3Result, error) {
+	bob, _, err := TrainedBob(ctx, s)
+	if err != nil {
+		return E3Result{}, err
+	}
+	// As in the paper, the agent first studies response planning. With
+	// the standard (crawler-less) web only the operations handbook is
+	// reachable, so the expected outcome matches §4.3: predictive
+	// shutdown and redundancy utilization covered, the rest missing.
+	if _, err := bob.SelfLearn(ctx, planStudyQueries()); err != nil {
+		return E3Result{}, err
+	}
+	items, err := bob.Plan(ctx)
+	if err != nil {
+		return E3Result{}, err
+	}
+	return E3Result{Items: items, Report: plan.Compare(items)}, nil
+}
+
+// --- E4: end-to-end pipeline ---
+
+// E4Result walks the Figure 1 architecture once and reports every
+// pipeline counter.
+type E4Result struct {
+	Train         agent.TrainReport   `json:"train"`
+	MemoryItems   int                 `json:"memory_items"`
+	WebStats      websim.Stats        `json:"web_stats"`
+	Investigated  agent.Investigation `json:"investigated"`
+	SawRestricted bool                `json:"saw_restricted"`
+}
+
+// RunE4 trains Bob, investigates the paper's flagship question, and
+// reports the traffic and memory the pipeline generated.
+func RunE4(ctx context.Context, s Setup) (E4Result, error) {
+	bob, eng := NewBob(s)
+	train, err := bob.Train(ctx)
+	if err != nil {
+		return E4Result{}, err
+	}
+	inv, err := bob.Investigate(ctx, quiz.Conclusions()[0].Question)
+	if err != nil {
+		return E4Result{}, err
+	}
+	return E4Result{
+		Train:         train,
+		MemoryItems:   bob.Memory.Len(),
+		WebStats:      eng.Stats(),
+		Investigated:  inv,
+		SawRestricted: bob.SawSource("dl.acm.org"),
+	}, nil
+}
+
+// --- E5: threshold sweep ---
+
+// E5Row is one threshold's cost/quality outcome.
+type E5Row struct {
+	Threshold      int     `json:"threshold"`
+	MeanRounds     float64 `json:"mean_rounds"`
+	TotalSearches  int     `json:"total_searches"`
+	MeanConfidence float64 `json:"mean_confidence"`
+	Consistent     int     `json:"consistent"`
+	Total          int     `json:"total"`
+}
+
+// RunE5 sweeps the confidence threshold, reproducing §3's claim that a
+// higher threshold buys answer quality with a longer self-learning
+// process.
+func RunE5(ctx context.Context, s Setup, thresholds []int) ([]E5Row, error) {
+	if len(thresholds) == 0 {
+		thresholds = []int{3, 5, 7, 9}
+	}
+	var out []E5Row
+	for _, th := range thresholds {
+		cfg := s
+		cfg.AgentConfig.ConfidenceThreshold = th
+		bob, _, err := TrainedBob(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := E5Row{Threshold: th}
+		var roundSum, confSum int
+		results := make([]quiz.Result, 0, 8)
+		for _, c := range quiz.Conclusions() {
+			inv, err := bob.Investigate(ctx, c.Question)
+			if err != nil {
+				return nil, fmt.Errorf("eval e5 th=%d q%d: %w", th, c.ID, err)
+			}
+			roundSum += len(inv.Rounds)
+			confSum += inv.Final.Confidence
+			for _, r := range inv.Rounds {
+				row.TotalSearches += len(r.Searches)
+			}
+			results = append(results, quiz.Result{
+				Conclusion: c,
+				Verdict:    inv.Final.Verdict,
+				Consistent: quiz.Consistent(c, inv.Final.Verdict),
+			})
+		}
+		row.MeanRounds = float64(roundSum) / 8
+		row.MeanConfidence = float64(confSum) / 8
+		row.Consistent, row.Total = quiz.Score(results)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- E6: source-availability ablation ---
+
+// E6Row is one source configuration's outcome.
+type E6Row struct {
+	Config     string  `json:"config"`
+	Consistent int     `json:"consistent"`
+	Total      int     `json:"total"`
+	MeanRounds float64 `json:"mean_rounds"`
+	PlanMatch  int     `json:"plan_matched"`
+}
+
+// RunE6 compares degraded search, the standard configuration (no social
+// crawling — Auto-GPT's limitation), and the crawler extension that adds
+// Twitter/Reddit content (§5's proposed integrated crawler).
+func RunE6(ctx context.Context, s Setup) ([]E6Row, error) {
+	configs := []struct {
+		name string
+		mod  func(Setup) Setup
+	}{
+		{"degraded-search", func(s Setup) Setup {
+			s.WebOptions.MaxResults = 2
+			return s
+		}},
+		{"standard", func(s Setup) Setup { return s }},
+		{"with-crawler", func(s Setup) Setup {
+			s.WebOptions.EnableSocial = true
+			return s
+		}},
+	}
+	var out []E6Row
+	for _, cfg := range configs {
+		setup := cfg.mod(s)
+		bob, _, err := TrainedBob(ctx, setup)
+		if err != nil {
+			return nil, err
+		}
+		row := E6Row{Config: cfg.name}
+		roundSum := 0
+		results := make([]quiz.Result, 0, 8)
+		for _, c := range quiz.Conclusions() {
+			inv, err := bob.Investigate(ctx, c.Question)
+			if err != nil {
+				return nil, fmt.Errorf("eval e6 %s q%d: %w", cfg.name, c.ID, err)
+			}
+			roundSum += len(inv.Rounds)
+			results = append(results, quiz.Result{
+				Conclusion: c,
+				Verdict:    inv.Final.Verdict,
+				Consistent: quiz.Consistent(c, inv.Final.Verdict),
+			})
+		}
+		row.MeanRounds = float64(roundSum) / 8
+		row.Consistent, row.Total = quiz.Score(results)
+		// Every configuration studies planning with the same queries;
+		// only the crawler-enabled web can actually reach the social
+		// material that carries the remaining plan elements.
+		if _, err := bob.SelfLearn(ctx, planStudyQueries()); err != nil {
+			return nil, err
+		}
+		items, err := bob.Plan(ctx)
+		if err != nil {
+			return nil, err
+		}
+		row.PlanMatch = plan.Compare(items).Matched
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// planStudyQueries are the searches an agent runs to study response
+// planning before being asked for a plan.
+func planStudyQueries() []string {
+	return []string{
+		"operator response planning severe space weather",
+		"storm shutdown playbooks response planning discussion",
+	}
+}
+
+// --- A1: memory-retrieval ablation ---
+
+// A1Row is one retrieval-weighting outcome.
+type A1Row struct {
+	Weights    string  `json:"weights"`
+	Consistent int     `json:"consistent"`
+	Total      int     `json:"total"`
+	MeanRounds float64 `json:"mean_rounds"`
+}
+
+// RunA1 compares retrieval scorings for the knowledge memory.
+func RunA1(ctx context.Context, s Setup) ([]A1Row, error) {
+	variants := []struct {
+		name string
+		w    memory.Weights
+	}{
+		{"relevance-only", memory.RelevanceOnly},
+		{"rel+rec+imp", memory.DefaultWeights},
+		{"recency-heavy", memory.Weights{Relevance: 0.2, Recency: 0.7, Importance: 0.1}},
+	}
+	var out []A1Row
+	for _, v := range variants {
+		setup := s
+		setup.MemoryW = v.w
+		bob, _, err := TrainedBob(ctx, setup)
+		if err != nil {
+			return nil, err
+		}
+		row := A1Row{Weights: v.name}
+		roundSum := 0
+		results := make([]quiz.Result, 0, 8)
+		for _, c := range quiz.Conclusions() {
+			inv, err := bob.Investigate(ctx, c.Question)
+			if err != nil {
+				return nil, fmt.Errorf("eval a1 %s q%d: %w", v.name, c.ID, err)
+			}
+			roundSum += len(inv.Rounds)
+			results = append(results, quiz.Result{
+				Conclusion: c,
+				Verdict:    inv.Final.Verdict,
+				Consistent: quiz.Consistent(c, inv.Final.Verdict),
+			})
+		}
+		row.MeanRounds = float64(roundSum) / 8
+		row.Consistent, row.Total = quiz.Score(results)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- A2: chain-of-thought ablation ---
+
+// A2Row is one CoT configuration's training outcome.
+type A2Row struct {
+	CoT         bool `json:"cot"`
+	Searches    int  `json:"searches"`
+	PagesRead   int  `json:"pages_read"`
+	FactsSaved  int  `json:"facts_saved"`
+	MemoryItems int  `json:"memory_items"`
+}
+
+// RunA2 compares training with and without chain-of-thought query
+// decomposition. The web is constrained to one result per query — the
+// regime the paper describes CoT for, where a single search step is too
+// ambiguous/thin to carry a goal and must be decomposed into subplans.
+func RunA2(ctx context.Context, s Setup) ([]A2Row, error) {
+	var out []A2Row
+	for _, cot := range []bool{false, true} {
+		setup := s
+		setup.WebOptions.MaxResults = 1
+		setup.AgentConfig.Runner = autogpt.Config{ChainOfThought: cot}
+		bob, _ := NewBob(setup)
+		report, err := bob.Train(ctx)
+		if err != nil {
+			return nil, err
+		}
+		row := A2Row{CoT: cot, MemoryItems: bob.Memory.Len()}
+		for _, g := range report.Goals {
+			row.Searches += g.Searches
+			row.PagesRead += g.PagesRead
+			row.FactsSaved += g.FactsSaved
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- A3: search-ranking ablation ---
+
+// A3Query is one relevance judgment: the document the query should rank
+// first.
+type A3Query struct {
+	Query   string `json:"query"`
+	WantDoc string `json:"want_doc"`
+}
+
+// A3Judgments returns the standard judged query set, covering the
+// searches the agent actually issues.
+func A3Judgments() []A3Query {
+	return []A3Query{
+		{"route analysis specific path of EllaLink geomagnetic latitude", "route-ellalink"},
+		{"route analysis specific path of Grace Hopper geomagnetic latitude", "route-grace-hopper"},
+		{"geographic spread of Google data center locations", "dcmap-google"},
+		{"geographic spread of Facebook data center locations", "dcmap-facebook"},
+		{"how geomagnetically induced currents affect power systems", "science-gic"},
+		{"coronal mass ejection solar superstorm formation", "science-cme"},
+		{"submarine cable powered repeaters solar storms", "tech-repeaters"},
+		{"operator response planning severe space weather", "ops-handbook"},
+		{"what happened during the 2021 Facebook outage", "incident-2021-facebook-outage"},
+	}
+}
+
+// A3Row is one ranking's retrieval quality.
+type A3Row struct {
+	Ranking string  `json:"ranking"`
+	MRR     float64 `json:"mrr"`
+	P1      float64 `json:"p_at_1"`
+}
+
+// seoSpamDocs are keyword-stuffed pages published into the A3 engines
+// only: long documents that repeat the domain vocabulary without
+// carrying any facts. A raw term-frequency ranking drowns in them; BM25's
+// saturation and length normalization shrug them off. (They are never
+// part of the agent experiments.)
+func seoSpamDocs() []corpus.Document {
+	stuff := func(phrase string, n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(phrase)
+			b.WriteString(" ")
+		}
+		return b.String()
+	}
+	return []corpus.Document{
+		{
+			ID: "seo-spam-routes", URL: "https://seo.example.com/routes",
+			Site: "seo.example.com", Title: "Route analysis specific path geomagnetic latitude cable guide",
+			Body:   stuff("route analysis specific path geomagnetic latitude cable map profile", 60),
+			Source: corpus.SourceBlog, Year: 2023,
+		},
+		{
+			ID: "seo-spam-storms", URL: "https://seo.example.com/storms",
+			Site: "seo.example.com", Title: "Solar storm power systems geomagnetically induced currents explained fast",
+			Body:   stuff("solar storm power systems geomagnetically induced currents data center locations spread", 60),
+			Source: corpus.SourceBlog, Year: 2023,
+		},
+	}
+}
+
+// RunA3 compares BM25 against the naive term-frequency baseline on the
+// judged query set, in the presence of keyword-stuffed spam.
+func RunA3(s Setup) []A3Row {
+	c := corpus.Generate(world.Default(), s.Seed)
+	judge := A3Judgments()
+	rows := make([]A3Row, 0, 2)
+	for _, r := range []struct {
+		name    string
+		ranking index.Ranking
+	}{{"bm25", index.RankBM25}, {"tf", index.RankTF}} {
+		opts := s.WebOptions
+		opts.Ranking = r.ranking
+		eng := websim.NewEngine(c, opts)
+		for _, spam := range seoSpamDocs() {
+			eng.Publish(spam)
+		}
+		var mrr, p1 float64
+		for _, j := range judge {
+			results, err := eng.Search(context.Background(), j.Query, 10)
+			if err != nil {
+				continue
+			}
+			for i, res := range results {
+				if res.DocID == j.WantDoc {
+					mrr += 1 / float64(i+1)
+					if i == 0 {
+						p1++
+					}
+					break
+				}
+			}
+		}
+		n := float64(len(judge))
+		rows = append(rows, A3Row{Ranking: r.name, MRR: mrr / n, P1: p1 / n})
+	}
+	return rows
+}

@@ -1,0 +1,251 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunE1Shape(t *testing.T) {
+	r, err := RunE1(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total != 8 || len(r.Rows) != 8 {
+		t.Fatalf("table has %d rows / %d total", len(r.Rows), r.Total)
+	}
+	// The paper's shape: baseline hedges (near zero), agent >= 7/8.
+	if r.BaselineScore > 2 {
+		t.Errorf("baseline score = %d, want <= 2", r.BaselineScore)
+	}
+	if r.AgentScore < 7 {
+		t.Errorf("agent score = %d, want >= 7", r.AgentScore)
+	}
+	if r.AgentScore <= r.BaselineScore {
+		t.Error("agent must beat baseline")
+	}
+	var buf bytes.Buffer
+	PrintE1(&buf, r)
+	if !strings.Contains(buf.String(), "agent consistent: ") {
+		t.Error("E1 print missing summary")
+	}
+}
+
+func TestRunE2Shape(t *testing.T) {
+	trs, err := RunE2(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 8 {
+		t.Fatalf("got %d trajectories", len(trs))
+	}
+	for _, tr := range trs {
+		if len(tr.Confidences) == 0 {
+			t.Fatalf("q%d: empty trajectory", tr.QID)
+		}
+		// Round-0 confidence must be below 7 (self-learning needed) and
+		// confidence must never decrease.
+		if tr.Confidences[0] >= 7 {
+			t.Errorf("q%d: round-0 confidence %d, want < 7", tr.QID, tr.Confidences[0])
+		}
+		for i := 1; i < len(tr.Confidences); i++ {
+			if tr.Confidences[i] < tr.Confidences[i-1] {
+				t.Errorf("q%d: confidence dropped at round %d: %v", tr.QID, i, tr.Confidences)
+			}
+		}
+		last := tr.Confidences[len(tr.Confidences)-1]
+		if last < 6 {
+			t.Errorf("q%d: final confidence %d, want >= 6", tr.QID, last)
+		}
+	}
+	// The two paper case studies: cables end at 8-9, data centers at ~6.
+	if last := trs[0].Confidences[len(trs[0].Confidences)-1]; last < 8 {
+		t.Errorf("cable trajectory ends at %d, want 8-9", last)
+	}
+	if last := trs[1].Confidences[len(trs[1].Confidences)-1]; last < 5 || last > 7 {
+		t.Errorf("datacenter trajectory ends at %d, want ~6", last)
+	}
+	var buf bytes.Buffer
+	PrintE2(&buf, trs)
+	if !strings.Contains(buf.String(), "->") {
+		t.Error("E2 print missing series")
+	}
+}
+
+func TestRunE3Shape(t *testing.T) {
+	r, err := RunE3(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[string]bool{}
+	for _, e := range r.Report.Elements {
+		present[e.Element] = e.Present
+	}
+	if !present["predictive shutdown"] || !present["redundancy utilization"] {
+		t.Errorf("core plan elements missing: %+v", r.Report.Elements)
+	}
+	if r.Report.Matched < 2 {
+		t.Errorf("matched %d elements, want >= 2", r.Report.Matched)
+	}
+	var buf bytes.Buffer
+	PrintE3(&buf, r)
+	if !strings.Contains(buf.String(), "predictive shutdown") {
+		t.Error("E3 print missing elements")
+	}
+}
+
+func TestRunE4Shape(t *testing.T) {
+	r, err := RunE4(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Train.Goals) != 3 {
+		t.Errorf("trained %d goals, want 3 (Bob's role)", len(r.Train.Goals))
+	}
+	if r.MemoryItems == 0 || r.WebStats.Queries == 0 || r.WebStats.Fetches == 0 {
+		t.Errorf("pipeline counters empty: %+v", r)
+	}
+	if r.SawRestricted {
+		t.Error("agent saw the restricted paper")
+	}
+	if r.Investigated.Final.Confidence < 8 {
+		t.Errorf("flagship confidence = %d", r.Investigated.Final.Confidence)
+	}
+	var buf bytes.Buffer
+	PrintE4(&buf, r)
+	if !strings.Contains(buf.String(), "memory items") {
+		t.Error("E4 print missing counters")
+	}
+}
+
+func TestRunE5Shape(t *testing.T) {
+	rows, err := RunE5(context.Background(), DefaultSetup(), []int{3, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// §3's tradeoff: rounds and quality grow with the threshold.
+	if rows[0].MeanRounds > rows[1].MeanRounds || rows[1].MeanRounds > rows[2].MeanRounds {
+		t.Errorf("rounds not monotone: %+v", rows)
+	}
+	if rows[0].Consistent > rows[2].Consistent {
+		t.Errorf("consistency should not fall with threshold: %+v", rows)
+	}
+	if rows[0].MeanConfidence > rows[2].MeanConfidence {
+		t.Errorf("confidence should not fall with threshold: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintE5(&buf, rows)
+	if !strings.Contains(buf.String(), "threshold") {
+		t.Error("E5 print broken")
+	}
+}
+
+func TestRunE6Shape(t *testing.T) {
+	rows, err := RunE6(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]E6Row{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	// More sources must never hurt, and the crawler unlocks the social
+	// plan content.
+	if byName["degraded-search"].Consistent > byName["standard"].Consistent {
+		t.Errorf("degraded search beat standard: %+v", rows)
+	}
+	if byName["with-crawler"].Consistent < byName["standard"].Consistent {
+		t.Errorf("crawler hurt consistency: %+v", rows)
+	}
+	// §4.3's limitation, quantified: without the crawler only the two
+	// handbook strategies are reachable; the crawler unlocks the social
+	// material carrying the remaining three.
+	if byName["standard"].PlanMatch != 2 {
+		t.Errorf("standard plan coverage = %d, want 2 (handbook only)", byName["standard"].PlanMatch)
+	}
+	if byName["with-crawler"].PlanMatch <= byName["standard"].PlanMatch {
+		t.Errorf("crawler should unlock additional plan elements: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintE6(&buf, rows)
+	if !strings.Contains(buf.String(), "with-crawler") {
+		t.Error("E6 print broken")
+	}
+}
+
+func TestRunA1Shape(t *testing.T) {
+	rows, err := RunA1(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]A1Row{}
+	for _, r := range rows {
+		byName[r.Weights] = r
+	}
+	// The blended scoring must be at least as good as recency-heavy.
+	if byName["rel+rec+imp"].Consistent < byName["recency-heavy"].Consistent {
+		t.Errorf("default weights underperform recency-heavy: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintA1(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("A1 print broken")
+	}
+}
+
+func TestRunA2Shape(t *testing.T) {
+	rows, err := RunA2(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// CoT can only add searches.
+	if rows[1].Searches < rows[0].Searches {
+		t.Errorf("CoT reduced searches: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintA2(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("A2 print broken")
+	}
+}
+
+func TestRunA3Shape(t *testing.T) {
+	rows := RunA3(DefaultSetup())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var bm25, tf A3Row
+	for _, r := range rows {
+		if r.Ranking == "bm25" {
+			bm25 = r
+		} else {
+			tf = r
+		}
+	}
+	// With SEO spam in the index, BM25 must stay near-perfect while raw
+	// term frequency collapses — the reason the search substrate is BM25.
+	if bm25.MRR < 0.9 {
+		t.Errorf("BM25 MRR = %f, want >= 0.9 (the agent's searches must find their targets)", bm25.MRR)
+	}
+	if tf.MRR >= bm25.MRR {
+		t.Errorf("TF MRR (%f) should fall below BM25 (%f) under spam", tf.MRR, bm25.MRR)
+	}
+	var buf bytes.Buffer
+	PrintA3(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("A3 print broken")
+	}
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunE7Shape(t *testing.T) {
+	rows, err := RunE7(context.Background(), DefaultSetup(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]E7Row{}
+	for _, r := range rows {
+		byName[r.Plan] = r
+	}
+	none := byName["no plan"]
+	std := byName["agent (standard web)"]
+	crawler := byName["agent (with crawler)"]
+	ref := byName["human reference"]
+	// The ladder the reproduction predicts: no plan is worst, the
+	// agent's two-element plan already prevents most damage, and the
+	// crawler-completed agent plan matches the human reference.
+	if !(none.MeanDamage > std.MeanDamage && std.MeanDamage > crawler.MeanDamage) {
+		t.Errorf("damage ladder broken: %+v", rows)
+	}
+	if crawler.MeanDamage != ref.MeanDamage {
+		t.Errorf("crawler-completed plan (%f) should match reference (%f)",
+			crawler.MeanDamage, ref.MeanDamage)
+	}
+	if std.Actions != 2 {
+		t.Errorf("standard agent plan has %d actions, want 2 (the paper's two elements)", std.Actions)
+	}
+	if crawler.Actions != 5 {
+		t.Errorf("crawler agent plan has %d actions, want 5", crawler.Actions)
+	}
+	if none.MeanRecoveryHrs <= ref.MeanRecoveryHrs {
+		t.Errorf("planning should shorten recovery: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintE7(&buf, rows)
+	if !strings.Contains(buf.String(), "human reference") {
+		t.Error("E7 print broken")
+	}
+}
+
+func TestRunE8Shape(t *testing.T) {
+	rows, err := RunE8(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]E8Row{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	clean := byName["clean"]
+	undef := byName["poisoned, undefended"]
+	aware := byName["poisoned, conflict-aware"]
+	if !clean.Consistent || clean.Confidence < 8 {
+		t.Errorf("clean run broken: %+v", clean)
+	}
+	// The attack's danger: the undefended model flips confidently.
+	if !undef.Flipped {
+		t.Errorf("undefended model should flip: %+v", undef)
+	}
+	// The defence: the conflict-aware model abstains instead.
+	if aware.Flipped {
+		t.Errorf("conflict-aware model flipped: %+v", aware)
+	}
+	if aware.Verdict != "" {
+		t.Errorf("conflict-aware model should abstain, verdict %q", aware.Verdict)
+	}
+	if aware.Confidence >= 7 {
+		t.Errorf("conflict-aware confidence = %d, want < 7", aware.Confidence)
+	}
+	var buf bytes.Buffer
+	PrintE8(&buf, rows)
+	if !strings.Contains(buf.String(), "abstained") {
+		t.Error("E8 print broken")
+	}
+}
+
+func TestRunE9Shape(t *testing.T) {
+	rows, err := RunE9(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]E9Row{}
+	for _, r := range rows {
+		byName[r.Model] = r
+	}
+	if byName["single undefended"].Safe {
+		t.Error("single undefended model should be unsafe under poisoning")
+	}
+	if !byName["single conflict-aware"].Safe {
+		t.Error("conflict-aware model should be safe")
+	}
+	if !byName["ensemble 2 aware + 1 undefended"].Safe {
+		t.Error("majority-sound ensemble should be safe")
+	}
+	var buf bytes.Buffer
+	PrintE9(&buf, rows)
+	if !strings.Contains(buf.String(), "ensemble") {
+		t.Error("E9 print broken")
+	}
+}

@@ -1,0 +1,300 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"regexp"
+
+	"repro/internal/corpus"
+	"repro/internal/facts"
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/quiz"
+	"repro/internal/textgen"
+)
+
+// --- E10: research-question generation ---
+
+// E10Result summarizes the generated question set's quality, scored the
+// way §5 proposes: by the volume of relevant literature and by whether
+// the answer is ready-made in any single existing document.
+type E10Result struct {
+	Questions   []string `json:"questions"`
+	Generated   int      `json:"generated"`
+	WellFormed  int      `json:"well_formed"`   // parseable by the question grammar
+	Novel       int      `json:"novel"`         // no single document answers it directly
+	Answerable  int      `json:"answerable"`    // self-learning reaches a verdict
+	MeanLitHits float64  `json:"mean_lit_hits"` // mean relevant documents per question
+}
+
+// RunE10 implements §5's first open question: the trained agent
+// generates research questions, and each is appraised by literature
+// volume, novelty and answerability.
+func RunE10(ctx context.Context, s Setup) (E10Result, error) {
+	bob, eng, err := TrainedBob(ctx, s)
+	if err != nil {
+		return E10Result{}, err
+	}
+	// Broaden the agent's view of the entity space first, as a
+	// researcher surveys a field before posing questions.
+	if _, err := bob.SelfLearn(ctx, []string{
+		"submarine cable route analysis geomagnetic latitude",
+		"power grid profile transmission lines",
+		"data center locations geographic spread",
+	}); err != nil {
+		return E10Result{}, err
+	}
+	questions, err := bob.GenerateQuestions(ctx, "")
+	if err != nil {
+		return E10Result{}, err
+	}
+	res := E10Result{Questions: questions, Generated: len(questions)}
+	vanilla := llm.NewSim()
+	var hitSum float64
+	for _, q := range questions {
+		if llm.ParseQuestion(q).Kind != llm.QuestionUnknown {
+			res.WellFormed++
+		}
+		// Literature volume: how many documents the simulated web
+		// returns for the question.
+		results, err := eng.Search(ctx, q, 10)
+		if err != nil {
+			return res, err
+		}
+		hitSum += float64(len(results))
+		// Novelty: no single retrieved document suffices to answer the
+		// question confidently on its own.
+		novel := true
+		for _, r := range results[:min(3, len(results))] {
+			page, err := eng.Fetch(ctx, r.URL)
+			if err != nil {
+				continue // gated source; cannot be a ready-made answer
+			}
+			out, err := vanilla.Complete(ctx, prompt.Prompt{
+				Task: prompt.TaskAnswer, Knowledge: page.Body, Question: q,
+			}.Encode())
+			if err != nil {
+				return res, err
+			}
+			reply, err := prompt.ParseAnswer(out)
+			if err != nil {
+				return res, err
+			}
+			if reply.Verdict != "" && reply.Confidence >= 7 {
+				novel = false
+				break
+			}
+		}
+		if novel {
+			res.Novel++
+		}
+		// Answerability: the agent itself, with self-learning, reaches a
+		// verdict.
+		inv, err := bob.Investigate(ctx, q)
+		if err != nil {
+			return res, err
+		}
+		if inv.Final.Verdict != "" {
+			res.Answerable++
+		}
+	}
+	if res.Generated > 0 {
+		res.MeanLitHits = hitSum / float64(res.Generated)
+	}
+	return res, nil
+}
+
+// --- E11: multimodal capability ---
+
+// mapOnlyQuestion contrasts the two cables whose latitude profiles exist
+// only as route-map images.
+const mapOnlyQuestion = "Which is more vulnerable to solar activity? The Amitie cable or the Firmina cable?"
+
+// E11Row is one model capability's outcome on the map-only question.
+type E11Row struct {
+	Model      string `json:"model"`
+	Verdict    string `json:"verdict"`
+	Confidence int    `json:"confidence"`
+	Rounds     int    `json:"rounds"`
+	Consistent bool   `json:"consistent"`
+}
+
+// RunE11 implements §5's multimodal direction: a question whose deciding
+// evidence ships only as images separates a text-only agent (stuck below
+// the confidence threshold) from a vision-capable one.
+func RunE11(ctx context.Context, s Setup) ([]E11Row, error) {
+	expect := quiz.Conclusion{Expect: []string{"amitie"}, Forbid: []string{"firmina"}}
+	models := []struct {
+		name  string
+		model llm.Model
+	}{
+		{"text-only", llm.NewSim()},
+		{"multimodal", &llm.Sim{MaxBrowsesPerGoal: 3, Multimodal: true}},
+	}
+	var out []E11Row
+	for _, m := range models {
+		bob, _ := NewBob(s)
+		bob.Model = m.model
+		if _, err := bob.Train(ctx); err != nil {
+			return nil, err
+		}
+		inv, err := bob.Investigate(ctx, mapOnlyQuestion)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, E11Row{
+			Model:      m.name,
+			Verdict:    inv.Final.Verdict,
+			Confidence: inv.Final.Confidence,
+			Rounds:     len(inv.Rounds),
+			Consistent: quiz.Consistent(expect, inv.Final.Verdict),
+		})
+	}
+	return out, nil
+}
+
+// --- E12: long-term robustness under world drift ---
+
+// driftQuestion is answered by the Grace Hopper latitude, whose value the
+// drift scenario revises.
+const driftQuestion = "Which is more vulnerable to solar activity? The Grace Hopper cable or the SACS cable?"
+
+// E12Row is one phase of the drift scenario.
+type E12Row struct {
+	Phase      string `json:"phase"`
+	CitedLat   int    `json:"cited_lat"` // latitude the answer cites for Grace Hopper; 0 if none
+	Verdict    string `json:"verdict"`
+	Confidence int    `json:"confidence"`
+	NewItems   int    `json:"new_items"`
+}
+
+var reCitedLat = regexp.MustCompile(`Grace Hopper cable reaches geomagnetic latitude (\d+) degrees`)
+
+func citedLat(answer string) int {
+	if m := reCitedLat.FindStringSubmatch(answer); m != nil {
+		var v int
+		fmt.Sscanf(m[1], "%d", &v)
+		return v
+	}
+	return 0
+}
+
+// RunE12 implements §5's long-term-robustness question as a drift
+// scenario: after the agent settles a conclusion, the web publishes a
+// revised route analysis (two independent fresh sources). Memory alone
+// goes stale; revisiting the question re-retrieves, and the majority
+// conflict resolution adopts the corrected value.
+func RunE12(ctx context.Context, s Setup) ([]E12Row, error) {
+	setup := s
+	setup.AgentConfig.LearnResults = 4
+	bob, eng := NewBob(setup)
+	if _, err := bob.Train(ctx); err != nil {
+		return nil, err
+	}
+	var out []E12Row
+	record := func(phase, text, verdict string, confidence, added int) {
+		out = append(out, E12Row{
+			Phase:      phase,
+			CitedLat:   citedLat(text),
+			Verdict:    verdict,
+			Confidence: confidence,
+			NewItems:   added,
+		})
+	}
+
+	inv, err := bob.Investigate(ctx, driftQuestion)
+	if err != nil {
+		return nil, err
+	}
+	record("initial", inv.Final.Text, inv.Final.Verdict, inv.Final.Confidence, 0)
+
+	// The world drifts: the cable is rerouted further south and the web
+	// publishes the revision — an updated route analysis (replacing the
+	// old page) plus independent news coverage.
+	const newLat = 52
+	revised := facts.CableLatitude{Cable: "Grace Hopper", MaxGeomagLat: newLat}
+	rule := facts.Rule{Kind: facts.RuleLatitude}
+	eng.Publish(corpus.Document{
+		ID:    "route-grace-hopper", // replaces the original analysis
+		URL:   "https://submarinenetworks.com/route-analysis-the-specific-path-of-grace-hopper",
+		Site:  "submarinenetworks.com",
+		Title: "Route analysis: the specific path of Grace Hopper (revised)",
+		Body: textgen.Paragraph(
+			"This revised route analysis reflects the cable's rerouting during repair.",
+			rule.Sentence(),
+			revised.Sentence(),
+		),
+		Source: corpus.SourceBlog, Year: 2026,
+		Topics: []string{"submarine cables", "route analysis", "geomagnetic latitude"},
+	})
+	eng.Publish(corpus.Document{
+		ID:    "news-grace-hopper-reroute",
+		URL:   "https://netnews.example.org/grace-hopper-rerouted",
+		Site:  "netnews.example.org",
+		Title: "Grace Hopper cable rerouted: new geomagnetic latitude profile published",
+		Body: textgen.Paragraph(
+			"Following a repair operation, the operator confirmed a southern rerouting of the system.",
+			revised.Sentence(),
+		),
+		Source: corpus.SourceNews, Year: 2026,
+		Topics: []string{"submarine cables", "route analysis"},
+	})
+
+	// Without revisiting, memory is stale: the answer still cites the
+	// old value.
+	ans, err := bob.Ask(ctx, driftQuestion)
+	if err != nil {
+		return nil, err
+	}
+	record("after drift (stale memory)", ans.Text, ans.Verdict, ans.Confidence, 0)
+
+	// Revisit: re-retrieve, let majority resolution adopt the revision.
+	ans, added, err := bob.Revisit(ctx, driftQuestion)
+	if err != nil {
+		return nil, err
+	}
+	record("after revisit", ans.Text, ans.Verdict, ans.Confidence, added)
+	return out, nil
+}
+
+// PrintE10 renders the question-generation report.
+func PrintE10(w io.Writer, r E10Result) {
+	fmt.Fprintln(w, "E10: research-question generation (quality appraised per §5)")
+	for _, q := range r.Questions {
+		fmt.Fprintf(w, "  - %s\n", q)
+	}
+	fmt.Fprintf(w, "generated %d: well-formed %d, novel %d, answerable %d, mean literature hits %.1f\n\n",
+		r.Generated, r.WellFormed, r.Novel, r.Answerable, r.MeanLitHits)
+}
+
+// PrintE11 renders the multimodal comparison.
+func PrintE11(w io.Writer, rows []E11Row) {
+	fmt.Fprintln(w, "E11: multimodal capability on the map-only question")
+	fmt.Fprintf(w, "%-12s %-26s %-5s %-7s %s\n", "model", "verdict", "conf", "rounds", "consistent")
+	for _, r := range rows {
+		v := r.Verdict
+		if v == "" {
+			v = "(undecided)"
+		}
+		fmt.Fprintf(w, "%-12s %-26s %-5d %-7d %v\n", r.Model, clip(v, 26), r.Confidence, r.Rounds, r.Consistent)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintE12 renders the drift scenario.
+func PrintE12(w io.Writer, rows []E12Row) {
+	fmt.Fprintln(w, "E12: long-term robustness under world drift (Grace Hopper reroute)")
+	fmt.Fprintf(w, "%-28s %-10s %-26s %-5s %s\n", "phase", "cited lat", "verdict", "conf", "new items")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %-10d %-26s %-5d %d\n", r.Phase, r.CitedLat, clip(r.Verdict, 26), r.Confidence, r.NewItems)
+	}
+	fmt.Fprintln(w)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+)
+
+func TestRunE10Shape(t *testing.T) {
+	r, err := RunE10(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Generated == 0 {
+		t.Fatal("no questions generated")
+	}
+	// Every generated question must be parseable by the question
+	// grammar — a malformed question is a generator bug.
+	if r.WellFormed != r.Generated {
+		t.Errorf("well-formed %d of %d: %v", r.WellFormed, r.Generated, r.Questions)
+	}
+	// The majority must be novel (not ready-made in one document) and
+	// answerable after self-learning.
+	if r.Novel*2 < r.Generated {
+		t.Errorf("novel %d of %d", r.Novel, r.Generated)
+	}
+	if r.Answerable*2 < r.Generated {
+		t.Errorf("answerable %d of %d", r.Answerable, r.Generated)
+	}
+	if r.MeanLitHits < 1 {
+		t.Errorf("mean literature hits = %.1f, want >= 1", r.MeanLitHits)
+	}
+	// No doubled noun phrases.
+	for _, q := range r.Questions {
+		if strings.Contains(strings.ToLower(q), "grid grid") {
+			t.Errorf("ill-phrased question: %q", q)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE10(&buf, r)
+	if !strings.Contains(buf.String(), "well-formed") {
+		t.Error("E10 print broken")
+	}
+}
+
+func TestGeneratedQuestionsDeterministic(t *testing.T) {
+	ctx := context.Background()
+	get := func() []string {
+		bob, _, err := TrainedBob(ctx, DefaultSetup())
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := bob.GenerateQuestions(ctx, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qs
+	}
+	a, b := get(), get()
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Errorf("question generation nondeterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestGenerateQuestionsTopicFilter(t *testing.T) {
+	ctx := context.Background()
+	bob, _, err := TrainedBob(ctx, DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.SelfLearn(ctx, []string{"what happened during the 2021 Facebook outage"}); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := bob.GenerateQuestions(ctx, "facebook outage incident")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("topic filter removed everything")
+	}
+	for _, q := range qs {
+		if !strings.Contains(strings.ToLower(q), "facebook") &&
+			!strings.Contains(strings.ToLower(q), "outage") &&
+			!strings.Contains(strings.ToLower(q), "incident") {
+			t.Errorf("off-topic question survived the filter: %q", q)
+		}
+	}
+}
+
+func TestRunE11Shape(t *testing.T) {
+	rows, err := RunE11(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]E11Row{}
+	for _, r := range rows {
+		byName[r.Model] = r
+	}
+	text := byName["text-only"]
+	multi := byName["multimodal"]
+	// The capability gate: text-only stalls below the threshold with no
+	// verdict; the multimodal model reads the route maps and concludes.
+	if text.Verdict != "" || text.Confidence >= 7 {
+		t.Errorf("text-only model should be stuck: %+v", text)
+	}
+	if !multi.Consistent || multi.Confidence < 8 {
+		t.Errorf("multimodal model should conclude correctly: %+v", multi)
+	}
+	var buf bytes.Buffer
+	PrintE11(&buf, rows)
+	if !strings.Contains(buf.String(), "multimodal") {
+		t.Error("E11 print broken")
+	}
+}
+
+func TestRunE12Shape(t *testing.T) {
+	rows, err := RunE12(context.Background(), DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	initial, stale, revisited := rows[0], rows[1], rows[2]
+	if initial.CitedLat == 0 || !strings.Contains(strings.ToLower(initial.Verdict), "grace hopper") {
+		t.Fatalf("initial answer ungrounded: %+v", initial)
+	}
+	// Memory alone goes stale: same cited value after the world drifts.
+	if stale.CitedLat != initial.CitedLat {
+		t.Errorf("stale phase changed without retrieval: %+v vs %+v", stale, initial)
+	}
+	// Revisiting adopts the published revision via majority resolution.
+	if revisited.CitedLat != 52 {
+		t.Errorf("revisit cited %d, want the revised 52", revisited.CitedLat)
+	}
+	if revisited.NewItems == 0 {
+		t.Error("revisit should have retrieved the fresh documents")
+	}
+	if !strings.Contains(strings.ToLower(revisited.Verdict), "grace hopper") {
+		t.Errorf("verdict should remain stable: %+v", revisited)
+	}
+	var buf bytes.Buffer
+	PrintE12(&buf, rows)
+	if !strings.Contains(buf.String(), "revisit") {
+		t.Error("E12 print broken")
+	}
+}
+
+func TestMultimodalModelMatchesTextOnRegularQuiz(t *testing.T) {
+	// Vision must be a strict capability addition: on the text-only quiz
+	// the multimodal model behaves identically.
+	ctx := context.Background()
+	run := func(model llm.Model) int {
+		bob, _ := NewBob(DefaultSetup())
+		bob.Model = model
+		if _, err := bob.Train(ctx); err != nil {
+			t.Fatal(err)
+		}
+		inv, err := bob.Investigate(ctx, "Which is more vulnerable to solar activity? The TAT-14 cable or the SACS cable?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inv.Final.Confidence
+	}
+	if a, b := run(llm.NewSim()), run(&llm.Sim{MaxBrowsesPerGoal: 3, Multimodal: true}); a != b {
+		t.Errorf("multimodal changed a text-only outcome: %d vs %d", a, b)
+	}
+}

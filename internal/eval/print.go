@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrintE1 renders the conclusion-consistency table (§4.2's "7 of 8"
+// result).
+func PrintE1(w io.Writer, r E1Result) {
+	fmt.Fprintln(w, "E1: conclusion consistency — baseline (vanilla LLM) vs trained agent with self-learning")
+	fmt.Fprintf(w, "%-3s %-52s %-10s %-28s %-5s %-7s %s\n",
+		"Q", "conclusion", "baseline", "agent verdict", "conf", "rounds", "consistent")
+	for _, row := range r.Rows {
+		base := "hedged"
+		if row.BaselineConsistent {
+			base = "yes"
+		}
+		fmt.Fprintf(w, "%-3d %-52s %-10s %-28s %-5d %-7d %v\n",
+			row.QID, clip(row.Statement, 52), base, clip(row.AgentVerdict, 28),
+			row.AgentConfidence, row.Rounds, row.AgentConsistent)
+	}
+	fmt.Fprintf(w, "baseline consistent: %d/%d   agent consistent: %d/%d   (paper: vanilla hedged, Bob 7/8)\n\n",
+		r.BaselineScore, r.Total, r.AgentScore, r.Total)
+}
+
+// PrintE2 renders per-question confidence trajectories (§4.2: 3 -> 8/9
+// for cables, 3 -> 6 for data centers).
+func PrintE2(w io.Writer, trs []E2Trajectory) {
+	fmt.Fprintln(w, "E2: confidence per self-learning round (round 0 = after goal training only)")
+	fmt.Fprintf(w, "%-3s %-44s %-16s %-14s %s\n", "Q", "question", "confidence", "new items", "saturated")
+	for _, tr := range trs {
+		fmt.Fprintf(w, "%-3d %-44s %-16s %-14s %v\n",
+			tr.QID, clip(tr.Question, 44), intSeries(tr.Confidences), intSeries(tr.NewItems), tr.Saturated)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintE3 renders the plan-overlap report (§4.3).
+func PrintE3(w io.Writer, r E3Result) {
+	fmt.Fprintln(w, "E3: planning ability — agent shutdown strategy vs human reference plan")
+	fmt.Fprintf(w, "%-26s %-8s %s\n", "reference element", "present", "similarity")
+	for _, e := range r.Report.Elements {
+		fmt.Fprintf(w, "%-26s %-8v %.2f\n", e.Element, e.Present, e.Similarity)
+	}
+	fmt.Fprintf(w, "matched %d/%d elements, mean similarity %.2f (paper: predictive shutdown + redundancy utilization highly consistent)\n\n",
+		r.Report.Matched, r.Report.Total, r.Report.MeanMatch)
+}
+
+// PrintE4 renders the end-to-end pipeline counters (Figure 1 walk).
+func PrintE4(w io.Writer, r E4Result) {
+	fmt.Fprintln(w, "E4: end-to-end pipeline (role -> retrieval -> memory -> testing loop)")
+	for _, g := range r.Train.Goals {
+		fmt.Fprintf(w, "goal %-60s steps=%d searches=%d pages=%d facts=%d completed=%v\n",
+			clip(g.Goal, 60), g.Steps, g.Searches, g.PagesRead, g.FactsSaved, g.Completed)
+	}
+	fmt.Fprintf(w, "memory items: %d   web queries: %d   fetches: %d   denied: %d\n",
+		r.MemoryItems, r.WebStats.Queries, r.WebStats.Fetches, r.WebStats.Denied)
+	fmt.Fprintf(w, "flagship question: rounds=%d final confidence=%d verdict=%q\n",
+		len(r.Investigated.Rounds), r.Investigated.Final.Confidence, r.Investigated.Final.Verdict)
+	fmt.Fprintf(w, "agent saw restricted source paper: %v (must be false)\n\n", r.SawRestricted)
+}
+
+// PrintE5 renders the threshold sweep.
+func PrintE5(w io.Writer, rows []E5Row) {
+	fmt.Fprintln(w, "E5: confidence-threshold sweep (higher threshold -> longer self-learning, better answers)")
+	fmt.Fprintf(w, "%-10s %-12s %-15s %-16s %s\n", "threshold", "mean rounds", "total searches", "mean confidence", "consistent")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %-12.2f %-15d %-16.2f %d/%d\n",
+			r.Threshold, r.MeanRounds, r.TotalSearches, r.MeanConfidence, r.Consistent, r.Total)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintE6 renders the source-availability ablation.
+func PrintE6(w io.Writer, rows []E6Row) {
+	fmt.Fprintln(w, "E6: source availability (degraded search / standard / +social crawler)")
+	fmt.Fprintf(w, "%-18s %-12s %-12s %s\n", "config", "consistent", "mean rounds", "plan elements")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %d/%-10d %-12.2f %d/5\n", r.Config, r.Consistent, r.Total, r.MeanRounds, r.PlanMatch)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintA1 renders the memory-retrieval ablation.
+func PrintA1(w io.Writer, rows []A1Row) {
+	fmt.Fprintln(w, "A1: knowledge-memory retrieval scoring")
+	fmt.Fprintf(w, "%-16s %-12s %s\n", "weights", "consistent", "mean rounds")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %d/%-10d %.2f\n", r.Weights, r.Consistent, r.Total, r.MeanRounds)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintA2 renders the chain-of-thought ablation.
+func PrintA2(w io.Writer, rows []A2Row) {
+	fmt.Fprintln(w, "A2: chain-of-thought query decomposition during training")
+	fmt.Fprintf(w, "%-6s %-10s %-12s %-12s %s\n", "cot", "searches", "pages read", "facts saved", "memory items")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6v %-10d %-12d %-12d %d\n", r.CoT, r.Searches, r.PagesRead, r.FactsSaved, r.MemoryItems)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintA3 renders the search-ranking ablation.
+func PrintA3(w io.Writer, rows []A3Row) {
+	fmt.Fprintln(w, "A3: search ranking quality on the judged query set")
+	fmt.Fprintf(w, "%-8s %-8s %s\n", "ranking", "MRR", "P@1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-8.3f %.3f\n", r.Ranking, r.MRR, r.P1)
+	}
+	fmt.Fprintln(w)
+}
+
+func clip(s string, n int) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func intSeries(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, " -> ")
+}

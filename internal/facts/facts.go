@@ -1,0 +1,386 @@
+// Package facts defines the canonical fact vocabulary shared by the
+// corpus generator and the simulated language model.
+//
+// A Fact is a structured domain statement with a canonical natural-
+// language rendering (Sentence). The corpus generator embeds rendered
+// facts inside ordinary prose paragraphs; the simulated LM's reader
+// (Extract) recovers structured facts from whatever text ends up in the
+// agent's knowledge memory. Extract(Sentence(f)) round-trips for every
+// fact type, which a property test pins down.
+//
+// This split is what makes the reproduction honest: the agent can only
+// reason over facts that actually travelled from the world model through
+// a web document, a search result, and the agent's memory into a prompt.
+package facts
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/textgen"
+)
+
+// Fact is a structured domain statement.
+type Fact interface {
+	// Sentence renders the canonical natural-language form.
+	Sentence() string
+	// Key identifies the fact for deduplication; two facts with the same
+	// key carry the same information.
+	Key() string
+}
+
+// CableRoute records a cable's endpoints at city, country and region
+// granularity.
+type CableRoute struct {
+	Cable       string
+	FromCity    string
+	FromCountry string
+	ToCity      string
+	ToCountry   string
+	FromRegion  string
+	ToRegion    string
+}
+
+// Sentence implements Fact.
+func (f CableRoute) Sentence() string {
+	return fmt.Sprintf("The %s submarine cable connects %s in %s to %s in %s, linking %s with %s.",
+		f.Cable, f.FromCity, f.FromCountry, f.ToCity, f.ToCountry, f.FromRegion, f.ToRegion)
+}
+
+// Key implements Fact.
+func (f CableRoute) Key() string { return "route:" + f.Cable }
+
+// CableLatitude records the poleward extreme of a cable route — the
+// quantity that determines storm exposure.
+type CableLatitude struct {
+	Cable        string
+	MaxGeomagLat int // degrees, rounded
+}
+
+// Sentence implements Fact.
+func (f CableLatitude) Sentence() string {
+	return fmt.Sprintf("The route of the %s cable reaches a maximum geomagnetic latitude of about %d degrees.",
+		f.Cable, f.MaxGeomagLat)
+}
+
+// Key implements Fact.
+func (f CableLatitude) Key() string { return "cablelat:" + f.Cable }
+
+// CableSpec records a cable's length and repeater count.
+type CableSpec struct {
+	Cable     string
+	LengthKm  int // rounded to nearest 100
+	Repeaters int
+}
+
+// Sentence implements Fact.
+func (f CableSpec) Sentence() string {
+	return fmt.Sprintf("The %s cable spans about %d kilometers and carries %d powered repeaters.",
+		f.Cable, f.LengthKm, f.Repeaters)
+}
+
+// Key implements Fact.
+func (f CableSpec) Key() string { return "cablespec:" + f.Cable }
+
+// OperatorFootprint records an operator's data-center dispersion.
+type OperatorFootprint struct {
+	Operator       string
+	Facilities     int
+	RegionCount    int
+	Regions        []string
+	ShareLowLatPct int // percent of fleet below 40 deg geomagnetic latitude
+}
+
+// Sentence implements Fact.
+func (f OperatorFootprint) Sentence() string {
+	return fmt.Sprintf("%s operates %d data centers across %d regions including %s, with %d percent of its facilities at low geomagnetic latitudes.",
+		f.Operator, f.Facilities, f.RegionCount, textgen.JoinAnd(f.Regions), f.ShareLowLatPct)
+}
+
+// Key implements Fact.
+func (f OperatorFootprint) Key() string { return "footprint:" + f.Operator }
+
+// GridProfile records a power grid's storm-relevant parameters.
+type GridProfile struct {
+	Grid      string
+	GeomagLat int
+	LineKm    int
+	Hardened  bool
+}
+
+// Sentence implements Fact.
+func (f GridProfile) Sentence() string {
+	s := fmt.Sprintf("The %s power grid sits at geomagnetic latitude %d degrees with transmission lines averaging %d kilometers",
+		f.Grid, f.GeomagLat, f.LineKm)
+	if f.Hardened {
+		return s + ", and it has been hardened against geomagnetically induced currents."
+	}
+	return s + ", and it has no dedicated protection against geomagnetically induced currents."
+}
+
+// Key implements Fact.
+func (f GridProfile) Key() string { return "grid:" + f.Grid }
+
+// RuleKind enumerates the causal/domain rules the reasoner can apply.
+type RuleKind string
+
+// Known rules. Each is a monotone relation the comparative reasoner uses.
+const (
+	RuleLatitude    RuleKind = "latitude"    // higher geomagnetic latitude -> more storm exposure
+	RuleAuroral     RuleKind = "auroral"     // extreme storms widen the exposed band equatorward
+	RuleRepeater    RuleKind = "repeater"    // more powered repeaters -> more failure points
+	RuleTerrestrial RuleKind = "terrestrial" // terrestrial fiber largely immune to GIC
+	RuleSpread      RuleKind = "spread"      // more regional spread / low-latitude share -> more resilient
+	RuleLength      RuleKind = "length"      // longer conductors accumulate more induced voltage
+	RuleGrid        RuleKind = "grid"        // high-latitude long-line grids fail first
+)
+
+// Rule is a causal domain rule the agent must have read to reason with.
+type Rule struct {
+	Kind RuleKind
+}
+
+var ruleSentences = map[RuleKind]string{
+	RuleLatitude:    "Geomagnetic storm effects are far stronger at higher geomagnetic latitudes.",
+	RuleAuroral:     "During extreme storms the auroral oval expands toward the equator, widening the exposed band.",
+	RuleRepeater:    "Submarine cables are powered end to end, so every repeater adds a potential failure point during geomagnetic storms.",
+	RuleTerrestrial: "Terrestrial fiber links use short unpowered spans and are largely immune to geomagnetically induced currents.",
+	RuleSpread:      "An operator whose data centers are spread across more regions and lower latitudes is more resilient to regional failures.",
+	RuleLength:      "Longer cables accumulate more induced voltage and face greater risk during geomagnetic storms.",
+	RuleGrid:        "High latitude power grids with long transmission lines fail first in geomagnetic storms.",
+}
+
+// Sentence implements Fact.
+func (f Rule) Sentence() string { return ruleSentences[f.Kind] }
+
+// Key implements Fact.
+func (f Rule) Key() string { return "rule:" + string(f.Kind) }
+
+// AllRules returns one Rule fact per known kind, in stable order.
+func AllRules() []Rule {
+	return []Rule{
+		{RuleLatitude}, {RuleAuroral}, {RuleRepeater}, {RuleTerrestrial},
+		{RuleSpread}, {RuleLength}, {RuleGrid},
+	}
+}
+
+// StormEvent records a historical storm and its headline consequence.
+type StormEvent struct {
+	Name   string
+	Year   int
+	Effect string
+}
+
+// Sentence implements Fact. Effect is a noun phrase ("a nine hour
+// blackout across Quebec").
+func (f StormEvent) Sentence() string {
+	return fmt.Sprintf("In %d the %s caused %s.", f.Year, f.Name, f.Effect)
+}
+
+// Key implements Fact.
+func (f StormEvent) Key() string { return "storm:" + f.Name }
+
+// IncidentCause records why a historical incident happened.
+type IncidentCause struct {
+	Incident string
+	Cause    string
+}
+
+// Sentence implements Fact.
+func (f IncidentCause) Sentence() string {
+	return fmt.Sprintf("The %s happened because %s.", f.Incident, f.Cause)
+}
+
+// Key implements Fact.
+func (f IncidentCause) Key() string { return "cause:" + f.Incident }
+
+// IncidentMechanism records the technical failure chain of an incident.
+type IncidentMechanism struct {
+	Incident  string
+	Mechanism string
+}
+
+// Sentence implements Fact.
+func (f IncidentMechanism) Sentence() string {
+	return fmt.Sprintf("The failure chain of the %s was as follows: %s.", f.Incident, f.Mechanism)
+}
+
+// Key implements Fact.
+func (f IncidentMechanism) Key() string { return "mechanism:" + f.Incident }
+
+// IncidentImpact records one observed consequence of an incident.
+type IncidentImpact struct {
+	Incident string
+	Impact   string
+}
+
+// Sentence implements Fact.
+func (f IncidentImpact) Sentence() string {
+	return fmt.Sprintf("The %s resulted in %s.", f.Incident, f.Impact)
+}
+
+// Key implements Fact.
+func (f IncidentImpact) Key() string { return "impact:" + f.Incident + ":" + f.Impact }
+
+// Mitigation records a named response strategy for storm/outage planning.
+type Mitigation struct {
+	Strategy    string // short name, e.g. "predictive shutdown"
+	Description string
+}
+
+// Sentence implements Fact.
+func (f Mitigation) Sentence() string {
+	return fmt.Sprintf("A recommended mitigation strategy is %s, meaning that %s.", f.Strategy, f.Description)
+}
+
+// Key implements Fact.
+func (f Mitigation) Key() string { return "mitigation:" + f.Strategy }
+
+// CanonicalMitigations returns the five response-plan elements of the
+// human-researcher reference plan (the paper's §4.3 snippet): predictive
+// shutdown, redundancy utilization, phased shutdown, data preservation and
+// gradual reboot. The corpus scatters these across operations documents
+// and the plan evaluator scores agent plans against them.
+func CanonicalMitigations() []Mitigation {
+	return []Mitigation{
+		{Strategy: "predictive shutdown", Description: "upon receiving information about a coronal mass ejection, operators first power down the most vulnerable systems, particularly those at higher latitudes and those that are unshielded or lack redundancy"},
+		{Strategy: "redundancy utilization", Description: "traffic and operations are redirected to redundant systems located in safer low latitude zones, scaling them up in anticipation of the additional load"},
+		{Strategy: "phased shutdown", Description: "systems are taken offline in a planned sequence that depends on their vulnerability and the services they support"},
+		{Strategy: "data preservation", Description: "critical data is backed up before the shutdown in case of unexpected damage during the event"},
+		{Strategy: "gradual reboot", Description: "after the impact, systems are returned to service in stages while checking for damage rather than switching everything on at once"},
+	}
+}
+
+// --- extraction ---
+
+// Extraction regexes are anchored to whole sentences: Extract splits the
+// text into sentences first, so lazy groups cannot leak across sentence
+// boundaries into surrounding prose.
+var (
+	reRoute      = regexp.MustCompile(`^The (.+?) submarine cable connects (.+?) in (.+?) to (.+?) in (.+?), linking (.+?) with (.+)\.$`)
+	reCableLat   = regexp.MustCompile(`^The route of the (.+) cable reaches a maximum geomagnetic latitude of about (-?\d+) degrees\.$`)
+	reCableSpec  = regexp.MustCompile(`^The (.+) cable spans about (\d+) kilometers and carries (\d+) powered repeaters\.$`)
+	reFootprint  = regexp.MustCompile(`^(.+?) operates (\d+) data centers across (\d+) regions including (.+), with (\d+) percent of its facilities at low geomagnetic latitudes\.$`)
+	reGrid       = regexp.MustCompile(`^The (.+) power grid sits at geomagnetic latitude (-?\d+) degrees with transmission lines averaging (\d+) kilometers, and it has (been hardened against|no dedicated protection against) geomagnetically induced currents\.$`)
+	reStorm      = regexp.MustCompile(`^In (\d{4}) the (.+?) caused (.+)\.$`)
+	reCause      = regexp.MustCompile(`^The (.+?) happened because (.+)\.$`)
+	reMechanism  = regexp.MustCompile(`^The failure chain of the (.+?) was as follows: (.+)\.$`)
+	reImpact     = regexp.MustCompile(`^The (.+?) resulted in (.+)\.$`)
+	reMitigation = regexp.MustCompile(`^A recommended mitigation strategy is (.+?), meaning that (.+)\.$`)
+)
+
+// SplitSentences splits text at terminal punctuation followed by a space
+// or end of input. Terminal punctuation is kept with its sentence. The
+// canonical fact vocabulary avoids embedded abbreviations, so this simple
+// rule is exact for generated text.
+func SplitSentences(text string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '.', '!', '?':
+			if i+1 == len(text) || text[i+1] == ' ' || text[i+1] == '\n' {
+				s := strings.TrimSpace(text[start : i+1])
+				if s != "" {
+					out = append(out, s)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if s := strings.TrimSpace(text[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Extract recovers every canonical fact present in text. Sentences that
+// match no pattern are ignored: prose is allowed to surround facts.
+func Extract(text string) []Fact {
+	var out []Fact
+	for _, sent := range SplitSentences(text) {
+		if f, ok := extractSentence(sent); ok {
+			out = append(out, f)
+		}
+	}
+	for _, r := range AllRules() { // stable order
+		if strings.Contains(text, ruleSentences[r.Kind]) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// extractSentence tries each anchored pattern against one sentence.
+// Patterns are ordered most-specific first so that, e.g., the mechanism
+// sentence is not swallowed by the generic impact pattern.
+func extractSentence(s string) (Fact, bool) {
+	if m := reRoute.FindStringSubmatch(s); m != nil {
+		return CableRoute{Cable: m[1], FromCity: m[2], FromCountry: m[3],
+			ToCity: m[4], ToCountry: m[5], FromRegion: m[6], ToRegion: m[7]}, true
+	}
+	if m := reCableLat.FindStringSubmatch(s); m != nil {
+		return CableLatitude{Cable: m[1], MaxGeomagLat: atoi(m[2])}, true
+	}
+	if m := reCableSpec.FindStringSubmatch(s); m != nil {
+		return CableSpec{Cable: m[1], LengthKm: atoi(m[2]), Repeaters: atoi(m[3])}, true
+	}
+	if m := reFootprint.FindStringSubmatch(s); m != nil {
+		return OperatorFootprint{Operator: m[1], Facilities: atoi(m[2]), RegionCount: atoi(m[3]),
+			Regions: splitJoined(m[4]), ShareLowLatPct: atoi(m[5])}, true
+	}
+	if m := reGrid.FindStringSubmatch(s); m != nil {
+		return GridProfile{Grid: m[1], GeomagLat: atoi(m[2]), LineKm: atoi(m[3]),
+			Hardened: m[4] == "been hardened against"}, true
+	}
+	if m := reStorm.FindStringSubmatch(s); m != nil {
+		return StormEvent{Year: atoi(m[1]), Name: m[2], Effect: m[3]}, true
+	}
+	if m := reMechanism.FindStringSubmatch(s); m != nil {
+		return IncidentMechanism{Incident: m[1], Mechanism: m[2]}, true
+	}
+	if m := reCause.FindStringSubmatch(s); m != nil {
+		return IncidentCause{Incident: m[1], Cause: m[2]}, true
+	}
+	if m := reImpact.FindStringSubmatch(s); m != nil {
+		return IncidentImpact{Incident: m[1], Impact: m[2]}, true
+	}
+	if m := reMitigation.FindStringSubmatch(s); m != nil {
+		return Mitigation{Strategy: m[1], Description: m[2]}, true
+	}
+	return nil, false
+}
+
+// Dedup removes facts with duplicate keys, keeping first occurrences.
+func Dedup(fs []Fact) []Fact {
+	seen := map[string]bool{}
+	out := fs[:0]
+	for _, f := range fs {
+		if !seen[f.Key()] {
+			seen[f.Key()] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func atoi(s string) int {
+	v, _ := strconv.Atoi(s)
+	return v
+}
+
+// splitJoined reverses textgen.JoinAnd for region lists.
+func splitJoined(s string) []string {
+	s = strings.ReplaceAll(s, ", and ", ", ")
+	s = strings.ReplaceAll(s, " and ", ", ")
+	parts := strings.Split(s, ", ")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package facts
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleFacts() []Fact {
+	return []Fact{
+		CableRoute{Cable: "EllaLink", FromCity: "Fortaleza", FromCountry: "Brazil",
+			ToCity: "Sines", ToCountry: "Portugal", FromRegion: "Brazil", ToRegion: "Europe"},
+		CableLatitude{Cable: "Grace Hopper", MaxGeomagLat: 58},
+		CableSpec{Cable: "MAREA", LengthKm: 6600, Repeaters: 94},
+		OperatorFootprint{Operator: "Google", Facilities: 18, RegionCount: 7,
+			Regions: []string{"North America", "Europe", "Asia", "South America"}, ShareLowLatPct: 44},
+		GridProfile{Grid: "Hydro-Quebec", GeomagLat: 62, LineKm: 600, Hardened: true},
+		GridProfile{Grid: "Singapore Grid", GeomagLat: 9, LineKm: 40, Hardened: false},
+		Rule{RuleLatitude},
+		Rule{RuleSpread},
+		StormEvent{Name: "Quebec Blackout Storm", Year: 1989, Effect: "a nine hour blackout for six million people"},
+		IncidentCause{Incident: "2021 Facebook outage", Cause: "a maintenance command disconnected the backbone and the audit tool failed to block it"},
+		IncidentMechanism{Incident: "2021 Facebook outage", Mechanism: "DNS servers withdrew their BGP anycast announcements, so resolvers could not reach facebook dot com"},
+		IncidentImpact{Incident: "2021 Facebook outage", Impact: "seven hours of global unreachability"},
+		Mitigation{Strategy: "predictive shutdown", Description: "operators power down the most vulnerable high latitude systems when a coronal mass ejection warning arrives"},
+	}
+}
+
+func TestRoundTripEachFact(t *testing.T) {
+	for _, f := range sampleFacts() {
+		t.Run(f.Key(), func(t *testing.T) {
+			got := Extract(f.Sentence())
+			if len(got) != 1 {
+				t.Fatalf("Extract(%q) returned %d facts: %v", f.Sentence(), len(got), got)
+			}
+			if !reflect.DeepEqual(got[0], f) {
+				t.Errorf("round trip mismatch:\n  in:  %#v\n  out: %#v", f, got[0])
+			}
+		})
+	}
+}
+
+func TestExtractFromProse(t *testing.T) {
+	// Facts embedded in surrounding prose must still be recovered.
+	text := "Submarine cables are the undersea lifelines of connectivity. " +
+		sampleFacts()[0].Sentence() +
+		" Industry observers expect traffic to keep growing. " +
+		Rule{RuleLatitude}.Sentence() +
+		" Nothing else in this paragraph is a canonical fact."
+	got := Extract(text)
+	if len(got) != 2 {
+		t.Fatalf("Extract found %d facts, want 2: %v", len(got), got)
+	}
+	if got[0].Key() != "route:EllaLink" {
+		t.Errorf("first fact = %s", got[0].Key())
+	}
+	if got[1].Key() != "rule:latitude" {
+		t.Errorf("second fact = %s", got[1].Key())
+	}
+}
+
+func TestExtractMultipleSameType(t *testing.T) {
+	text := CableLatitude{Cable: "A", MaxGeomagLat: 10}.Sentence() + " " +
+		CableLatitude{Cable: "B", MaxGeomagLat: 60}.Sentence()
+	got := Extract(text)
+	if len(got) != 2 {
+		t.Fatalf("want 2 facts, got %v", got)
+	}
+}
+
+func TestExtractIgnoresPlainProse(t *testing.T) {
+	if got := Extract("The weather is nice today. Cables are interesting."); len(got) != 0 {
+		t.Errorf("plain prose yielded facts: %v", got)
+	}
+	if got := Extract(""); len(got) != 0 {
+		t.Errorf("empty text yielded facts: %v", got)
+	}
+}
+
+func TestAllRulesRoundTrip(t *testing.T) {
+	rules := AllRules()
+	if len(rules) != 7 {
+		t.Fatalf("expected 7 rules, got %d", len(rules))
+	}
+	var sb strings.Builder
+	for _, r := range rules {
+		if r.Sentence() == "" {
+			t.Fatalf("rule %s has no sentence", r.Kind)
+		}
+		sb.WriteString(r.Sentence())
+		sb.WriteString(" ")
+	}
+	got := Extract(sb.String())
+	if len(got) != len(rules) {
+		t.Fatalf("extracted %d rules, want %d", len(got), len(rules))
+	}
+	for i, r := range rules {
+		if got[i].Key() != r.Key() {
+			t.Errorf("rule order changed: got %s want %s", got[i].Key(), r.Key())
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	a := CableLatitude{Cable: "X", MaxGeomagLat: 50}
+	b := CableLatitude{Cable: "X", MaxGeomagLat: 50}
+	c := CableLatitude{Cable: "Y", MaxGeomagLat: 20}
+	out := Dedup([]Fact{a, b, c, a})
+	if len(out) != 2 {
+		t.Fatalf("Dedup kept %d facts, want 2", len(out))
+	}
+	if out[0].Key() != "cablelat:X" || out[1].Key() != "cablelat:Y" {
+		t.Errorf("Dedup order wrong: %v", out)
+	}
+}
+
+func TestGridHardenedDistinguished(t *testing.T) {
+	hard := GridProfile{Grid: "G", GeomagLat: 60, LineKm: 500, Hardened: true}
+	soft := GridProfile{Grid: "G", GeomagLat: 60, LineKm: 500, Hardened: false}
+	if hard.Sentence() == soft.Sentence() {
+		t.Error("hardened and unhardened sentences must differ")
+	}
+	gotHard := Extract(hard.Sentence())
+	gotSoft := Extract(soft.Sentence())
+	if len(gotHard) != 1 || len(gotSoft) != 1 {
+		t.Fatal("extraction failed")
+	}
+	if !gotHard[0].(GridProfile).Hardened || gotSoft[0].(GridProfile).Hardened {
+		t.Error("hardened flag lost in round trip")
+	}
+}
+
+func TestFootprintRegionListRoundTrip(t *testing.T) {
+	for _, regions := range [][]string{
+		{"Asia"},
+		{"Asia", "Europe"},
+		{"Asia", "Europe", "South America"},
+	} {
+		f := OperatorFootprint{Operator: "Op", Facilities: 5, RegionCount: len(regions),
+			Regions: regions, ShareLowLatPct: 40}
+		got := Extract(f.Sentence())
+		if len(got) != 1 {
+			t.Fatalf("regions %v: extraction failed on %q", regions, f.Sentence())
+		}
+		if !reflect.DeepEqual(got[0].(OperatorFootprint).Regions, regions) {
+			t.Errorf("regions %v round-tripped as %v", regions, got[0].(OperatorFootprint).Regions)
+		}
+	}
+}
+
+func TestKeysDistinguishEntities(t *testing.T) {
+	if (CableLatitude{Cable: "A"}).Key() == (CableLatitude{Cable: "B"}).Key() {
+		t.Error("different cables share a key")
+	}
+	if (Rule{RuleLatitude}).Key() == (Rule{RuleSpread}).Key() {
+		t.Error("different rules share a key")
+	}
+}

@@ -1,0 +1,70 @@
+package facts
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzExtract exercises the fact extractor with arbitrary text: it must
+// never panic, and anything it extracts must re-extract identically from
+// its own canonical rendering (extraction is idempotent).
+func FuzzExtract(f *testing.F) {
+	for _, fact := range []Fact{
+		CableRoute{Cable: "EllaLink", FromCity: "Fortaleza", FromCountry: "Brazil",
+			ToCity: "Sines", ToCountry: "Portugal", FromRegion: "Brazil", ToRegion: "Europe"},
+		CableLatitude{Cable: "Grace Hopper", MaxGeomagLat: 58},
+		OperatorFootprint{Operator: "Google", Facilities: 18, RegionCount: 7,
+			Regions: []string{"Asia", "Europe"}, ShareLowLatPct: 44},
+		GridProfile{Grid: "Nordic Grid", GeomagLat: 65, LineKm: 400, Hardened: true},
+		Rule{RuleLatitude},
+		Mitigation{Strategy: "predictive shutdown", Description: "power down early"},
+	} {
+		f.Add(fact.Sentence())
+	}
+	f.Add("The weather is nice. Nothing here.")
+	f.Add("The X cable spans about NaN kilometers and carries -1 powered repeaters.")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		extracted := Extract(text)
+		for _, fact := range extracted {
+			again := Extract(fact.Sentence())
+			found := false
+			for _, g := range again {
+				if g.Key() == fact.Key() {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("fact %q does not re-extract from its own sentence %q", fact.Key(), fact.Sentence())
+			}
+		}
+	})
+}
+
+// FuzzSplitSentences: splitting must preserve all non-space content.
+func FuzzSplitSentences(f *testing.F) {
+	f.Add("One. Two! Three? Four")
+	f.Add("")
+	f.Add("No terminal punctuation at all")
+	f.Add("Trailing spaces.   ")
+	count := func(s string) int {
+		n := 0
+		for _, r := range s {
+			if !unicode.IsSpace(r) {
+				n++
+			}
+		}
+		return n
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		parts := SplitSentences(text)
+		joined := 0
+		for _, p := range parts {
+			joined += count(p)
+		}
+		if orig := count(text); joined != orig {
+			t.Errorf("SplitSentences lost content: %d vs %d runes in %q -> %q", joined, orig, text, parts)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+// Package geo provides geographic and geomagnetic primitives used by the
+// world model: latitude/longitude points, great-circle distance and
+// interpolation, and a dipole approximation of geomagnetic latitude.
+//
+// Geomagnetic latitude is the quantity that matters for solar-storm
+// vulnerability: ground-induced currents (GIC) during a geomagnetic storm
+// grow strongly with geomagnetic — not geographic — latitude. The dipole
+// model used here places the 2020-era geomagnetic north pole at roughly
+// (80.65N, 72.68W), which is accurate to a few degrees for the mid
+// latitudes the reproduction cares about.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius in kilometres.
+const EarthRadiusKm = 6371.0
+
+// Point is a geographic coordinate in decimal degrees.
+// Latitude is positive north, longitude positive east.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(lat, lon float64) Point { return Point{Lat: lat, Lon: lon} }
+
+// Valid reports whether the point lies in the legal coordinate ranges.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// String renders the point as "12.34N 56.78W"-style text, which the corpus
+// generator embeds in documents.
+func (p Point) String() string {
+	ns, ew := "N", "E"
+	lat, lon := p.Lat, p.Lon
+	if lat < 0 {
+		ns, lat = "S", -lat
+	}
+	if lon < 0 {
+		ew, lon = "W", -lon
+	}
+	return fmt.Sprintf("%.2f%s %.2f%s", lat, ns, lon, ew)
+}
+
+func deg2rad(d float64) float64 { return d * math.Pi / 180 }
+func rad2deg(r float64) float64 { return r * 180 / math.Pi }
+
+// DistanceKm returns the great-circle distance between a and b in
+// kilometres, using the haversine formula.
+func DistanceKm(a, b Point) float64 {
+	la1, lo1 := deg2rad(a.Lat), deg2rad(a.Lon)
+	la2, lo2 := deg2rad(b.Lat), deg2rad(b.Lon)
+	dla := la2 - la1
+	dlo := lo2 - lo1
+	h := math.Sin(dla/2)*math.Sin(dla/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	h = math.Min(1, h)
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// Intermediate returns the point a fraction f (0..1) of the way along the
+// great circle from a to b. f outside [0,1] is clamped.
+func Intermediate(a, b Point, f float64) Point {
+	if f <= 0 {
+		return a
+	}
+	if f >= 1 {
+		return b
+	}
+	la1, lo1 := deg2rad(a.Lat), deg2rad(a.Lon)
+	la2, lo2 := deg2rad(b.Lat), deg2rad(b.Lon)
+	d := DistanceKm(a, b) / EarthRadiusKm
+	if d == 0 {
+		return a
+	}
+	sinD := math.Sin(d)
+	A := math.Sin((1-f)*d) / sinD
+	B := math.Sin(f*d) / sinD
+	x := A*math.Cos(la1)*math.Cos(lo1) + B*math.Cos(la2)*math.Cos(lo2)
+	y := A*math.Cos(la1)*math.Sin(lo1) + B*math.Cos(la2)*math.Sin(lo2)
+	z := A*math.Sin(la1) + B*math.Sin(la2)
+	lat := math.Atan2(z, math.Sqrt(x*x+y*y))
+	lon := math.Atan2(y, x)
+	return Point{Lat: rad2deg(lat), Lon: rad2deg(lon)}
+}
+
+// Path samples n points (n >= 2) along the great circle from a to b,
+// inclusive of both endpoints.
+func Path(a, b Point, n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = Intermediate(a, b, float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// geomagnetic dipole north pole, epoch ~2020 (IGRF-13 approximation).
+var dipoleNorth = Point{Lat: 80.65, Lon: -72.68}
+
+// GeomagneticLat returns the geomagnetic latitude of p in degrees under a
+// centred-dipole approximation: 90° minus the angular distance from the
+// geomagnetic north pole.
+func GeomagneticLat(p Point) float64 {
+	ang := DistanceKm(dipoleNorth, p) / EarthRadiusKm
+	return 90 - rad2deg(ang)
+}
+
+// MaxAbsGeomagneticLat returns the maximum absolute geomagnetic latitude
+// reached along the great circle from a to b, sampled at the given number
+// of points (minimum 2). This is the key exposure metric for long
+// submarine cables: a cable is only as safe as its most poleward segment.
+func MaxAbsGeomagneticLat(a, b Point, samples int) float64 {
+	max := 0.0
+	for _, p := range Path(a, b, samples) {
+		if v := math.Abs(GeomagneticLat(p)); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MeanAbsGeomagneticLat returns the mean absolute geomagnetic latitude
+// along the great circle from a to b.
+func MeanAbsGeomagneticLat(a, b Point, samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	sum := 0.0
+	for _, p := range Path(a, b, samples) {
+		sum += math.Abs(GeomagneticLat(p))
+	}
+	return sum / float64(samples)
+}

@@ -1,0 +1,221 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointValid(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"origin", Pt(0, 0), true},
+		{"north pole", Pt(90, 0), true},
+		{"south pole", Pt(-90, 180), true},
+		{"lat too big", Pt(90.1, 0), false},
+		{"lon too small", Pt(0, -180.5), false},
+		{"nan lat", Pt(math.NaN(), 0), false},
+		{"nan lon", Pt(0, math.NaN()), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Valid(); got != tt.want {
+				t.Errorf("Valid(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointString(t *testing.T) {
+	tests := []struct {
+		p    Point
+		want string
+	}{
+		{Pt(40.71, -74.01), "40.71N 74.01W"},
+		{Pt(-23.55, -46.63), "23.55S 46.63W"},
+		{Pt(51.51, 0.13), "51.51N 0.13E"},
+		{Pt(0, 0), "0.00N 0.00E"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestDistanceKmKnownPairs(t *testing.T) {
+	// Known city pairs with approximate great-circle distances.
+	nyc := Pt(40.7128, -74.0060)
+	london := Pt(51.5074, -0.1278)
+	fortaleza := Pt(-3.7319, -38.5267)
+	lisbon := Pt(38.7223, -9.1393)
+
+	tests := []struct {
+		name    string
+		a, b    Point
+		wantKm  float64
+		tolerKm float64
+	}{
+		{"nyc-london", nyc, london, 5570, 60},
+		{"fortaleza-lisbon", fortaleza, lisbon, 5620, 120},
+		{"same point", nyc, nyc, 0, 0.001},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := DistanceKm(tt.a, tt.b)
+			if math.Abs(got-tt.wantKm) > tt.tolerKm {
+				t.Errorf("DistanceKm = %.1f, want %.1f ± %.1f", got, tt.wantKm, tt.tolerKm)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Pt(clampLat(lat1), clampLon(lon1))
+		b := Pt(clampLat(lat2), clampLon(lon2))
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3 float64) bool {
+		a := Pt(clampLat(a1), clampLon(o1))
+		b := Pt(clampLat(a2), clampLon(o2))
+		c := Pt(clampLat(a3), clampLon(o3))
+		return DistanceKm(a, c) <= DistanceKm(a, b)+DistanceKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampLat(v float64) float64 { return math.Mod(math.Abs(v), 180) - 90 }
+func clampLon(v float64) float64 { return math.Mod(math.Abs(v), 360) - 180 }
+
+func TestIntermediateEndpoints(t *testing.T) {
+	a, b := Pt(40, -74), Pt(51, 0)
+	if got := Intermediate(a, b, 0); got != a {
+		t.Errorf("f=0: got %v, want %v", got, a)
+	}
+	if got := Intermediate(a, b, 1); got != b {
+		t.Errorf("f=1: got %v, want %v", got, b)
+	}
+	if got := Intermediate(a, b, -0.5); got != a {
+		t.Errorf("f<0 should clamp to a, got %v", got)
+	}
+	if got := Intermediate(a, b, 2); got != b {
+		t.Errorf("f>1 should clamp to b, got %v", got)
+	}
+}
+
+func TestIntermediateMidpointOnPath(t *testing.T) {
+	a, b := Pt(40.7128, -74.0060), Pt(51.5074, -0.1278)
+	mid := Intermediate(a, b, 0.5)
+	da := DistanceKm(a, mid)
+	db := DistanceKm(mid, b)
+	if math.Abs(da-db) > 1.0 {
+		t.Errorf("midpoint not equidistant: %.2f vs %.2f", da, db)
+	}
+	total := DistanceKm(a, b)
+	if math.Abs(da+db-total) > 1.0 {
+		t.Errorf("midpoint off great circle: %.2f + %.2f != %.2f", da, db, total)
+	}
+	// The NYC-London great circle arcs well north of both endpoints.
+	if mid.Lat <= 51.5 {
+		t.Errorf("NYC-London midpoint should be north of London, got lat %.2f", mid.Lat)
+	}
+}
+
+func TestIntermediateSamePoint(t *testing.T) {
+	p := Pt(10, 10)
+	if got := Intermediate(p, p, 0.5); got != p {
+		t.Errorf("Intermediate(p,p,0.5) = %v, want %v", got, p)
+	}
+}
+
+func TestPathProperties(t *testing.T) {
+	a, b := Pt(-3.73, -38.52), Pt(38.72, -9.14)
+	path := Path(a, b, 11)
+	if len(path) != 11 {
+		t.Fatalf("len(path) = %d, want 11", len(path))
+	}
+	if path[0] != a || path[10] != b {
+		t.Errorf("path endpoints wrong: %v .. %v", path[0], path[10])
+	}
+	// Monotone distance from a.
+	prev := -1.0
+	for i, p := range path {
+		d := DistanceKm(a, p)
+		if d < prev-1e-6 {
+			t.Errorf("path[%d]: distance from origin decreased: %.3f < %.3f", i, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestPathMinimumTwo(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 10)
+	if got := Path(a, b, 0); len(got) != 2 {
+		t.Errorf("Path with n=0 should yield 2 points, got %d", len(got))
+	}
+}
+
+func TestGeomagneticLat(t *testing.T) {
+	// The geomagnetic pole itself should be at geomagnetic latitude ~90.
+	if got := GeomagneticLat(Pt(80.65, -72.68)); math.Abs(got-90) > 0.01 {
+		t.Errorf("pole geomagnetic lat = %.3f, want ~90", got)
+	}
+	// Well-known property: North America sits at *higher* geomagnetic
+	// latitude than the same geographic latitude in Europe, because the
+	// dipole pole is tilted toward the Americas.
+	minneapolis := GeomagneticLat(Pt(44.98, -93.27)) // geographic 45.0N
+	bordeaux := GeomagneticLat(Pt(44.84, -0.58))     // geographic 44.8N
+	if minneapolis <= bordeaux {
+		t.Errorf("expected Minneapolis geomagnetic lat (%.1f) > Bordeaux (%.1f)", minneapolis, bordeaux)
+	}
+	// Equatorial South America is at low geomagnetic latitude.
+	fortaleza := GeomagneticLat(Pt(-3.73, -38.52))
+	if math.Abs(fortaleza) > 15 {
+		t.Errorf("Fortaleza geomagnetic lat = %.1f, want |v| < 15", fortaleza)
+	}
+}
+
+func TestGeomagneticLatRange(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		g := GeomagneticLat(Pt(clampLat(lat), clampLon(lon)))
+		return g >= -90.01 && g <= 90.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAbsGeomagneticLatCableOrdering(t *testing.T) {
+	// The core physical fact behind the paper's quiz question 1:
+	// a US-Europe path reaches much higher geomagnetic latitude than a
+	// Brazil-Europe path.
+	usEurope := MaxAbsGeomagneticLat(Pt(40.58, -73.66), Pt(50.10, -5.55), 64) // NY - Cornwall
+	brEurope := MaxAbsGeomagneticLat(Pt(-3.73, -38.52), Pt(38.78, -9.50), 64) // Fortaleza - Sines
+	if usEurope <= brEurope+10 {
+		t.Errorf("US-Europe max geomag lat (%.1f) should exceed Brazil-Europe (%.1f) by >10 deg", usEurope, brEurope)
+	}
+}
+
+func TestMaxAtLeastMean(t *testing.T) {
+	f := func(a1, o1, a2, o2 float64) bool {
+		a := Pt(clampLat(a1), clampLon(o1))
+		b := Pt(clampLat(a2), clampLon(o2))
+		return MaxAbsGeomagneticLat(a, b, 16) >= MeanAbsGeomagneticLat(a, b, 16)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package index implements the full-text search substrate: a tokenizer,
+// an inverted index with BM25 ranking, and query-aware snippet
+// extraction. The simulated web's search engine (internal/websim) and the
+// agent's knowledge-memory retrieval (internal/memory) are both built on
+// it.
+//
+// The index is safe for concurrent use: lookups take a read lock and
+// additions a write lock, so a websim HTTP server can serve queries while
+// new documents are still being published.
+package index
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Doc is one indexable document.
+type Doc struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Body  string   `json:"body"`
+	Tags  []string `json:"tags,omitempty"`
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Score   float64 `json:"score"`
+	Snippet string  `json:"snippet"`
+}
+
+type posting struct {
+	doc string
+	tf  int
+}
+
+// Index is an inverted index over Docs with BM25 ranking.
+type Index struct {
+	mu       sync.RWMutex
+	docs     map[string]Doc
+	postings map[string][]posting
+	docLen   map[string]int
+	totalLen int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		docs:     map[string]Doc{},
+		postings: map[string][]posting{},
+		docLen:   map[string]int{},
+	}
+}
+
+// Add indexes doc, replacing any existing document with the same ID.
+// Title tokens are counted twice (title terms matter more).
+func (ix *Index) Add(doc Doc) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.docs[doc.ID]; exists {
+		ix.removeLocked(doc.ID)
+	}
+	terms := Tokenize(doc.Body)
+	title := Tokenize(doc.Title)
+	terms = append(terms, title...)
+	terms = append(terms, title...) // title boost
+	for _, tag := range doc.Tags {
+		terms = append(terms, Tokenize(tag)...)
+	}
+	tf := map[string]int{}
+	for _, t := range terms {
+		tf[t]++
+	}
+	for t, n := range tf {
+		ix.postings[t] = append(ix.postings[t], posting{doc: doc.ID, tf: n})
+	}
+	ix.docs[doc.ID] = doc
+	ix.docLen[doc.ID] = len(terms)
+	ix.totalLen += len(terms)
+}
+
+// removeLocked deletes a document's postings. Caller holds the write lock.
+func (ix *Index) removeLocked(id string) {
+	for t, ps := range ix.postings {
+		out := ps[:0]
+		for _, p := range ps {
+			if p.doc != id {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			delete(ix.postings, t)
+		} else {
+			ix.postings[t] = out
+		}
+	}
+	ix.totalLen -= ix.docLen[id]
+	delete(ix.docLen, id)
+	delete(ix.docs, id)
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Get returns a document by ID.
+func (ix *Index) Get(id string) (Doc, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d, ok := ix.docs[id]
+	return d, ok
+}
+
+// IDs returns all document IDs, sorted.
+func (ix *Index) IDs() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.docs))
+	for id := range ix.docs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BM25 parameters (standard defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Ranking selects the scoring function used by Search.
+type Ranking int
+
+// Available rankings. RankBM25 is the default; RankTF is the naive
+// term-frequency baseline kept for the A3 ablation.
+const (
+	RankBM25 Ranking = iota
+	RankTF
+)
+
+// Search returns the top-k documents for the query under BM25.
+func (ix *Index) Search(query string, k int) []Hit {
+	return ix.SearchRanked(query, k, RankBM25)
+}
+
+// SearchRanked returns the top-k documents under the chosen ranking.
+func (ix *Index) SearchRanked(query string, k int, ranking Ranking) []Hit {
+	terms := Tokenize(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.docs)
+	if n == 0 {
+		return nil
+	}
+	avgLen := float64(ix.totalLen) / float64(n)
+	scores := map[string]float64{}
+	seen := map[string]bool{}
+	for _, t := range terms {
+		if seen[t] {
+			continue // dedupe repeated query terms
+		}
+		seen[t] = true
+		ps := ix.postings[t]
+		if len(ps) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(n)-float64(len(ps))+0.5)/(float64(len(ps))+0.5))
+		for _, p := range ps {
+			switch ranking {
+			case RankTF:
+				scores[p.doc] += float64(p.tf)
+			default:
+				tf := float64(p.tf)
+				dl := float64(ix.docLen[p.doc])
+				denom := tf + bm25K1*(1-bm25B+bm25B*dl/avgLen)
+				scores[p.doc] += idf * tf * (bm25K1 + 1) / denom
+			}
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		doc := ix.docs[id]
+		hits = append(hits, Hit{ID: id, Title: doc.Title, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	for i := range hits {
+		hits[i].Snippet = Snippet(ix.docs[hits[i].ID].Body, terms, 30)
+	}
+	return hits
+}
+
+// Snippet extracts a window of about windowWords words from body centred
+// on the densest cluster of query terms. If no term matches, it returns
+// the leading words.
+func Snippet(body string, queryTerms []string, windowWords int) string {
+	if windowWords <= 0 {
+		windowWords = 30
+	}
+	words := strings.Fields(body)
+	if len(words) <= windowWords {
+		return body
+	}
+	want := map[string]bool{}
+	for _, t := range queryTerms {
+		want[t] = true
+	}
+	// Score each window start by the count of matching tokens inside.
+	bestStart, bestScore := 0, -1
+	// Precompute match flags per word.
+	match := make([]int, len(words))
+	for i, w := range words {
+		toks := Tokenize(w)
+		for _, t := range toks {
+			if want[t] {
+				match[i] = 1
+				break
+			}
+		}
+	}
+	score := 0
+	for i := 0; i < windowWords && i < len(words); i++ {
+		score += match[i]
+	}
+	bestScore = score
+	for start := 1; start+windowWords <= len(words); start++ {
+		score += match[start+windowWords-1] - match[start-1]
+		if score > bestScore {
+			bestScore, bestStart = score, start
+		}
+	}
+	out := strings.Join(words[bestStart:bestStart+windowWords], " ")
+	if bestStart > 0 {
+		out = "... " + out
+	}
+	if bestStart+windowWords < len(words) {
+		out += " ..."
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package index
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"The solar storms hit the cables", []string{"solar", "storm", "hit", "cabl"}},
+		{"connected, connecting, connects", []string{"connect", "connect", "connect"}},
+		{"GPS; latitude-based effects!", []string{"gps", "latitud", "bas", "effect"}},
+		{"", nil},
+		{"the a of", nil},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if fmt.Sprint(got) != fmt.Sprint(tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStemConsistency(t *testing.T) {
+	pairs := [][2]string{
+		{"cables", "cable"},
+		{"storms", "storm"},
+		{"vulnerabilities", "vulnerability"},
+		{"affected", "affects"},
+		{"based", "base"},
+	}
+	for _, p := range pairs {
+		a, b := Tokenize(p[0]), Tokenize(p[1])
+		if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+			t.Errorf("stems differ: %q -> %v, %q -> %v", p[0], a, p[1], b)
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap("solar storm", "a solar storm hit the network"); got != 1.0 {
+		t.Errorf("full overlap = %f, want 1.0", got)
+	}
+	if got := Overlap("solar storm", "submarine cable"); got != 0 {
+		t.Errorf("no overlap = %f, want 0", got)
+	}
+	got := Overlap("solar storm cable", "solar energy")
+	if got < 0.3 || got > 0.34 {
+		t.Errorf("partial overlap = %f, want ~1/3", got)
+	}
+	if got := Overlap("", "anything"); got != 0 {
+		t.Errorf("empty query overlap = %f", got)
+	}
+}
+
+func newTestIndex() *Index {
+	ix := New()
+	ix.Add(Doc{ID: "d1", Title: "Solar storms and the power grid",
+		Body: "Geomagnetic storms induce currents in long transmission lines. High latitude grids like Quebec are most exposed."})
+	ix.Add(Doc{ID: "d2", Title: "Submarine cable routes of the Atlantic",
+		Body: "The cable connecting the United States to Europe crosses high latitudes. The cable connecting Brazil to Europe stays at low latitudes."})
+	ix.Add(Doc{ID: "d3", Title: "Data center locations",
+		Body: "Google operates data centers in Asia, South America and Europe. Facebook concentrates facilities in the United States and the Nordics."})
+	ix.Add(Doc{ID: "d4", Title: "Cooking pasta",
+		Body: "Boil water with salt and add the pasta. Stir occasionally until al dente."})
+	return ix
+}
+
+func TestSearchRelevance(t *testing.T) {
+	ix := newTestIndex()
+	hits := ix.Search("cable route from Brazil to Europe latitude", 4)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].ID != "d2" {
+		t.Errorf("top hit = %s, want d2 (got %+v)", hits[0].ID, hits)
+	}
+	for _, h := range hits {
+		if h.ID == "d4" {
+			t.Error("irrelevant doc d4 ranked for cable query")
+		}
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := newTestIndex()
+	hits := ix.Search("the cable storm data", 2)
+	if len(hits) > 2 {
+		t.Errorf("k=2 returned %d hits", len(hits))
+	}
+	if got := ix.Search("cable", 0); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+	if got := ix.Search("", 5); got != nil {
+		t.Errorf("empty query should return nil, got %v", got)
+	}
+}
+
+func TestSearchScoresDescending(t *testing.T) {
+	ix := newTestIndex()
+	hits := ix.Search("cable latitude europe storm grid", 10)
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Errorf("scores not descending at %d", i)
+		}
+	}
+}
+
+func TestSearchEmptyIndex(t *testing.T) {
+	if got := New().Search("anything", 5); got != nil {
+		t.Errorf("empty index should return nil, got %v", got)
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	ix := New()
+	ix.Add(Doc{ID: "x", Title: "alpha", Body: "alpha content about cables"})
+	ix.Add(Doc{ID: "x", Title: "beta", Body: "beta content about storms"})
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	if hits := ix.Search("cables alpha", 5); len(hits) != 0 {
+		t.Errorf("old content still searchable: %v", hits)
+	}
+	if hits := ix.Search("storms beta", 5); len(hits) != 1 {
+		t.Errorf("new content not searchable: %v", hits)
+	}
+}
+
+func TestGetAndIDs(t *testing.T) {
+	ix := newTestIndex()
+	d, ok := ix.Get("d1")
+	if !ok || d.Title == "" {
+		t.Error("Get(d1) failed")
+	}
+	if _, ok := ix.Get("zzz"); ok {
+		t.Error("Get should miss")
+	}
+	ids := ix.IDs()
+	if len(ids) != 4 || ids[0] != "d1" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestTitleBoost(t *testing.T) {
+	ix := New()
+	ix.Add(Doc{ID: "title-hit", Title: "solar superstorm analysis", Body: "general text about weather phenomena and climate"})
+	ix.Add(Doc{ID: "body-hit", Title: "weather notes", Body: "a passing mention of a solar superstorm among many other unrelated words in a longer body of text"})
+	hits := ix.Search("solar superstorm", 2)
+	if len(hits) != 2 || hits[0].ID != "title-hit" {
+		t.Errorf("title match should outrank body mention: %+v", hits)
+	}
+}
+
+func TestRankTFDiffersFromBM25(t *testing.T) {
+	ix := New()
+	// A long spammy doc repeats a common term; BM25's length
+	// normalization and IDF should prefer the focused doc.
+	ix.Add(Doc{ID: "spam", Title: "notes", Body: strings.Repeat("cable cable cable filler words here ", 50)})
+	ix.Add(Doc{ID: "focused", Title: "Atlantic cable vulnerability", Body: "cable vulnerability at high geomagnetic latitude"})
+	bm := ix.SearchRanked("cable vulnerability", 2, RankBM25)
+	tf := ix.SearchRanked("cable vulnerability", 2, RankTF)
+	if bm[0].ID != "focused" {
+		t.Errorf("BM25 top = %s, want focused", bm[0].ID)
+	}
+	if tf[0].ID != "spam" {
+		t.Errorf("TF top = %s, want spam (demonstrating the baseline's weakness)", tf[0].ID)
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	body := strings.Repeat("filler ", 40) + "the solar storm struck the cable " + strings.Repeat("filler ", 40)
+	snip := Snippet(body, Tokenize("solar storm cable"), 10)
+	if !strings.Contains(snip, "solar storm") {
+		t.Errorf("snippet missed the match cluster: %q", snip)
+	}
+	if !strings.HasPrefix(snip, "... ") || !strings.HasSuffix(snip, " ...") {
+		t.Errorf("snippet should be elided on both sides: %q", snip)
+	}
+	short := "only a few words here"
+	if got := Snippet(short, Tokenize("words"), 30); got != short {
+		t.Errorf("short body should be returned whole: %q", got)
+	}
+	noMatch := Snippet(body, Tokenize("zebra"), 10)
+	if !strings.HasPrefix(noMatch, "filler") {
+		t.Errorf("no-match snippet should lead from the start: %q", noMatch)
+	}
+}
+
+func TestConcurrentAddSearch(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ix.Add(Doc{ID: fmt.Sprintf("d%d-%d", i, j), Title: "solar cable", Body: "storm latitude grid"})
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ix.Search("solar storm", 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if ix.Len() != 400 {
+		t.Errorf("Len = %d, want 400", ix.Len())
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	ix := newTestIndex()
+	a := ix.Search("cable europe latitude", 4)
+	b := ix.Search("cable europe latitude", 4)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("same query returned different results")
+	}
+}
+
+func TestOverlapBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		v := Overlap(a, b)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/prompt"
+)
+
+// Ensemble implements §5's "learning and interacting with multiple LLMs"
+// direction: it wraps several models and aggregates their answers. For
+// answer/confidence prompts it takes the majority verdict (an empty
+// verdict — abstention — is a vote too) and the median confidence of the
+// majority; disagreement without a majority yields an abstention at low
+// confidence. All other prompt tasks are delegated to the first member.
+//
+// The aggregation makes a mixed fleet robust: a minority of members
+// fooled by poisoned knowledge (or simply weaker) cannot flip the
+// ensemble's conclusion.
+type Ensemble struct {
+	Members []Model
+}
+
+// NewEnsemble wraps the given models. It panics on an empty member list:
+// an ensemble of nothing is a programming error, not a runtime state.
+func NewEnsemble(members ...Model) *Ensemble {
+	if len(members) == 0 {
+		panic("llm: ensemble needs at least one member")
+	}
+	return &Ensemble{Members: members}
+}
+
+// Complete implements Model.
+func (e *Ensemble) Complete(ctx context.Context, encodedPrompt string) (string, error) {
+	p, err := prompt.Parse(encodedPrompt)
+	if err != nil {
+		return "", fmt.Errorf("llm ensemble: %w", err)
+	}
+	if p.Task != prompt.TaskAnswer && p.Task != prompt.TaskConfidence {
+		return e.Members[0].Complete(ctx, encodedPrompt)
+	}
+	replies := make([]prompt.AnswerReply, 0, len(e.Members))
+	for i, m := range e.Members {
+		out, err := m.Complete(ctx, encodedPrompt)
+		if err != nil {
+			return "", fmt.Errorf("llm ensemble member %d: %w", i, err)
+		}
+		reply, err := prompt.ParseAnswer(out)
+		if err != nil {
+			return "", fmt.Errorf("llm ensemble member %d reply: %w", i, err)
+		}
+		replies = append(replies, reply)
+	}
+	return aggregate(replies).Encode(), nil
+}
+
+// aggregate merges member replies by majority verdict.
+func aggregate(replies []prompt.AnswerReply) prompt.AnswerReply {
+	votes := map[string][]prompt.AnswerReply{}
+	for _, r := range replies {
+		key := strings.ToLower(strings.TrimSpace(r.Verdict))
+		votes[key] = append(votes[key], r)
+	}
+	var bestKey string
+	best := -1
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic tie-break
+	for _, k := range keys {
+		if n := len(votes[k]); n > best {
+			best, bestKey = n, k
+		}
+	}
+	majority := votes[bestKey]
+	if best*2 <= len(replies) && len(votes) > 1 {
+		// No strict majority: abstain with the lowest member confidence.
+		low := replies[0]
+		for _, r := range replies[1:] {
+			if r.Confidence < low.Confidence {
+				low = r
+			}
+		}
+		return prompt.AnswerReply{
+			Answer:     "The models disagree on this question; more evidence is needed before concluding.",
+			Confidence: min(low.Confidence, 4),
+			Missing:    collectMissing(replies),
+		}
+	}
+	confs := make([]int, len(majority))
+	for i, r := range majority {
+		confs[i] = r.Confidence
+	}
+	sort.Ints(confs)
+	out := majority[0]
+	out.Confidence = confs[len(confs)/2]
+	if out.Verdict == "" {
+		out.Missing = collectMissing(replies)
+	}
+	return out
+}
+
+func collectMissing(replies []prompt.AnswerReply) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range replies {
+		for _, m := range r.Missing {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

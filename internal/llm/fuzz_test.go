@@ -1,0 +1,132 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prompt"
+)
+
+// TestCompleteTotalOverArbitraryQuestions: whatever the question text,
+// the model must return a parseable reply, never panic, and keep its
+// confidence in range.
+func TestCompleteTotalOverArbitraryQuestions(t *testing.T) {
+	m := NewSim()
+	ctx := context.Background()
+	f := func(question string) bool {
+		question = strings.ReplaceAll(question, "### ", "")
+		out, err := m.Complete(ctx, prompt.Prompt{Task: prompt.TaskAnswer, Question: question}.Encode())
+		if err != nil {
+			return false
+		}
+		reply, err := prompt.ParseAnswer(out)
+		if err != nil {
+			return false
+		}
+		return reply.Confidence >= 0 && reply.Confidence <= 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompleteTotalOverArbitraryKnowledge: arbitrary knowledge text must
+// never break answering a fixed question.
+func TestCompleteTotalOverArbitraryKnowledge(t *testing.T) {
+	m := NewSim()
+	ctx := context.Background()
+	f := func(knowledge string) bool {
+		knowledge = strings.ReplaceAll(knowledge, "### ", "")
+		out, err := m.Complete(ctx, prompt.Prompt{
+			Task:      prompt.TaskAnswer,
+			Knowledge: knowledge,
+			Question:  cableQuestion,
+		}.Encode())
+		if err != nil {
+			return false
+		}
+		_, err = prompt.ParseAnswer(out)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSearchesTotal: the searches task is equally total.
+func TestSearchesTotal(t *testing.T) {
+	m := NewSim()
+	ctx := context.Background()
+	f := func(question string) bool {
+		question = strings.ReplaceAll(question, "### ", "")
+		out, err := m.Complete(ctx, prompt.Prompt{Task: prompt.TaskSearches, Question: question}.Encode())
+		if err != nil {
+			return false
+		}
+		_, err = prompt.ParseSearches(out)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseQuestionTotal: the question grammar never panics and always
+// classifies.
+func TestParseQuestionTotal(t *testing.T) {
+	f := func(s string) bool {
+		q := ParseQuestion(s)
+		switch q.Kind {
+		case QuestionUnknown, QuestionComparative,
+			QuestionIncidentCause, QuestionIncidentMechanism, QuestionIncidentImpact:
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepTotalOverArbitraryHistory: garbage history lines must not
+// derail the step policy.
+func TestStepTotalOverArbitraryHistory(t *testing.T) {
+	m := NewSim()
+	ctx := context.Background()
+	f := func(history string) bool {
+		history = strings.ReplaceAll(history, "### ", "")
+		out, err := m.Complete(ctx, prompt.Prompt{
+			Task:    prompt.TaskStep,
+			Goal:    "understand solar storms",
+			History: history,
+		}.Encode())
+		if err != nil {
+			return false
+		}
+		step, err := prompt.ParseStep(out)
+		if err != nil {
+			return false
+		}
+		switch step.Command.Name {
+		case "google", "browse_website", "task_complete":
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildEvidenceTotal: evidence building over arbitrary text.
+func TestBuildEvidenceTotal(t *testing.T) {
+	f := func(text string) bool {
+		ev := BuildEvidence(text)
+		return ev != nil && ev.FactCount() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package llm implements the simulated language model the agent talks
+// to. It stands in for GPT-4 in the reproduction (the paper's model is a
+// closed API; see DESIGN.md for the substitution argument).
+//
+// The simulation preserves the three behaviours the paper's architecture
+// depends on, and nothing more:
+//
+//  1. Knowledge-conditioned answering — the model answers from facts
+//     present in the prompt's KNOWLEDGE section. With no relevant facts it
+//     produces the hedged generic answers the paper shows vanilla ChatGPT
+//     giving (§4.2); with specific facts it produces specific, grounded
+//     answers.
+//  2. Calibrated self-assessment — the model rates its confidence 0-10
+//     from how much of the needed evidence the prompt actually contains
+//     (§3 step 4).
+//  3. Gap-directed search proposal — asked what to search next, the model
+//     enumerates queries targeting exactly the missing evidence (§4.2's
+//     self-learning prompts).
+//
+// The model is stateless and deterministic: the same prompt always yields
+// the same completion, and everything it knows arrives via the prompt.
+package llm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/facts"
+	"repro/internal/media"
+	"repro/internal/prompt"
+	"repro/internal/textgen"
+)
+
+// Model is the language-model interface the agent programs against.
+type Model interface {
+	// Complete returns the model's reply to an encoded prompt.
+	Complete(ctx context.Context, encodedPrompt string) (string, error)
+}
+
+// Sim is the deterministic simulated language model.
+type Sim struct {
+	// MaxBrowsesPerGoal bounds how many pages one Auto-GPT goal visits
+	// before declaring the goal complete (default 3).
+	MaxBrowsesPerGoal int
+	// AcceptFirstOnConflict disables conflict detection over the prompt
+	// knowledge: when two sources disagree, the first statement wins
+	// instead of both being distrusted. This is the undefended behaviour
+	// the adversarial-robustness ablation (E8) measures against.
+	AcceptFirstOnConflict bool
+	// Multimodal lets the model read image documents in its knowledge
+	// (§5: agents should "see and listen"): embedded images are decoded
+	// to their content before reasoning. Text-only models keep the alt
+	// captions but cannot read the pixels.
+	Multimodal bool
+}
+
+// NewSim returns a simulated model with default settings.
+func NewSim() *Sim { return &Sim{MaxBrowsesPerGoal: 3} }
+
+// Complete implements Model.
+func (m *Sim) Complete(ctx context.Context, encodedPrompt string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	p, err := prompt.Parse(encodedPrompt)
+	if err != nil {
+		return "", fmt.Errorf("llm: %w", err)
+	}
+	knowledge := p.Knowledge
+	if m.Multimodal {
+		knowledge = media.Reveal(knowledge)
+	}
+	ev := BuildEvidenceMode(knowledge, m.AcceptFirstOnConflict)
+	switch p.Task {
+	case prompt.TaskAnswer, prompt.TaskConfidence:
+		return m.answer(p, ev).Encode(), nil
+	case prompt.TaskSearches:
+		return m.searches(p, ev).Encode(), nil
+	case prompt.TaskPlan:
+		return m.plan(ev).Encode(), nil
+	case prompt.TaskStep:
+		return m.step(p), nil
+	case prompt.TaskQuestions:
+		return m.questions(p, ev).Encode(), nil
+	default:
+		return "", fmt.Errorf("llm: unsupported task %q", p.Task)
+	}
+}
+
+// answer handles TaskAnswer and TaskConfidence.
+func (m *Sim) answer(p prompt.Prompt, ev *Evidence) prompt.AnswerReply {
+	q := ParseQuestion(p.Question)
+	switch q.Kind {
+	case QuestionComparative:
+		return m.answerComparative(q, ev)
+	case QuestionIncidentCause, QuestionIncidentMechanism, QuestionIncidentImpact:
+		return m.answerIncident(q, ev)
+	default:
+		return prompt.AnswerReply{
+			Answer:     genericAnswer(p.Question),
+			Confidence: 2,
+			Missing:    []string{"a clearer formulation of the question"},
+		}
+	}
+}
+
+func (m *Sim) answerComparative(q Question, ev *Evidence) prompt.AnswerReply {
+	c := compare(q, ev)
+	if c.Winner != nil {
+		reasons := append([]string{}, c.Winner.Reasons...)
+		if len(c.Loser.Reasons) > 0 {
+			reasons = append(reasons, "whereas "+c.Loser.Reasons[0])
+		}
+		answer := textgen.Sentence(
+			textgen.Capitalize(c.Winner.Subject)+".",
+			"This is because", strings.Join(reasons, "; ")+".",
+			fmt.Sprintf("Given the information provided, we might rate the confidence around %d out of 10.", c.Confidence),
+		)
+		return prompt.AnswerReply{
+			Answer:     answer,
+			Verdict:    c.Winner.Subject,
+			Confidence: c.Confidence,
+		}
+	}
+	var missingDescs []string
+	for _, n := range c.Missing {
+		missingDescs = append(missingDescs, n.Desc)
+	}
+	var answer string
+	if c.Coverage == 0 {
+		// No relevant evidence at all: the hedged generic response the
+		// paper shows vanilla ChatGPT giving.
+		answer = genericComparative(q)
+	} else {
+		answer = textgen.Sentence(
+			"While there is knowledge about the general threat, the specific information required is not available:",
+			strings.Join(missingDescs, "; ")+".",
+			fmt.Sprintf("Given the information provided, we might rate the confidence around %d out of 10.", c.Confidence),
+		)
+	}
+	return prompt.AnswerReply{
+		Answer:     answer,
+		Confidence: c.Confidence,
+		Missing:    missingDescs,
+	}
+}
+
+func (m *Sim) answerIncident(q Question, ev *Evidence) prompt.AnswerReply {
+	// Fuzzy-match the asked topic against known incident keys.
+	match := func(keys func() []string) string {
+		best, bestScore := "", 0.0
+		for _, k := range keys() {
+			s := tokenOverlap(q.Topic, k)
+			if s > bestScore {
+				best, bestScore = k, s
+			}
+		}
+		if bestScore >= 0.5 {
+			return best
+		}
+		return ""
+	}
+	switch q.Kind {
+	case QuestionIncidentCause:
+		if k := match(func() []string { return mapKeys(ev.Causes) }); k != "" {
+			f := ev.Causes[k]
+			return prompt.AnswerReply{
+				Answer:     textgen.Sentence("The", f.Incident, "happened because", f.Cause+"."),
+				Verdict:    f.Incident,
+				Confidence: 8,
+			}
+		}
+	case QuestionIncidentMechanism:
+		if k := match(func() []string { return mapKeys(ev.Mechanisms) }); k != "" {
+			f := ev.Mechanisms[k]
+			return prompt.AnswerReply{
+				Answer:     textgen.Sentence("The failure chain was as follows:", f.Mechanism+"."),
+				Verdict:    f.Incident,
+				Confidence: 8,
+			}
+		}
+	case QuestionIncidentImpact:
+		if k := match(func() []string { return mapKeys(ev.Impacts) }); k != "" {
+			imps := ev.Impacts[k]
+			var parts []string
+			for _, im := range imps {
+				parts = append(parts, im.Impact)
+			}
+			return prompt.AnswerReply{
+				Answer:     textgen.Sentence("The incident resulted in", textgen.JoinAnd(parts)+"."),
+				Verdict:    imps[0].Incident,
+				Confidence: 8,
+			}
+		}
+	}
+	return prompt.AnswerReply{
+		Answer:     genericAnswer(q.Raw),
+		Confidence: 2,
+		Missing:    []string{"news coverage of the " + q.Topic},
+	}
+}
+
+// searches handles TaskSearches: enumerate queries for the evidence gaps.
+func (m *Sim) searches(p prompt.Prompt, ev *Evidence) prompt.SearchReply {
+	q := ParseQuestion(p.Question)
+	var reply prompt.SearchReply
+	switch q.Kind {
+	case QuestionComparative:
+		c := compare(q, ev)
+		for _, n := range c.Missing {
+			reply.Queries = append(reply.Queries, n.Query)
+		}
+	case QuestionIncidentCause, QuestionIncidentMechanism, QuestionIncidentImpact:
+		if len(ev.Causes) == 0 && len(ev.Mechanisms) == 0 {
+			reply.Queries = append(reply.Queries, "what happened during the "+q.Topic)
+		}
+	default:
+		reply.Queries = append(reply.Queries, p.Question)
+	}
+	const maxQueries = 4
+	if len(reply.Queries) > maxQueries {
+		reply.Queries = reply.Queries[:maxQueries]
+	}
+	return reply
+}
+
+// plan handles TaskPlan: assemble a response plan from the mitigation
+// strategies present in knowledge.
+func (m *Sim) plan(ev *Evidence) prompt.PlanReply {
+	var reply prompt.PlanReply
+	for _, mit := range sortedMitigations(ev.Mitigations) {
+		reply.Items = append(reply.Items, prompt.PlanItem{
+			Name:        mit.Strategy,
+			Description: mit.Description,
+		})
+	}
+	return reply
+}
+
+// step handles TaskStep: the Auto-GPT thoughts/command cycle. The policy
+// is: search once per goal, then browse unvisited results (up to
+// MaxBrowsesPerGoal), then declare the goal complete.
+func (m *Sim) step(p prompt.Prompt) string {
+	events := prompt.ParseHistory(p.History)
+	maxBrowse := m.MaxBrowsesPerGoal
+	if maxBrowse <= 0 {
+		maxBrowse = 3
+	}
+	var resultURLs []string
+	visited := map[string]bool{}
+	googled := false
+	browses := 0
+	for _, ev := range events {
+		switch ev.Command {
+		case "google":
+			googled = true
+			resultURLs = append(resultURLs, ev.URLs...)
+		case "browse_website":
+			visited[ev.Arg] = true
+			browses++
+		}
+	}
+	if !googled {
+		query := goalQuery(p.Goal)
+		return prompt.StepReply{
+			Thoughts:  fmt.Sprintf("I need to gather information on %s. I will start by using the 'google' command to search for relevant information.", strings.TrimSpace(p.Goal)),
+			Reasoning: "Searching the web is the fastest way to find authoritative sources for this goal.",
+			Plan: []string{
+				"use the 'google' command to search for information on " + query,
+				"analyze the search results and gather relevant information",
+				"save important information to memory for future reference",
+			},
+			Command: prompt.Command{Name: "google", Arg: query},
+		}.Encode()
+	}
+	if browses < maxBrowse {
+		for _, u := range resultURLs {
+			if !visited[u] {
+				return prompt.StepReply{
+					Thoughts:  "The search returned promising sources; I should read the most relevant one.",
+					Reasoning: "Reading the page lets me extract and memorize the specific facts it contains.",
+					Plan: []string{
+						"browse " + u,
+						"extract the relevant knowledge and save it to memory",
+					},
+					Command: prompt.Command{Name: "browse_website", Arg: u},
+				}.Encode()
+			}
+		}
+	}
+	return prompt.StepReply{
+		Thoughts:  "I have gathered and memorized the information available for this goal.",
+		Reasoning: "Further searching would repeat sources already visited.",
+		Plan:      []string{"mark the goal as complete"},
+		Criticism: "If later questions reveal gaps, targeted follow-up searches will be needed.",
+		Command:   prompt.Command{Name: "task_complete", Arg: ""},
+	}.Encode()
+}
+
+// goalQuery compresses a goal statement into a search query by dropping
+// instruction verbs and filler.
+func goalQuery(goal string) string {
+	drop := map[string]bool{
+		"understand": true, "understanding": true, "gain": true, "knowledge": true,
+		"learn": true, "know": true, "study": true, "have": true, "a": true,
+		"an": true, "the": true, "of": true, "and": true, "their": true,
+		"such": true, "as": true, "etc": true, "systematic": true,
+		"comprehensive": true, "principles": true, "current": true,
+		"to": true, "role": true, "potential": true, "causes": true,
+	}
+	var out []string
+	for _, w := range strings.Fields(goal) {
+		t := strings.Trim(strings.ToLower(w), ",.;:")
+		if t == "" || drop[t] {
+			continue
+		}
+		out = append(out, t)
+		if len(out) >= 8 {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return strings.TrimSpace(goal)
+	}
+	return strings.Join(out, " ")
+}
+
+func mapKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// tokenOverlap is index.Overlap without the import cycle risk — fraction
+// of a's tokens found in b, on whitespace tokens lowered.
+func tokenOverlap(a, b string) float64 {
+	at := strings.Fields(strings.ToLower(a))
+	if len(at) == 0 {
+		return 0
+	}
+	bs := map[string]bool{}
+	for _, t := range strings.Fields(strings.ToLower(b)) {
+		bs[strings.Trim(t, "?.!,")] = true
+	}
+	hit := 0
+	for _, t := range at {
+		if bs[strings.Trim(t, "?.!,")] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(at))
+}
+
+// genericComparative is the hedged no-knowledge answer for comparative
+// questions, mirroring the vanilla ChatGPT response quoted in §4.2.
+func genericComparative(q Question) string {
+	return fmt.Sprintf("Both %s and %s can be vulnerable to solar activity. "+
+		"Solar activity, such as solar flares or geomagnetic storms, can cause disruptions in satellite communications, "+
+		"power grids, and other electronic systems on Earth. However, the exact impact and vulnerability can vary "+
+		"depending on the location and specific design involved, and there are various protective measures in place "+
+		"to mitigate the impact of solar activity on such systems.",
+		q.Subjects[0], q.Subjects[1])
+}
+
+// genericAnswer is the hedged no-knowledge answer for everything else.
+func genericAnswer(question string) string {
+	_ = question
+	return "There is not enough specific information available to answer this question definitively. " +
+		"In general, Internet infrastructure is designed and maintained to high standards to ensure resilience " +
+		"and redundancy, but specific vulnerabilities depend on location, design, and operational factors."
+}
+
+// RequiredEvidence reports, for diagnostics and tests, which facts a
+// comparative question would need and which are present in the knowledge.
+func RequiredEvidence(question, knowledge string) (found, total int) {
+	q := ParseQuestion(question)
+	if q.Kind != QuestionComparative {
+		return 0, 0
+	}
+	ev := BuildEvidence(knowledge)
+	c := compare(q, ev)
+	return c.A.WeightFound + c.B.WeightFound, c.A.WeightTotal + c.B.WeightTotal
+}
+
+var _ = facts.AllRules // keep facts import for doc reference

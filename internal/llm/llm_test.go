@@ -1,0 +1,449 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/facts"
+	"repro/internal/prompt"
+)
+
+// knowledge assembles a knowledge string from facts.
+func knowledge(fs ...facts.Fact) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.Sentence())
+		b.WriteString(" ")
+	}
+	return b.String()
+}
+
+// The canonical quiz question 1 from the paper.
+const cableQuestion = "Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?"
+
+// The canonical quiz question 2 from the paper.
+const dcQuestion = "Whose datacenter is more vulnerable? Google's data centers or Facebook's data centers?"
+
+func fullCableKnowledge() string {
+	return knowledge(
+		facts.CableRoute{Cable: "EllaLink", FromCity: "Fortaleza", FromCountry: "Brazil",
+			ToCity: "Sines", ToCountry: "Portugal", FromRegion: "Brazil", ToRegion: "Europe"},
+		facts.CableRoute{Cable: "Grace Hopper", FromCity: "New York", FromCountry: "United States",
+			ToCity: "Bude", ToCountry: "United Kingdom", FromRegion: "the United States", ToRegion: "Europe"},
+		facts.CableLatitude{Cable: "EllaLink", MaxGeomagLat: 40},
+		facts.CableLatitude{Cable: "Grace Hopper", MaxGeomagLat: 58},
+		facts.Rule{Kind: facts.RuleLatitude},
+	)
+}
+
+func complete(t *testing.T, p prompt.Prompt) string {
+	t.Helper()
+	out, err := NewSim().Complete(context.Background(), p.Encode())
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	return out
+}
+
+func TestVanillaComparativeIsHedged(t *testing.T) {
+	// No knowledge: the model must produce the hedged generic answer the
+	// paper quotes from vanilla ChatGPT, with no verdict.
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Question: cableQuestion})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Verdict != "" {
+		t.Errorf("vanilla model gave a verdict: %q", reply.Verdict)
+	}
+	if reply.Confidence > 4 {
+		t.Errorf("vanilla confidence = %d, want <= 4", reply.Confidence)
+	}
+	if !strings.Contains(reply.Answer, "Both") || !strings.Contains(reply.Answer, "can be vulnerable") {
+		t.Errorf("vanilla answer not hedged: %q", reply.Answer)
+	}
+}
+
+func TestPartialKnowledgeRaisesConfidenceBelowThreshold(t *testing.T) {
+	// Routes and rule known, latitudes missing: confidence must rise
+	// above the vanilla level but stay below the paper's threshold of 7.
+	partial := knowledge(
+		facts.CableRoute{Cable: "EllaLink", FromCity: "Fortaleza", FromCountry: "Brazil",
+			ToCity: "Sines", ToCountry: "Portugal", FromRegion: "Brazil", ToRegion: "Europe"},
+		facts.CableRoute{Cable: "Grace Hopper", FromCity: "New York", FromCountry: "United States",
+			ToCity: "Bude", ToCountry: "United Kingdom", FromRegion: "the United States", ToRegion: "Europe"},
+		facts.Rule{Kind: facts.RuleLatitude},
+	)
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: partial, Question: cableQuestion})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Verdict != "" {
+		t.Errorf("partial knowledge should not produce a verdict, got %q", reply.Verdict)
+	}
+	if reply.Confidence < 3 || reply.Confidence >= 7 {
+		t.Errorf("partial confidence = %d, want in [3,7)", reply.Confidence)
+	}
+	if len(reply.Missing) == 0 {
+		t.Error("partial answer should list missing evidence")
+	}
+}
+
+func TestFullCableKnowledgeAnswersCorrectly(t *testing.T) {
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: fullCableKnowledge(), Question: cableQuestion})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(reply.Verdict), "us to europe") {
+		t.Errorf("verdict = %q, want the US-Europe subject", reply.Verdict)
+	}
+	if reply.Confidence < 8 || reply.Confidence > 9 {
+		t.Errorf("full-evidence confidence = %d, want 8 or 9", reply.Confidence)
+	}
+	if !strings.Contains(reply.Answer, "58 degrees") {
+		t.Errorf("answer should cite the latitude evidence: %q", reply.Answer)
+	}
+}
+
+func TestOperatorQuestion(t *testing.T) {
+	k := knowledge(
+		facts.OperatorFootprint{Operator: "Google", Facilities: 18, RegionCount: 7,
+			Regions: []string{"North America", "Europe", "Asia", "South America"}, ShareLowLatPct: 44},
+		facts.OperatorFootprint{Operator: "Facebook", Facilities: 14, RegionCount: 4,
+			Regions: []string{"North America", "Northern Europe"}, ShareLowLatPct: 14},
+		facts.Rule{Kind: facts.RuleSpread},
+	)
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: k, Question: dcQuestion})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(reply.Verdict), "facebook") {
+		t.Errorf("verdict = %q, want Facebook side", reply.Verdict)
+	}
+	// The paper's Bob rated this answer "around 6": operator comparisons
+	// are inherently more indirect, so the cap must be below the cable
+	// question's 8-9.
+	if reply.Confidence < 5 || reply.Confidence > 7 {
+		t.Errorf("operator confidence = %d, want 5..7", reply.Confidence)
+	}
+}
+
+func TestConfidenceMonotoneInEvidence(t *testing.T) {
+	run := func(k string) int {
+		out := complete(t, prompt.Prompt{Task: prompt.TaskConfidence, Knowledge: k, Question: cableQuestion})
+		reply, err := prompt.ParseAnswer(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reply.Confidence
+	}
+	none := run("")
+	rulesOnly := run(knowledge(facts.Rule{Kind: facts.RuleLatitude}))
+	partial := run(knowledge(
+		facts.Rule{Kind: facts.RuleLatitude},
+		facts.CableRoute{Cable: "EllaLink", FromCity: "Fortaleza", FromCountry: "Brazil",
+			ToCity: "Sines", ToCountry: "Portugal", FromRegion: "Brazil", ToRegion: "Europe"},
+	))
+	full := run(fullCableKnowledge())
+	if !(none <= rulesOnly && rulesOnly <= partial && partial < full) {
+		t.Errorf("confidence not monotone: none=%d rules=%d partial=%d full=%d", none, rulesOnly, partial, full)
+	}
+	if full < 8 {
+		t.Errorf("full confidence = %d, want >= 8", full)
+	}
+}
+
+func TestSearchesTargetGaps(t *testing.T) {
+	// With routes known but latitudes missing, proposed searches must
+	// name the specific cables — the paper's "specific route" follow-up.
+	partial := knowledge(
+		facts.CableRoute{Cable: "EllaLink", FromCity: "Fortaleza", FromCountry: "Brazil",
+			ToCity: "Sines", ToCountry: "Portugal", FromRegion: "Brazil", ToRegion: "Europe"},
+		facts.CableRoute{Cable: "Grace Hopper", FromCity: "New York", FromCountry: "United States",
+			ToCity: "Bude", ToCountry: "United Kingdom", FromRegion: "the United States", ToRegion: "Europe"},
+		facts.Rule{Kind: facts.RuleLatitude},
+	)
+	out := complete(t, prompt.Prompt{Task: prompt.TaskSearches, Knowledge: partial, Question: cableQuestion})
+	reply, err := prompt.ParseSearches(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Queries) == 0 {
+		t.Fatal("no searches proposed")
+	}
+	joined := strings.ToLower(strings.Join(reply.Queries, " "))
+	if !strings.Contains(joined, "ellalink") && !strings.Contains(joined, "grace hopper") {
+		t.Errorf("searches should target the specific cables: %v", reply.Queries)
+	}
+	// With full knowledge there is nothing to search.
+	out = complete(t, prompt.Prompt{Task: prompt.TaskSearches, Knowledge: fullCableKnowledge(), Question: cableQuestion})
+	reply, err = prompt.ParseSearches(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Queries) != 0 {
+		t.Errorf("full knowledge should propose no searches, got %v", reply.Queries)
+	}
+}
+
+func TestSearchesNoKnowledgeAsksForRoutes(t *testing.T) {
+	out := complete(t, prompt.Prompt{Task: prompt.TaskSearches, Question: cableQuestion})
+	reply, err := prompt.ParseSearches(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.ToLower(strings.Join(reply.Queries, " "))
+	for _, want := range []string{"brazil", "united states", "europe"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("searches %v should mention %q", reply.Queries, want)
+		}
+	}
+}
+
+func TestPlanFromMitigations(t *testing.T) {
+	mits := facts.CanonicalMitigations()
+	k := knowledge(mits[1], mits[0], mits[4]) // shuffled on purpose
+	out := complete(t, prompt.Prompt{Task: prompt.TaskPlan, Knowledge: k})
+	reply, err := prompt.ParsePlan(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Items) != 3 {
+		t.Fatalf("plan has %d items, want 3", len(reply.Items))
+	}
+	// Canonical ordering restored: predictive shutdown first.
+	if reply.Items[0].Name != "predictive shutdown" {
+		t.Errorf("first item = %q, want predictive shutdown", reply.Items[0].Name)
+	}
+	if reply.Items[1].Name != "redundancy utilization" || reply.Items[2].Name != "gradual reboot" {
+		t.Errorf("plan order wrong: %+v", reply.Items)
+	}
+	// No mitigations known -> empty plan.
+	out = complete(t, prompt.Prompt{Task: prompt.TaskPlan})
+	reply, err = prompt.ParsePlan(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Items) != 0 {
+		t.Errorf("empty knowledge produced a plan: %+v", reply.Items)
+	}
+}
+
+func TestIncidentCauseAnswer(t *testing.T) {
+	k := knowledge(
+		facts.IncidentCause{Incident: "2021 Facebook outage", Cause: "a maintenance command disconnected the backbone"},
+		facts.IncidentMechanism{Incident: "2021 Facebook outage", Mechanism: "DNS servers withdrew their BGP announcements"},
+	)
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: k, Question: "What caused the 2021 Facebook outage?"})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Confidence < 7 {
+		t.Errorf("incident confidence = %d, want >= 7", reply.Confidence)
+	}
+	if !strings.Contains(reply.Answer, "maintenance command") {
+		t.Errorf("cause missing from answer: %q", reply.Answer)
+	}
+
+	out = complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: k, Question: "How did the 2021 Facebook outage unfold?"})
+	reply, err = prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply.Answer, "BGP") {
+		t.Errorf("mechanism missing from answer: %q", reply.Answer)
+	}
+}
+
+func TestIncidentUnknownIsLowConfidence(t *testing.T) {
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Question: "What caused the 2038 Mars relay outage?"})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Confidence > 3 || reply.Verdict != "" {
+		t.Errorf("unknown incident should be low confidence no verdict: %+v", reply)
+	}
+}
+
+func TestStepPolicy(t *testing.T) {
+	ctx := context.Background()
+	m := NewSim()
+	goal := "Understand solar superstorms and Coronal Mass Ejection, and principles of their formation and effects."
+
+	// Step 1: no history -> google.
+	out, err := m.Complete(ctx, prompt.Prompt{Task: prompt.TaskStep, Goal: goal}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := prompt.ParseStep(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Command.Name != "google" {
+		t.Fatalf("first command = %q, want google", step.Command.Name)
+	}
+	if !strings.Contains(step.Command.Arg, "solar") {
+		t.Errorf("google query %q should derive from the goal", step.Command.Arg)
+	}
+	if !strings.Contains(step.Thoughts, "gather information") {
+		t.Errorf("thoughts should narrate, got %q", step.Thoughts)
+	}
+
+	// Step 2: google results in history -> browse first URL.
+	hist := prompt.HistoryGoogle(step.Command.Arg, []string{"https://a.example/1", "https://a.example/2"})
+	out, err = m.Complete(ctx, prompt.Prompt{Task: prompt.TaskStep, Goal: goal, History: hist}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err = prompt.ParseStep(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Command.Name != "browse_website" || step.Command.Arg != "https://a.example/1" {
+		t.Fatalf("second command = %+v, want browse of first URL", step.Command)
+	}
+
+	// Step 3: all URLs visited -> task_complete.
+	hist = strings.Join([]string{
+		prompt.HistoryGoogle("q", []string{"https://a.example/1", "https://a.example/2"}),
+		prompt.HistoryBrowse("https://a.example/1", 3),
+		prompt.HistoryBrowse("https://a.example/2", 1),
+	}, "\n")
+	out, err = m.Complete(ctx, prompt.Prompt{Task: prompt.TaskStep, Goal: goal, History: hist}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err = prompt.ParseStep(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Command.Name != "task_complete" {
+		t.Fatalf("final command = %q, want task_complete", step.Command.Name)
+	}
+}
+
+func TestStepBrowseBudget(t *testing.T) {
+	m := &Sim{MaxBrowsesPerGoal: 2}
+	urls := []string{"https://u/1", "https://u/2", "https://u/3", "https://u/4"}
+	hist := []string{prompt.HistoryGoogle("q", urls)}
+	for i := 0; i < 2; i++ {
+		hist = append(hist, prompt.HistoryBrowse(urls[i], 1))
+	}
+	out, err := m.Complete(context.Background(),
+		prompt.Prompt{Task: prompt.TaskStep, Goal: "g", History: strings.Join(hist, "\n")}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := prompt.ParseStep(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Command.Name != "task_complete" {
+		t.Errorf("budget exhausted but command = %q", step.Command.Name)
+	}
+}
+
+func TestDeterministicCompletion(t *testing.T) {
+	p := prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: fullCableKnowledge(), Question: cableQuestion}
+	a := complete(t, p)
+	b := complete(t, p)
+	if a != b {
+		t.Error("same prompt produced different completions")
+	}
+}
+
+func TestCompleteErrors(t *testing.T) {
+	m := NewSim()
+	if _, err := m.Complete(context.Background(), "garbage"); err == nil {
+		t.Error("garbage prompt should error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Complete(ctx, prompt.Prompt{Task: prompt.TaskAnswer, Question: "q"}.Encode()); err == nil {
+		t.Error("cancelled context should error")
+	}
+}
+
+func TestParseQuestionKinds(t *testing.T) {
+	tests := []struct {
+		q    string
+		want QuestionKind
+	}{
+		{cableQuestion, QuestionComparative},
+		{dcQuestion, QuestionComparative},
+		{"Which power grid is more at risk? The Hydro-Quebec grid or the Singapore grid?", QuestionComparative},
+		{"What caused the 2021 Facebook outage?", QuestionIncidentCause},
+		{"How did the 2021 Facebook outage unfold?", QuestionIncidentMechanism},
+		{"What was the impact of the COVID-19 traffic surge?", QuestionIncidentImpact},
+		{"Tell me a joke.", QuestionUnknown},
+	}
+	for _, tt := range tests {
+		got := ParseQuestion(tt.q)
+		if got.Kind != tt.want {
+			t.Errorf("ParseQuestion(%q).Kind = %v, want %v", tt.q, got.Kind, tt.want)
+		}
+	}
+}
+
+func TestParseQuestionSubjects(t *testing.T) {
+	q := ParseQuestion(cableQuestion)
+	if !strings.Contains(strings.ToLower(q.Subjects[0]), "brazil") {
+		t.Errorf("subject A = %q, want Brazil side", q.Subjects[0])
+	}
+	if !strings.Contains(strings.ToLower(q.Subjects[1]), "us to europe") {
+		t.Errorf("subject B = %q, want US side", q.Subjects[1])
+	}
+}
+
+func TestGridComparison(t *testing.T) {
+	k := knowledge(
+		facts.GridProfile{Grid: "Hydro-Quebec", GeomagLat: 62, LineKm: 600, Hardened: true},
+		facts.GridProfile{Grid: "Singapore Grid", GeomagLat: 9, LineKm: 40, Hardened: false},
+		facts.Rule{Kind: facts.RuleGrid},
+	)
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: k,
+		Question: "Which power grid is more at risk during a superstorm? The Hydro-Quebec grid or the Singapore grid?"})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(reply.Verdict), "quebec") {
+		t.Errorf("verdict = %q, want Hydro-Quebec side", reply.Verdict)
+	}
+}
+
+func TestClassComparison(t *testing.T) {
+	k := knowledge(
+		facts.Rule{Kind: facts.RuleRepeater},
+		facts.Rule{Kind: facts.RuleTerrestrial},
+	)
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: k,
+		Question: "Which is more vulnerable to a geomagnetic storm? Long submarine cables or terrestrial fiber links?"})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(reply.Verdict), "submarine") {
+		t.Errorf("verdict = %q, want submarine side", reply.Verdict)
+	}
+}
+
+func TestRequiredEvidence(t *testing.T) {
+	found, total := RequiredEvidence(cableQuestion, fullCableKnowledge())
+	if found != total || total == 0 {
+		t.Errorf("full knowledge: found=%d total=%d, want equal and nonzero", found, total)
+	}
+	found, _ = RequiredEvidence(cableQuestion, "")
+	if found != 0 {
+		t.Errorf("no knowledge: found=%d, want 0", found)
+	}
+	if _, total := RequiredEvidence("not a question", ""); total != 0 {
+		t.Errorf("non-comparative should have total 0, got %d", total)
+	}
+}

@@ -1,0 +1,149 @@
+package llm
+
+import (
+	"regexp"
+	"strings"
+)
+
+// QuestionKind classifies what a question asks for.
+type QuestionKind int
+
+// Question kinds the simulated model understands.
+const (
+	QuestionUnknown QuestionKind = iota
+	// QuestionComparative asks which of two subjects is more vulnerable.
+	QuestionComparative
+	// QuestionIncidentCause asks why an incident happened.
+	QuestionIncidentCause
+	// QuestionIncidentMechanism asks how an incident unfolded technically.
+	QuestionIncidentMechanism
+	// QuestionIncidentImpact asks what an incident's consequences were.
+	QuestionIncidentImpact
+)
+
+// Question is the parsed form of a natural-language question.
+type Question struct {
+	Kind     QuestionKind
+	Raw      string
+	Subjects [2]string // comparative: the two candidate subject phrases
+	Topic    string    // incident questions: the event phrase
+}
+
+var comparativeTriggers = []string{
+	"more vulnerable", "more at risk", "more exposed",
+	"fail first", "be affected first", "higher risk",
+}
+
+var reOrSplit = regexp.MustCompile(`(?i)[:?.]\s*(?:is it\s+)?(.{4,}?)\s+or\s+(.{4,}?)\s*[?.]?$`)
+
+// ParseQuestion classifies and decomposes a question. The grammar covers
+// the investigation phrasings used in the paper and the quiz: comparative
+// vulnerability questions with two "or"-separated subjects, and
+// cause/mechanism/impact questions about a named incident.
+func ParseQuestion(raw string) Question {
+	q := Question{Kind: QuestionUnknown, Raw: raw}
+	lower := strings.ToLower(strings.TrimSpace(raw))
+
+	if isComparative(lower) {
+		if a, b, ok := splitSubjects(raw); ok {
+			q.Kind = QuestionComparative
+			q.Subjects = [2]string{a, b}
+			return q
+		}
+	}
+	if topic, ok := matchIncident(lower, []string{"what caused", "why did", "what was the cause of", "happened because of what"}); ok {
+		q.Kind = QuestionIncidentCause
+		q.Topic = topic
+		return q
+	}
+	if topic, ok := matchIncident(lower, []string{"how did", "failure chain of", "what was the mechanism of", "how the", "unfold"}); ok {
+		q.Kind = QuestionIncidentMechanism
+		q.Topic = topic
+		return q
+	}
+	if topic, ok := matchIncident(lower, []string{"what was the impact of", "consequences of", "what did", "result in", "effects of"}); ok {
+		q.Kind = QuestionIncidentImpact
+		q.Topic = topic
+		return q
+	}
+	return q
+}
+
+func isComparative(lower string) bool {
+	for _, t := range comparativeTriggers {
+		if strings.Contains(lower, t) {
+			return true
+		}
+	}
+	// "Whose datacenter is more vulnerable" handled above; also accept
+	// bare "which is safer" phrasings.
+	return strings.Contains(lower, "safer") || strings.Contains(lower, "less vulnerable")
+}
+
+// splitSubjects pulls the two "X or Y" candidates out of a comparative
+// question. It prefers the text after the last sentence break so that the
+// preamble ("Which is more vulnerable to solar activity?") is not
+// swallowed into the first subject.
+func splitSubjects(raw string) (a, b string, ok bool) {
+	s := strings.TrimSpace(raw)
+	if m := reOrSplit.FindStringSubmatch(s); m != nil {
+		return cleanSubject(m[1]), cleanSubject(m[2]), true
+	}
+	// Single-sentence form: "Is X or Y more vulnerable?" / "X or Y?"
+	lower := strings.ToLower(s)
+	if i := strings.Index(lower, " or "); i > 0 {
+		left := s[:i]
+		right := s[i+4:]
+		// Trim the interrogative preamble from the left side.
+		for _, pre := range []string{"which is more vulnerable,", "is it", "which is safer,", "between"} {
+			if j := strings.Index(strings.ToLower(left), pre); j >= 0 {
+				left = left[j+len(pre):]
+			}
+		}
+		// Trim trailing verb phrase from the right side.
+		for _, post := range comparativeTriggers {
+			if j := strings.Index(strings.ToLower(right), post); j >= 0 {
+				right = right[:j]
+			}
+		}
+		a, b = cleanSubject(left), cleanSubject(right)
+		if len(a) >= 4 && len(b) >= 4 {
+			return a, b, true
+		}
+	}
+	return "", "", false
+}
+
+func cleanSubject(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.Trim(s, "?.!,")
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(strings.ToLower(s), "is it ") {
+		s = strings.TrimSpace(s[len("is it "):])
+	}
+	return s
+}
+
+// matchIncident extracts the incident phrase following any of the given
+// lead-ins.
+func matchIncident(lower string, leads []string) (string, bool) {
+	for _, lead := range leads {
+		i := strings.Index(lower, lead)
+		if i < 0 {
+			continue
+		}
+		rest := lower[i+len(lead):]
+		rest = strings.Trim(rest, " ?.!")
+		rest = strings.TrimPrefix(rest, "the ")
+		// Drop trailing clauses after the incident phrase.
+		for _, stop := range []string{" happen", " occur", " unfold", " fail", " cause"} {
+			if j := strings.Index(rest, stop); j > 0 {
+				rest = rest[:j]
+			}
+		}
+		if len(rest) >= 4 {
+			return rest, true
+		}
+	}
+	return "", false
+}

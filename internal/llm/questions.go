@@ -1,0 +1,137 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/facts"
+	"repro/internal/prompt"
+)
+
+// maxGeneratedQuestions caps one TaskQuestions completion.
+const maxGeneratedQuestions = 12
+
+// questions handles TaskQuestions: propose research questions grounded
+// in the knowledge at hand (§5's "generating high-quality research
+// questions"). Questions are comparative where the evidence names
+// comparable entities — the form whose answers are never ready-made in
+// any single document — plus investigation questions for known
+// incidents. A topic hint in the prompt's QUESTION section filters the
+// output.
+func (m *Sim) questions(p prompt.Prompt, ev *Evidence) prompt.QuestionsReply {
+	var out []string
+
+	// Comparative cable questions. Cables with known latitudes pair
+	// poleward-most against equatorward-most — the highest-contrast,
+	// immediately decidable questions. Cables known only by route pair
+	// among themselves: those questions require further self-learning,
+	// which is exactly what makes them research questions.
+	withLat, routeOnly := knownCables(ev)
+	for i, j := 0, len(withLat)-1; i < j; i, j = i+1, j-1 {
+		out = append(out, fmt.Sprintf(
+			"Which is more vulnerable to solar activity? The %s cable or the %s cable?",
+			withLat[i], withLat[j]))
+	}
+	for i := 0; i+1 < len(routeOnly); i += 2 {
+		out = append(out, fmt.Sprintf(
+			"Which is more vulnerable to solar activity? The %s cable or the %s cable?",
+			routeOnly[i], routeOnly[i+1]))
+	}
+
+	// Operator comparisons.
+	ops := make([]string, 0, len(ev.Footprints))
+	for op := range ev.Footprints {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for i := 0; i+1 < len(ops); i += 2 {
+		out = append(out, fmt.Sprintf(
+			"Whose datacenter is more vulnerable? %s's data centers or %s's data centers?",
+			ops[i], ops[i+1]))
+	}
+
+	// Grid comparisons: most-poleward vs most-equatorward known grids.
+	grids := make([]facts.GridProfile, 0, len(ev.Grids))
+	for _, g := range ev.Grids {
+		grids = append(grids, g)
+	}
+	sort.Slice(grids, func(i, j int) bool {
+		if grids[i].GeomagLat != grids[j].GeomagLat {
+			return grids[i].GeomagLat > grids[j].GeomagLat
+		}
+		return grids[i].Grid < grids[j].Grid
+	})
+	for i, j := 0, len(grids)-1; i < j; i, j = i+1, j-1 {
+		out = append(out, fmt.Sprintf(
+			"Which power grid is more at risk during a superstorm? The %s or the %s?",
+			gridPhrase(grids[i].Grid), gridPhrase(grids[j].Grid)))
+	}
+
+	// Class question, when both sides' mechanisms are known.
+	if ev.Rules[facts.RuleRepeater] && ev.Rules[facts.RuleTerrestrial] {
+		out = append(out, "Which is more vulnerable to a geomagnetic storm? Long submarine cables or terrestrial fiber links?")
+	}
+
+	// Incident investigation questions.
+	incidents := make([]string, 0, len(ev.Causes))
+	for _, c := range ev.Causes {
+		incidents = append(incidents, c.Incident)
+	}
+	sort.Strings(incidents)
+	for _, in := range incidents {
+		out = append(out, fmt.Sprintf("What caused the %s?", in))
+		out = append(out, fmt.Sprintf("How did the %s unfold?", in))
+	}
+
+	// Topic filter and cap.
+	topic := strings.TrimSpace(p.Question)
+	var reply prompt.QuestionsReply
+	for _, q := range out {
+		if topic != "" && tokenOverlap(topic, q) == 0 {
+			continue
+		}
+		reply.Questions = append(reply.Questions, q)
+		if len(reply.Questions) >= maxGeneratedQuestions {
+			break
+		}
+	}
+	return reply
+}
+
+// gridPhrase renders a grid name as a noun phrase, avoiding "Grid grid".
+func gridPhrase(name string) string {
+	lower := strings.ToLower(name)
+	if strings.HasSuffix(lower, "grid") || strings.HasSuffix(lower, "system") {
+		return name
+	}
+	return name + " grid"
+}
+
+// knownCables splits the evidenced cables into those with known
+// latitudes (ordered poleward-most first) and those known only by route
+// (sorted by name).
+func knownCables(ev *Evidence) (withLat, routeOnly []string) {
+	for c := range ev.CableLats {
+		withLat = append(withLat, c)
+	}
+	sort.Slice(withLat, func(i, j int) bool {
+		a, b := ev.CableLats[withLat[i]], ev.CableLats[withLat[j]]
+		if a.MaxGeomagLat != b.MaxGeomagLat {
+			return a.MaxGeomagLat > b.MaxGeomagLat
+		}
+		return withLat[i] < withLat[j]
+	})
+	seen := map[string]bool{}
+	for _, c := range withLat {
+		seen[c] = true
+	}
+	for _, r := range ev.Routes {
+		if !seen[r.Cable] {
+			seen[r.Cable] = true
+			routeOnly = append(routeOnly, r.Cable)
+		}
+	}
+	sort.Strings(routeOnly)
+	return withLat, routeOnly
+}

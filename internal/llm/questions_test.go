@@ -1,0 +1,159 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/facts"
+	"repro/internal/prompt"
+)
+
+func questionKnowledge() string {
+	return knowledge(
+		facts.CableLatitude{Cable: "TAT-14", MaxGeomagLat: 59},
+		facts.CableLatitude{Cable: "SACS", MaxGeomagLat: 8},
+		facts.CableLatitude{Cable: "Curie", MaxGeomagLat: 41},
+		facts.CableRoute{Cable: "EllaLink", FromCity: "Fortaleza", FromCountry: "Brazil",
+			ToCity: "Sines", ToCountry: "Portugal", FromRegion: "Brazil", ToRegion: "Europe"},
+		facts.OperatorFootprint{Operator: "Google", Facilities: 18, RegionCount: 7,
+			Regions: []string{"Asia"}, ShareLowLatPct: 44},
+		facts.OperatorFootprint{Operator: "Facebook", Facilities: 14, RegionCount: 4,
+			Regions: []string{"North America"}, ShareLowLatPct: 14},
+		facts.GridProfile{Grid: "Nordic Grid", GeomagLat: 65, LineKm: 400, Hardened: true},
+		facts.GridProfile{Grid: "Singapore Grid", GeomagLat: 9, LineKm: 40, Hardened: false},
+		facts.Rule{Kind: facts.RuleRepeater},
+		facts.Rule{Kind: facts.RuleTerrestrial},
+		facts.Rule{Kind: facts.RuleLatitude},
+		facts.Rule{Kind: facts.RuleSpread},
+		facts.Rule{Kind: facts.RuleGrid},
+		facts.IncidentCause{Incident: "2021 Facebook outage", Cause: "a bad command"},
+	)
+}
+
+func generate(t *testing.T, topic string) []string {
+	t.Helper()
+	out, err := NewSim().Complete(context.Background(), prompt.Prompt{
+		Task:      prompt.TaskQuestions,
+		Knowledge: questionKnowledge(),
+		Question:  topic,
+	}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := prompt.ParseQuestions(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply.Questions
+}
+
+func TestQuestionsCoverEntityKinds(t *testing.T) {
+	qs := generate(t, "")
+	joined := strings.ToLower(strings.Join(qs, " | "))
+	for _, want := range []string{"tat-14", "google", "nordic", "submarine cables or terrestrial", "facebook outage"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("generated set missing %q:\n%s", want, strings.Join(qs, "\n"))
+		}
+	}
+	// Highest-contrast cable pair first: TAT-14 (59) vs SACS (8).
+	if !strings.Contains(strings.ToLower(qs[0]), "tat-14") || !strings.Contains(strings.ToLower(qs[0]), "sacs") {
+		t.Errorf("first question should pair the latitude extremes: %q", qs[0])
+	}
+}
+
+func TestQuestionsAllWellFormed(t *testing.T) {
+	for _, q := range generate(t, "") {
+		if ParseQuestion(q).Kind == QuestionUnknown {
+			t.Errorf("generated question not parseable: %q", q)
+		}
+	}
+}
+
+func TestQuestionsSelfAnswerable(t *testing.T) {
+	// Every comparative question the model generates from this knowledge
+	// must be answerable by the same model with the same knowledge.
+	m := NewSim()
+	ctx := context.Background()
+	for _, q := range generate(t, "") {
+		parsed := ParseQuestion(q)
+		if parsed.Kind != QuestionComparative {
+			continue
+		}
+		out, err := m.Complete(ctx, prompt.Prompt{
+			Task: prompt.TaskAnswer, Knowledge: questionKnowledge(), Question: q,
+		}.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := prompt.ParseAnswer(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Verdict == "" {
+			t.Errorf("self-generated question unanswerable: %q -> %+v", q, reply)
+		}
+	}
+}
+
+func TestQuestionsTopicFilter(t *testing.T) {
+	qs := generate(t, "power grid superstorm")
+	if len(qs) == 0 {
+		t.Fatal("topic filter removed everything")
+	}
+	for _, q := range qs {
+		if tokenOverlap("power grid superstorm", q) == 0 {
+			t.Errorf("off-topic question: %q", q)
+		}
+	}
+}
+
+func TestQuestionsEmptyKnowledge(t *testing.T) {
+	out, err := NewSim().Complete(context.Background(),
+		prompt.Prompt{Task: prompt.TaskQuestions}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := prompt.ParseQuestions(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Questions) != 0 {
+		t.Errorf("no knowledge should yield no questions: %v", reply.Questions)
+	}
+}
+
+func TestGridPhrase(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Nordic Grid", "Nordic Grid"},
+		{"Brazil Interconnected System", "Brazil Interconnected System"},
+		{"Hydro-Quebec", "Hydro-Quebec grid"},
+	}
+	for _, tt := range tests {
+		if got := gridPhrase(tt.in); got != tt.want {
+			t.Errorf("gridPhrase(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestQuestionsCap(t *testing.T) {
+	// Many cables should not explode the question count.
+	var fs []facts.Fact
+	for i := 0; i < 40; i++ {
+		fs = append(fs, facts.CableLatitude{Cable: strings.Repeat("C", i%7+1), MaxGeomagLat: i})
+	}
+	out, err := NewSim().Complete(context.Background(), prompt.Prompt{
+		Task:      prompt.TaskQuestions,
+		Knowledge: knowledge(fs...),
+	}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := prompt.ParseQuestions(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Questions) > maxGeneratedQuestions {
+		t.Errorf("cap exceeded: %d questions", len(reply.Questions))
+	}
+}

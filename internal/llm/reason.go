@@ -1,0 +1,640 @@
+package llm
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/facts"
+	"repro/internal/index"
+)
+
+// Evidence is the structured view of the knowledge text in a prompt. It
+// is rebuilt on every completion from the prompt alone — the model holds
+// no hidden state between calls.
+type Evidence struct {
+	Routes      []facts.CableRoute
+	CableLats   map[string]facts.CableLatitude
+	CableSpecs  map[string]facts.CableSpec
+	Footprints  map[string]facts.OperatorFootprint
+	Grids       map[string]facts.GridProfile // keyed by lowercase grid name
+	Rules       map[facts.RuleKind]bool
+	Causes      map[string]facts.IncidentCause // keyed by lowercase incident
+	Mechanisms  map[string]facts.IncidentMechanism
+	Impacts     map[string][]facts.IncidentImpact
+	Mitigations []facts.Mitigation
+	Storms      []facts.StormEvent
+	// Conflicts holds fact keys whose sources disagree; conflicted facts
+	// are excluded from reasoning (see BuildEvidence).
+	Conflicts map[string]bool
+}
+
+// BuildEvidence extracts and organizes all facts present in knowledge
+// text, with conflict detection enabled: when two sources state
+// *different* values for the same fact (same key, different sentence),
+// neither is trusted — the paper's §5 names the knowledge-memory file as
+// an adversarial-data target, and refusing conflicted evidence turns a
+// poisoning attack into a denial of confidence instead of a flipped
+// conclusion.
+func BuildEvidence(knowledge string) *Evidence {
+	return BuildEvidenceMode(knowledge, false)
+}
+
+// BuildEvidenceMode is BuildEvidence with the conflict policy explicit.
+// acceptFirst=true reproduces the undefended behaviour (first statement
+// wins), kept for the adversarial-robustness ablation.
+func BuildEvidenceMode(knowledge string, acceptFirst bool) *Evidence {
+	ev := &Evidence{
+		CableLats:  map[string]facts.CableLatitude{},
+		CableSpecs: map[string]facts.CableSpec{},
+		Footprints: map[string]facts.OperatorFootprint{},
+		Grids:      map[string]facts.GridProfile{},
+		Rules:      map[facts.RuleKind]bool{},
+		Causes:     map[string]facts.IncidentCause{},
+		Mechanisms: map[string]facts.IncidentMechanism{},
+		Impacts:    map[string][]facts.IncidentImpact{},
+		Conflicts:  map[string]bool{},
+	}
+	extracted := facts.Extract(knowledge)
+	if !acceptFirst {
+		// Count the distinct statements per fact key. A key whose
+		// sources disagree is resolved by clear majority — one variant
+		// attested at least twice as often as every other (stale memory
+		// and republished corrections settle this way) — and otherwise
+		// marked conflicted and excluded, so a lone adversarial
+		// statement cannot flip a conclusion, only contest it.
+		variantCount := map[string]map[string]int{}
+		for _, f := range extracted {
+			key, sent := f.Key(), f.Sentence()
+			if variantCount[key] == nil {
+				variantCount[key] = map[string]int{}
+			}
+			variantCount[key][sent]++
+		}
+		winner := map[string]string{}
+		for key, variants := range variantCount {
+			if len(variants) == 1 {
+				continue
+			}
+			bestSent, best, secondBest := "", 0, 0
+			for sent, n := range variants {
+				switch {
+				case n > best:
+					secondBest, best, bestSent = best, n, sent
+				case n > secondBest:
+					secondBest = n
+				}
+			}
+			if best >= 2*secondBest {
+				winner[key] = bestSent
+			} else {
+				ev.Conflicts[key] = true
+			}
+		}
+		kept := extracted[:0]
+		for _, f := range extracted {
+			key := f.Key()
+			if ev.Conflicts[key] {
+				continue
+			}
+			if want, ok := winner[key]; ok && f.Sentence() != want {
+				continue // outvoted variant
+			}
+			kept = append(kept, f)
+		}
+		extracted = kept
+	}
+	for _, f := range facts.Dedup(extracted) {
+		switch v := f.(type) {
+		case facts.CableRoute:
+			ev.Routes = append(ev.Routes, v)
+		case facts.CableLatitude:
+			ev.CableLats[v.Cable] = v
+		case facts.CableSpec:
+			ev.CableSpecs[v.Cable] = v
+		case facts.OperatorFootprint:
+			ev.Footprints[v.Operator] = v
+		case facts.GridProfile:
+			ev.Grids[strings.ToLower(v.Grid)] = v
+		case facts.Rule:
+			ev.Rules[v.Kind] = true
+		case facts.IncidentCause:
+			ev.Causes[strings.ToLower(v.Incident)] = v
+		case facts.IncidentMechanism:
+			ev.Mechanisms[strings.ToLower(v.Incident)] = v
+		case facts.IncidentImpact:
+			key := strings.ToLower(v.Incident)
+			ev.Impacts[key] = append(ev.Impacts[key], v)
+		case facts.Mitigation:
+			ev.Mitigations = append(ev.Mitigations, v)
+		case facts.StormEvent:
+			ev.Storms = append(ev.Storms, v)
+		}
+	}
+	return ev
+}
+
+// FactCount returns the number of distinct facts in the evidence.
+func (ev *Evidence) FactCount() int {
+	n := len(ev.Routes) + len(ev.CableLats) + len(ev.CableSpecs) +
+		len(ev.Footprints) + len(ev.Grids) + len(ev.Rules) +
+		len(ev.Causes) + len(ev.Mechanisms) + len(ev.Mitigations) + len(ev.Storms)
+	for _, imp := range ev.Impacts {
+		n += len(imp)
+	}
+	return n
+}
+
+// need is one missing piece of evidence, with both a human-readable
+// description and the follow-up search query that would fill it.
+type need struct {
+	Desc  string
+	Query string
+}
+
+// subjectKind classifies a comparative subject.
+type subjectKind int
+
+const (
+	subjectUnknown subjectKind = iota
+	subjectCableEndpoints
+	subjectCableName
+	subjectOperator
+	subjectGrid
+	subjectClassSubmarine
+	subjectClassTerrestrial
+)
+
+// resolution is the outcome of grounding one subject phrase in evidence.
+type resolution struct {
+	Subject     string
+	Kind        subjectKind
+	Name        string // resolved entity (cable, operator, grid) if known
+	Score       float64
+	Specificity float64
+	WeightTotal int
+	WeightFound int
+	Missing     []need
+	Reasons     []string
+}
+
+// Complete reports whether all needed evidence was found.
+func (r resolution) Complete() bool { return r.WeightFound == r.WeightTotal && r.WeightTotal > 0 }
+
+// Evidence weights: entity-specific quantitative facts are worth more
+// than identification facts or general rules, reflecting how much each
+// contributes to a defensible answer.
+const (
+	weightQuant = 3
+	weightIdent = 1
+	weightRule  = 1
+)
+
+var reConnects = regexp.MustCompile(`(?i)connect(?:s|ing)?\s+(?:the\s+)?(.+?)\s+(?:to|and|with)\s+(?:the\s+)?(.+)$`)
+var reBetween = regexp.MustCompile(`(?i)between\s+(?:the\s+)?(.+?)\s+and\s+(?:the\s+)?(.+)$`)
+
+var regionAliases = map[string]string{
+	"us": "united states", "usa": "united states", "u.s.": "united states",
+	"america": "united states", "north america": "united states",
+	"uk": "europe", "united kingdom": "europe", "portugal": "europe",
+	"spain": "europe", "france": "europe", "germany": "europe",
+	"denmark": "europe", "ireland": "europe",
+}
+
+func normalizeRegion(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.TrimPrefix(s, "the ")
+	s = strings.Trim(s, " ?.!,")
+	if a, ok := regionAliases[s]; ok {
+		return a
+	}
+	return s
+}
+
+func regionMatch(q, f string) bool {
+	q, f = normalizeRegion(q), normalizeRegion(f)
+	if q == "" || f == "" {
+		return false
+	}
+	return q == f || strings.Contains(f, q) || strings.Contains(q, f)
+}
+
+// routeMatches reports whether a route fact links the two question
+// regions, in either direction. Countries and regions are both checked.
+func routeMatches(r facts.CableRoute, a, b string) bool {
+	aSide := func(s string) bool {
+		return regionMatch(s, r.FromRegion) || regionMatch(s, r.FromCountry)
+	}
+	bSide := func(s string) bool {
+		return regionMatch(s, r.ToRegion) || regionMatch(s, r.ToCountry)
+	}
+	return (aSide(a) && bSide(b)) || (aSide(b) && bSide(a))
+}
+
+// resolveSubject grounds one subject phrase against the evidence.
+func resolveSubject(subject string, ev *Evidence) resolution {
+	lower := strings.ToLower(subject)
+	switch {
+	case strings.Contains(lower, "terrestrial"):
+		return resolveClass(subject, ev, false)
+	case strings.Contains(lower, "data center") || strings.Contains(lower, "datacenter") || strings.Contains(lower, "data centre"):
+		return resolveOperator(subject, ev)
+	case reConnects.MatchString(subject) || (strings.Contains(lower, "cable") && reBetween.MatchString(subject)):
+		// "the cable that connects X to Y" and the elliptical "the one
+		// that connects X to Y" both resolve by endpoints.
+		return resolveCableEndpoints(subject, ev)
+	case strings.Contains(lower, "grid"):
+		return resolveGrid(subject, ev)
+	}
+	// Try a named cable before giving up.
+	if r, ok := resolveCableName(subject, ev); ok {
+		return r
+	}
+	// Possessive operator phrasing ("Google's or Facebook's").
+	if strings.Contains(lower, "'s") || knownOperator(subject, ev) != "" {
+		return resolveOperator(subject, ev)
+	}
+	if strings.Contains(lower, "submarine") {
+		return resolveClass(subject, ev, true)
+	}
+	return resolution{
+		Subject: subject, Kind: subjectUnknown, Specificity: 0.3,
+		WeightTotal: weightQuant, WeightFound: 0,
+		Missing: []need{{
+			Desc:  "background information about " + subject,
+			Query: subject,
+		}},
+	}
+}
+
+func resolveCableEndpoints(subject string, ev *Evidence) resolution {
+	res := resolution{Subject: subject, Kind: subjectCableEndpoints, Specificity: 1.0}
+	var a, b string
+	if m := reConnects.FindStringSubmatch(subject); m != nil {
+		a, b = m[1], m[2]
+	} else if m := reBetween.FindStringSubmatch(subject); m != nil {
+		a, b = m[1], m[2]
+	}
+	a, b = normalizeRegion(a), normalizeRegion(b)
+	res.WeightTotal = weightIdent + weightQuant + weightRule
+
+	var matched []facts.CableRoute
+	for _, r := range ev.Routes {
+		if routeMatches(r, a, b) {
+			matched = append(matched, r)
+		}
+	}
+	if len(matched) == 0 {
+		res.Missing = append(res.Missing, need{
+			Desc:  fmt.Sprintf("which submarine cable connects %s to %s", a, b),
+			Query: fmt.Sprintf("submarine cable connects %s to %s", a, b),
+		})
+		// Cannot name the latitude need without the cable name; count the
+		// quantitative weight as missing via a generic route-profile need.
+		res.Missing = append(res.Missing, need{
+			Desc:  fmt.Sprintf("the specific route and latitude profile of the cable between %s and %s", a, b),
+			Query: fmt.Sprintf("specific route of the fiber optic cable connecting %s to %s", a, b),
+		})
+	} else {
+		res.WeightFound += weightIdent
+		// Prefer the matched cable with a known latitude; among those,
+		// the most poleward one represents the corridor.
+		best := ""
+		bestLat := -1
+		for _, r := range matched {
+			if lat, ok := ev.CableLats[r.Cable]; ok && lat.MaxGeomagLat > bestLat {
+				best, bestLat = r.Cable, lat.MaxGeomagLat
+			}
+		}
+		if best == "" {
+			name := matched[0].Cable
+			res.Name = name
+			res.Missing = append(res.Missing, latitudeNeed(ev, name))
+		} else {
+			res.Name = best
+			res.WeightFound += weightQuant
+			res.Score = float64(bestLat) / 90
+			res.Reasons = append(res.Reasons,
+				fmt.Sprintf("the %s cable reaches geomagnetic latitude %d degrees", best, bestLat))
+			if spec, ok := ev.CableSpecs[best]; ok && ev.Rules[facts.RuleRepeater] {
+				res.Score += 0.05 * minF(float64(spec.Repeaters), 100) / 100
+				res.Reasons = append(res.Reasons,
+					fmt.Sprintf("it carries %d powered repeaters over %d kilometers", spec.Repeaters, spec.LengthKm))
+			}
+		}
+	}
+	res.addRuleNeed(ev, facts.RuleLatitude,
+		"how geomagnetic storm effects depend on latitude",
+		"geomagnetic storm effects higher latitudes")
+	return res
+}
+
+func resolveCableName(subject string, ev *Evidence) (resolution, bool) {
+	lower := strings.ToLower(subject)
+	name := ""
+	for cable := range ev.CableLats {
+		if strings.Contains(lower, strings.ToLower(cable)) {
+			name = cable
+			break
+		}
+	}
+	if name == "" {
+		for _, r := range ev.Routes {
+			if strings.Contains(lower, strings.ToLower(r.Cable)) {
+				name = r.Cable
+				break
+			}
+		}
+	}
+	if name == "" {
+		return resolution{}, false
+	}
+	res := resolution{Subject: subject, Kind: subjectCableName, Name: name, Specificity: 1.0}
+	res.WeightTotal = weightQuant + weightRule
+	if lat, ok := ev.CableLats[name]; ok {
+		res.WeightFound += weightQuant
+		res.Score = float64(lat.MaxGeomagLat) / 90
+		res.Reasons = append(res.Reasons,
+			fmt.Sprintf("the %s cable reaches geomagnetic latitude %d degrees", name, lat.MaxGeomagLat))
+	} else {
+		res.Missing = append(res.Missing, latitudeNeed(ev, name))
+	}
+	res.addRuleNeed(ev, facts.RuleLatitude,
+		"how geomagnetic storm effects depend on latitude",
+		"geomagnetic storm effects higher latitudes")
+	return res, true
+}
+
+// latitudeNeed names the missing latitude evidence for a cable; when the
+// sources on record disagree, it asks for corroboration instead.
+func latitudeNeed(ev *Evidence, cable string) need {
+	if ev.Conflicts["cablelat:"+cable] {
+		return need{
+			Desc:  fmt.Sprintf("independent corroboration of the %s cable's latitude profile (memorized sources conflict)", cable),
+			Query: fmt.Sprintf("independent corroboration %s route geomagnetic latitude", cable),
+		}
+	}
+	return need{
+		Desc:  fmt.Sprintf("the specific route and latitude profile of the %s cable", cable),
+		Query: fmt.Sprintf("route analysis specific path of %s geomagnetic latitude", cable),
+	}
+}
+
+// operatorStopwords are stripped when recovering an operator name from a
+// subject phrase.
+var operatorStopwords = map[string]bool{
+	"the": true, "data": true, "center": true, "centers": true,
+	"centre": true, "centres": true, "datacenter": true, "datacenters": true,
+	"of": true, "whose": true, "vulnerable": true, "more": true, "is": true,
+	"fleet": true, "facilities": true,
+}
+
+func knownOperator(subject string, ev *Evidence) string {
+	lower := strings.ToLower(subject)
+	for op := range ev.Footprints {
+		if strings.Contains(lower, strings.ToLower(op)) {
+			return op
+		}
+	}
+	return ""
+}
+
+// operatorName recovers the operator name from the phrase, preferring a
+// name present in evidence and falling back to the first non-stopword
+// token (with any possessive suffix stripped).
+func operatorName(subject string, ev *Evidence) string {
+	if op := knownOperator(subject, ev); op != "" {
+		return op
+	}
+	for _, tok := range strings.Fields(subject) {
+		t := strings.Trim(strings.ToLower(tok), "?.!,'s")
+		t = strings.TrimSuffix(t, "'")
+		if t == "" || operatorStopwords[t] {
+			continue
+		}
+		return strings.ToUpper(t[:1]) + t[1:]
+	}
+	return ""
+}
+
+func resolveOperator(subject string, ev *Evidence) resolution {
+	res := resolution{Subject: subject, Kind: subjectOperator, Specificity: 0.6}
+	res.WeightTotal = weightQuant + weightRule
+	name := operatorName(subject, ev)
+	res.Name = name
+	if fp, ok := ev.Footprints[name]; ok {
+		res.WeightFound += weightQuant
+		res.Score = 0.6*(1-float64(fp.ShareLowLatPct)/100) + 0.4*(1-minF(float64(fp.RegionCount), 6)/6)
+		res.Reasons = append(res.Reasons,
+			fmt.Sprintf("%s runs %d data centers across %d regions with %d percent at low geomagnetic latitudes",
+				fp.Operator, fp.Facilities, fp.RegionCount, fp.ShareLowLatPct))
+	} else {
+		res.Missing = append(res.Missing, need{
+			Desc:  fmt.Sprintf("the location and design of %s's data centers", name),
+			Query: fmt.Sprintf("geographic spread of %s data center locations", name),
+		})
+	}
+	res.addRuleNeed(ev, facts.RuleSpread,
+		"how regional spread affects resilience",
+		"regional failure domains service resilience data centers")
+	return res
+}
+
+func resolveGrid(subject string, ev *Evidence) resolution {
+	res := resolution{Subject: subject, Kind: subjectGrid, Specificity: 0.9}
+	res.WeightTotal = weightQuant + weightRule
+	lower := strings.ToLower(subject)
+	var found facts.GridProfile
+	ok := false
+	// Longest grid-name match wins ("US Northeast (PJM/NYISO)" vs "US").
+	bestLen := 0
+	for key, g := range ev.Grids {
+		if strings.Contains(lower, key) && len(key) > bestLen {
+			found, ok, bestLen = g, true, len(key)
+		}
+	}
+	if !ok {
+		// Fall back to token overlap against known grid names.
+		for key, g := range ev.Grids {
+			if index.Overlap(key, lower) >= 0.5 && len(key) > bestLen {
+				found, ok, bestLen = g, true, len(key)
+			}
+		}
+	}
+	if ok {
+		res.Name = found.Grid
+		res.WeightFound += weightQuant
+		score := 0.7*float64(found.GeomagLat)/90 + 0.3*minF(float64(found.LineKm), 600)/600
+		if found.Hardened {
+			score *= 0.7
+		}
+		res.Score = score
+		hardening := "no dedicated GIC protection"
+		if found.Hardened {
+			hardening = "GIC hardening in place"
+		}
+		res.Reasons = append(res.Reasons,
+			fmt.Sprintf("the %s sits at geomagnetic latitude %d degrees with %d kilometer lines and %s",
+				found.Grid, found.GeomagLat, found.LineKm, hardening))
+	} else {
+		clean := strings.TrimSpace(strings.NewReplacer("the ", "", " power", "", " grid", "").Replace(lower))
+		res.Name = clean
+		res.Missing = append(res.Missing, need{
+			Desc:  fmt.Sprintf("the profile of the %s power grid", clean),
+			Query: fmt.Sprintf("grid profile %s transmission lines geomagnetic", clean),
+		})
+	}
+	res.addRuleNeed(ev, facts.RuleGrid,
+		"why high latitude grids fail first in storms",
+		"how geomagnetically induced currents affect power systems")
+	return res
+}
+
+func resolveClass(subject string, ev *Evidence, submarine bool) resolution {
+	res := resolution{Subject: subject, Specificity: 0.9}
+	res.WeightTotal = weightRule
+	if submarine {
+		res.Kind = subjectClassSubmarine
+		res.Name = "submarine cables"
+		res.Score = 0.75
+		if ev.Rules[facts.RuleRepeater] {
+			res.WeightFound += weightRule
+			res.Reasons = append(res.Reasons,
+				"submarine cables are powered end to end, so every repeater is a potential failure point")
+		} else {
+			res.Missing = append(res.Missing, need{
+				Desc:  "how submarine cable repeaters are powered and fail",
+				Query: "submarine cable powered repeaters solar storms",
+			})
+		}
+		return res
+	}
+	res.Kind = subjectClassTerrestrial
+	res.Name = "terrestrial fiber"
+	res.Score = 0.15
+	if ev.Rules[facts.RuleTerrestrial] {
+		res.WeightFound += weightRule
+		res.Reasons = append(res.Reasons,
+			"terrestrial fiber uses short unpowered spans that are largely immune to induced currents")
+	} else {
+		res.Missing = append(res.Missing, need{
+			Desc:  "how terrestrial fiber differs from submarine systems",
+			Query: "terrestrial fiber versus submarine cable systems",
+		})
+	}
+	return res
+}
+
+// addRuleNeed credits a rule if present, or records the need for it.
+func (r *resolution) addRuleNeed(ev *Evidence, kind facts.RuleKind, desc, query string) {
+	if ev.Rules[kind] {
+		r.WeightFound += weightRule
+		return
+	}
+	r.Missing = append(r.Missing, need{Desc: desc, Query: query})
+}
+
+// comparison is the combined outcome of a comparative question.
+type comparison struct {
+	A, B       resolution
+	Winner     *resolution // nil when evidence is insufficient
+	Loser      *resolution
+	Coverage   float64
+	Confidence int
+	Missing    []need
+}
+
+// compare grounds both subjects and decides the comparative verdict.
+// The confidence scale follows the paper's dynamics: ~2-4 with general
+// knowledge only, rising past the threshold once the entity-specific
+// quantitative facts are in memory, capped lower for subjects whose
+// comparison is inherently more indirect (operator fleets).
+func compare(q Question, ev *Evidence) comparison {
+	a := resolveSubject(q.Subjects[0], ev)
+	b := resolveSubject(q.Subjects[1], ev)
+	c := comparison{A: a, B: b}
+	total := a.WeightTotal + b.WeightTotal
+	found := a.WeightFound + b.WeightFound
+	if total > 0 {
+		c.Coverage = float64(found) / float64(total)
+	}
+	spec := minF(a.Specificity, b.Specificity)
+	conf := 2 + 7*c.Coverage*spec
+	c.Confidence = int(conf + 0.5)
+	if !(a.Complete() && b.Complete()) && c.Confidence > 6 {
+		// Missing key evidence bounds self-assessed confidence: the agent
+		// cannot be near-certain about an answer it cannot yet ground.
+		c.Confidence = 6
+	}
+	if a.Complete() && b.Complete() {
+		if c.Coverage >= 1 && spec >= 1 {
+			// Fully evidenced, fully specific: "around 8 or 9".
+			c.Confidence = 8 + int(hashString(q.Raw)%2)
+		}
+		if a.Score >= b.Score {
+			c.Winner, c.Loser = &c.A, &c.B
+		} else {
+			c.Winner, c.Loser = &c.B, &c.A
+		}
+	} else {
+		c.Missing = append(c.Missing, a.Missing...)
+		c.Missing = append(c.Missing, b.Missing...)
+		c.Missing = dedupNeeds(c.Missing)
+	}
+	return c
+}
+
+func dedupNeeds(ns []need) []need {
+	seen := map[string]bool{}
+	out := ns[:0]
+	for _, n := range ns {
+		if !seen[n.Query] {
+			seen[n.Query] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sortedMitigations returns mitigation facts ordered with the canonical
+// plan ordering first, then any extras alphabetically.
+func sortedMitigations(ms []facts.Mitigation) []facts.Mitigation {
+	rank := map[string]int{}
+	for i, m := range facts.CanonicalMitigations() {
+		rank[m.Strategy] = i
+	}
+	out := append([]facts.Mitigation(nil), ms...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iOK := rank[out[i].Strategy]
+		rj, jOK := rank[out[j].Strategy]
+		switch {
+		case iOK && jOK:
+			return ri < rj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return out[i].Strategy < out[j].Strategy
+		}
+	})
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// hashString is a small deterministic string hash (FNV-1a).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(s) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

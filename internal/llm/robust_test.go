@@ -1,0 +1,208 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/facts"
+	"repro/internal/prompt"
+)
+
+// poisoned returns the full cable knowledge plus an adversarial latitude
+// fact asserting the opposite ordering (EllaLink poleward of everything).
+func poisoned() string {
+	poison := facts.CableLatitude{Cable: "EllaLink", MaxGeomagLat: 85}.Sentence()
+	// The attack prepends its statement so that undefended first-wins
+	// extraction adopts it.
+	return poison + " " + fullCableKnowledge()
+}
+
+func TestConflictDetectionDropsPoisonedFacts(t *testing.T) {
+	ev := BuildEvidence(poisoned())
+	if !ev.Conflicts["cablelat:EllaLink"] {
+		t.Fatal("conflict not detected")
+	}
+	if _, ok := ev.CableLats["EllaLink"]; ok {
+		t.Error("conflicted fact still in evidence")
+	}
+	if _, ok := ev.CableLats["Grace Hopper"]; !ok {
+		t.Error("unconflicted fact lost")
+	}
+}
+
+func TestIdenticalRepetitionIsNotConflict(t *testing.T) {
+	k := fullCableKnowledge() + " " + fullCableKnowledge()
+	ev := BuildEvidence(k)
+	if len(ev.Conflicts) != 0 {
+		t.Errorf("repetition misread as conflict: %v", ev.Conflicts)
+	}
+	if _, ok := ev.CableLats["EllaLink"]; !ok {
+		t.Error("repeated fact lost")
+	}
+}
+
+func TestPoisonFlipsUndefendedModel(t *testing.T) {
+	// The undefended (first-statement-wins) model adopts the poisoned
+	// latitude and reverses its verdict.
+	m := &Sim{MaxBrowsesPerGoal: 3, AcceptFirstOnConflict: true}
+	out, err := m.Complete(context.Background(),
+		prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: poisoned(), Question: cableQuestion}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(reply.Verdict), "brazil") {
+		t.Errorf("undefended verdict = %q, expected the poisoned (Brazil) side", reply.Verdict)
+	}
+}
+
+func TestPoisonOnlyDeniesDefendedModel(t *testing.T) {
+	// The defended model refuses the conflicted evidence: no verdict,
+	// reduced confidence, and a corroboration request — the attack
+	// degrades to denial of confidence.
+	out := complete(t, prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: poisoned(), Question: cableQuestion})
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Verdict != "" {
+		t.Errorf("defended model still concluded: %q", reply.Verdict)
+	}
+	if reply.Confidence >= 7 {
+		t.Errorf("defended confidence = %d, want < 7", reply.Confidence)
+	}
+	joined := strings.ToLower(strings.Join(reply.Missing, " "))
+	if !strings.Contains(joined, "corroboration") && !strings.Contains(joined, "conflict") {
+		t.Errorf("missing list should request corroboration: %v", reply.Missing)
+	}
+}
+
+func TestConflictMajorityResolution(t *testing.T) {
+	// A correction attested twice (an updated route analysis plus news
+	// coverage) outvotes one stale memory item: the model adopts the new
+	// value instead of abstaining. This is the long-term-robustness
+	// mechanism E12 exercises end to end.
+	stale := facts.CableLatitude{Cable: "Grace Hopper", MaxGeomagLat: 58}.Sentence()
+	fresh := facts.CableLatitude{Cable: "Grace Hopper", MaxGeomagLat: 52}.Sentence()
+	k := stale + " " + fresh + " " + fresh
+	ev := BuildEvidence(k)
+	if ev.Conflicts["cablelat:Grace Hopper"] {
+		t.Fatal("2-to-1 majority should resolve, not conflict")
+	}
+	got, ok := ev.CableLats["Grace Hopper"]
+	if !ok || got.MaxGeomagLat != 52 {
+		t.Errorf("majority variant not adopted: %+v", got)
+	}
+	// 1-to-1 stays conflicted.
+	ev = BuildEvidence(stale + " " + fresh)
+	if !ev.Conflicts["cablelat:Grace Hopper"] {
+		t.Error("1-to-1 disagreement should be a conflict")
+	}
+	// 3-to-2 is not a clear (2x) majority either.
+	k32 := strings.Repeat(stale+" ", 3) + strings.Repeat(fresh+" ", 2)
+	ev = BuildEvidence(k32)
+	if !ev.Conflicts["cablelat:Grace Hopper"] {
+		t.Error("3-to-2 should remain conflicted (no 2x majority)")
+	}
+}
+
+func TestEnsembleMajorityVote(t *testing.T) {
+	// Two defended members and one undefended member, on poisoned
+	// knowledge: the undefended member flips, the majority abstains.
+	ens := NewEnsemble(NewSim(), NewSim(), &Sim{MaxBrowsesPerGoal: 3, AcceptFirstOnConflict: true})
+	out, err := ens.Complete(context.Background(),
+		prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: poisoned(), Question: cableQuestion}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Verdict != "" {
+		t.Errorf("ensemble adopted the minority verdict %q", reply.Verdict)
+	}
+}
+
+func TestEnsembleAgreementPassesThrough(t *testing.T) {
+	ens := NewEnsemble(NewSim(), NewSim(), NewSim())
+	out, err := ens.Complete(context.Background(),
+		prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: fullCableKnowledge(), Question: cableQuestion}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(reply.Verdict), "us to europe") {
+		t.Errorf("ensemble verdict = %q", reply.Verdict)
+	}
+	if reply.Confidence < 8 {
+		t.Errorf("ensemble confidence = %d", reply.Confidence)
+	}
+}
+
+func TestEnsembleSplitAbstains(t *testing.T) {
+	// 1 defended vs 1 undefended on poisoned knowledge: a 1-1 split with
+	// different verdicts must abstain at low confidence.
+	ens := NewEnsemble(NewSim(), &Sim{MaxBrowsesPerGoal: 3, AcceptFirstOnConflict: true})
+	out, err := ens.Complete(context.Background(),
+		prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: poisoned(), Question: cableQuestion}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := prompt.ParseAnswer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Verdict != "" || reply.Confidence > 4 {
+		t.Errorf("split ensemble should abstain at low confidence: %+v", reply)
+	}
+}
+
+func TestEnsembleDelegatesOtherTasks(t *testing.T) {
+	ens := NewEnsemble(NewSim(), NewSim())
+	out, err := ens.Complete(context.Background(),
+		prompt.Prompt{Task: prompt.TaskStep, Goal: "understand solar storms"}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := prompt.ParseStep(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Command.Name != "google" {
+		t.Errorf("delegated step command = %q", step.Command.Name)
+	}
+}
+
+// failingModel always errors.
+type failingModel struct{}
+
+func (failingModel) Complete(context.Context, string) (string, error) {
+	return "", errors.New("member down")
+}
+
+func TestEnsembleMemberErrorPropagates(t *testing.T) {
+	ens := NewEnsemble(NewSim(), failingModel{})
+	_, err := ens.Complete(context.Background(),
+		prompt.Prompt{Task: prompt.TaskAnswer, Question: cableQuestion}.Encode())
+	if err == nil || !strings.Contains(err.Error(), "member 1") {
+		t.Errorf("err = %v, want member error", err)
+	}
+}
+
+func TestEnsemblePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEnsemble()
+}

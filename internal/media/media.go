@@ -1,0 +1,97 @@
+// Package media implements the simulated multimodal channel (§5:
+// "software agents should also see and listen like human beings").
+//
+// An "image" document carries a plain-text alt caption (which search
+// engines index, as they do for real images) and an opaque pixel payload
+// holding the information the image actually shows. Text-only models
+// cannot read the payload — it is deliberately encoded so that no fact
+// pattern matches — while a vision-capable model decodes it back into
+// sentences before reasoning. The encoding is ROT13: trivially
+// reversible (this is a capability gate, not cryptography) and
+// guaranteed not to collide with the canonical fact vocabulary.
+package media
+
+import "strings"
+
+// Markers framing an image document body.
+const (
+	imageHeader  = "[image] alt: "
+	payloadStart = "\nimgdata: "
+)
+
+// rot13 maps letters; everything else passes through.
+func rot13(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z':
+			return 'a' + (r-'a'+13)%26
+		case r >= 'A' && r <= 'Z':
+			return 'A' + (r-'A'+13)%26
+		default:
+			return r
+		}
+	}, s)
+}
+
+// EncodeImage renders an image document body: indexed caption plus the
+// opaque payload carrying the hidden content.
+func EncodeImage(caption, hidden string) string {
+	return imageHeader + caption + payloadStart + rot13(hidden)
+}
+
+// IsImage reports whether a document body is an encoded image.
+func IsImage(body string) bool {
+	return strings.HasPrefix(body, imageHeader) && strings.Contains(body, payloadStart)
+}
+
+// DecodeImage splits an image body into its caption and hidden content.
+func DecodeImage(body string) (caption, hidden string, ok bool) {
+	if !IsImage(body) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(body, imageHeader)
+	caption, payload, _ := strings.Cut(rest, payloadStart)
+	return caption, rot13(payload), true
+}
+
+// Reveal replaces every embedded image in text with its decoded hidden
+// content — what a vision-capable model "sees". Text without images is
+// returned unchanged. Images may appear anywhere in the text (e.g.,
+// concatenated knowledge-memory items).
+func Reveal(text string) string {
+	if !strings.Contains(text, imageHeader) {
+		return text
+	}
+	var b strings.Builder
+	for {
+		i := strings.Index(text, imageHeader)
+		if i < 0 {
+			b.WriteString(text)
+			return b.String()
+		}
+		b.WriteString(text[:i])
+		rest := text[i:]
+		// The payload runs to the end of its line.
+		pStart := strings.Index(rest, payloadStart)
+		if pStart < 0 {
+			b.WriteString(rest)
+			return b.String()
+		}
+		afterPayload := rest[pStart+len(payloadStart):]
+		end := strings.IndexByte(afterPayload, '\n')
+		var payload, tail string
+		if end < 0 {
+			payload, tail = afterPayload, ""
+		} else {
+			payload, tail = afterPayload[:end], afterPayload[end:]
+		}
+		caption := rest[len(imageHeader):pStart]
+		// The caption closes as its own sentence so the decoded payload
+		// stands alone, where the fact extractor can recognize it.
+		b.WriteString("Image showing ")
+		b.WriteString(strings.TrimRight(caption, ". "))
+		b.WriteString(". ")
+		b.WriteString(rot13(payload))
+		text = tail
+	}
+}

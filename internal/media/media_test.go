@@ -1,0 +1,89 @@
+package media
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/facts"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	body := EncodeImage("route map of the Amitie cable", "The hidden latitude is 55 degrees.")
+	if !IsImage(body) {
+		t.Fatal("encoded body not recognized as image")
+	}
+	caption, hidden, ok := DecodeImage(body)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if caption != "route map of the Amitie cable" {
+		t.Errorf("caption = %q", caption)
+	}
+	if hidden != "The hidden latitude is 55 degrees." {
+		t.Errorf("hidden = %q", hidden)
+	}
+}
+
+func TestEncodedPayloadCarriesNoExtractableFacts(t *testing.T) {
+	// The capability gate: a text-only reader must extract nothing from
+	// an image, even when the hidden content is a canonical fact.
+	f := facts.CableLatitude{Cable: "Amitie", MaxGeomagLat: 55}
+	body := EncodeImage("route map", f.Sentence())
+	if got := facts.Extract(body); len(got) != 0 {
+		t.Errorf("text-only extraction saw through the image: %v", got)
+	}
+	// A vision-capable reader recovers it.
+	revealed := Reveal(body)
+	got := facts.Extract(revealed)
+	if len(got) != 1 || got[0].Key() != f.Key() {
+		t.Errorf("revealed extraction = %v", got)
+	}
+}
+
+func TestRevealPlainTextUnchanged(t *testing.T) {
+	text := "Just ordinary prose. Nothing to see."
+	if got := Reveal(text); got != text {
+		t.Errorf("Reveal mangled plain text: %q", got)
+	}
+}
+
+func TestRevealMixedContent(t *testing.T) {
+	f := facts.Rule{Kind: facts.RuleLatitude}
+	text := "Before. " + EncodeImage("a chart", f.Sentence()) + "\nAfter."
+	revealed := Reveal(text)
+	if !strings.Contains(revealed, "Before.") || !strings.Contains(revealed, "After.") {
+		t.Errorf("surrounding text lost: %q", revealed)
+	}
+	if got := facts.Extract(revealed); len(got) != 1 {
+		t.Errorf("embedded fact not revealed: %v", got)
+	}
+}
+
+func TestRevealMultipleImages(t *testing.T) {
+	a := facts.CableLatitude{Cable: "A", MaxGeomagLat: 10}
+	b := facts.CableLatitude{Cable: "B", MaxGeomagLat: 60}
+	text := EncodeImage("map a", a.Sentence()) + "\n" + EncodeImage("map b", b.Sentence())
+	got := facts.Extract(Reveal(text))
+	if len(got) != 2 {
+		t.Errorf("expected both facts, got %v", got)
+	}
+}
+
+func TestRot13Involution(t *testing.T) {
+	f := func(s string) bool {
+		return rot13(rot13(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsImageRejectsPlain(t *testing.T) {
+	if IsImage("not an image") {
+		t.Error("plain text misclassified")
+	}
+	if _, _, ok := DecodeImage("not an image"); ok {
+		t.Error("decode of plain text should fail")
+	}
+}

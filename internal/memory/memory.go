@@ -1,0 +1,285 @@
+// Package memory implements the agent's knowledge memory: the long-term
+// store the paper persists as knowledge.json. Each item is a piece of
+// natural-language knowledge with its provenance (the URL it came from
+// and the query that surfaced it). Retrieval scores items by a weighted
+// blend of relevance, recency and importance — the retrieval function of
+// the generative-agents architecture the paper builds on — and the
+// weights are configurable so the A1 ablation can compare relevance-only
+// retrieval against the full blend.
+package memory
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/facts"
+	"repro/internal/index"
+)
+
+// Item is one memorized piece of knowledge.
+type Item struct {
+	ID         string  `json:"id"`
+	Text       string  `json:"text"`
+	Source     string  `json:"source"` // URL the knowledge came from
+	Topic      string  `json:"topic"`  // query that surfaced it
+	Seq        int64   `json:"seq"`    // logical insertion time
+	Importance float64 `json:"importance"`
+}
+
+// Weights configures retrieval scoring. Zero-value weights are replaced
+// by DefaultWeights.
+type Weights struct {
+	Relevance  float64 `json:"relevance"`
+	Recency    float64 `json:"recency"`
+	Importance float64 `json:"importance"`
+}
+
+// DefaultWeights is the standard blend.
+var DefaultWeights = Weights{Relevance: 0.7, Recency: 0.1, Importance: 0.2}
+
+// RelevanceOnly scores purely by query relevance (ablation A1 baseline).
+var RelevanceOnly = Weights{Relevance: 1}
+
+// Store is the knowledge memory. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	items   []Item
+	byHash  map[string]bool
+	idx     *index.Index
+	seq     int64
+	weights Weights
+}
+
+// NewStore returns an empty store with the given weights.
+func NewStore(w Weights) *Store {
+	if w == (Weights{}) {
+		w = DefaultWeights
+	}
+	return &Store{byHash: map[string]bool{}, idx: index.New(), weights: w}
+}
+
+// Len returns the number of items.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// contentHash canonicalizes and hashes item text for deduplication.
+func contentHash(text string) string {
+	sum := sha256.Sum256([]byte(strings.Join(strings.Fields(text), " ")))
+	return hex.EncodeToString(sum[:8])
+}
+
+// sanitize strips prompt-framing sequences so memorized web content can
+// never break the prompt protocol (the paper's §5 notes memory files can
+// be targets of adversarial data).
+func sanitize(text string) string {
+	return strings.ReplaceAll(text, "### ", "")
+}
+
+// Add memorizes text with its provenance. Duplicate content (after
+// whitespace normalization) is ignored; the second return reports whether
+// the item was new. Importance is the density of extractable structured
+// facts in the text.
+func (s *Store) Add(text, source, topic string) (Item, bool) {
+	text = sanitize(strings.TrimSpace(text))
+	if text == "" {
+		return Item{}, false
+	}
+	h := contentHash(text)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byHash[h] {
+		return Item{}, false
+	}
+	s.byHash[h] = true
+	s.seq++
+	nFacts := len(facts.Extract(text))
+	imp := float64(nFacts) / 4
+	if imp > 1 {
+		imp = 1
+	}
+	it := Item{
+		ID:         fmt.Sprintf("k%04d-%s", s.seq, h),
+		Text:       text,
+		Source:     source,
+		Topic:      topic,
+		Seq:        s.seq,
+		Importance: imp,
+	}
+	s.items = append(s.items, it)
+	s.idx.Add(index.Doc{ID: it.ID, Title: topic, Body: text})
+	return it, true
+}
+
+// Retrieve returns the top-k items for the query under the store's
+// weight blend. Relevance comes from BM25 over item text (normalized to
+// the top score), recency decays exponentially with age in insertions,
+// importance is the stored fact density.
+func (s *Store) Retrieve(query string, k int) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if k <= 0 || len(s.items) == 0 {
+		return nil
+	}
+	hits := s.idx.Search(query, len(s.items))
+	rel := map[string]float64{}
+	var maxScore float64
+	for _, h := range hits {
+		if h.Score > maxScore {
+			maxScore = h.Score
+		}
+	}
+	for _, h := range hits {
+		if maxScore > 0 {
+			rel[h.ID] = h.Score / maxScore
+		}
+	}
+	type scored struct {
+		item  Item
+		score float64
+	}
+	out := make([]scored, 0, len(s.items))
+	for _, it := range s.items {
+		age := float64(s.seq - it.Seq)
+		recency := 1.0
+		if age > 0 {
+			recency = 1 / (1 + age/10)
+		}
+		sc := s.weights.Relevance*rel[it.ID] +
+			s.weights.Recency*recency +
+			s.weights.Importance*it.Importance
+		out = append(out, scored{it, sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].item.Seq < out[j].item.Seq
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	items := make([]Item, len(out))
+	for i, sc := range out {
+		items[i] = sc.item
+	}
+	return items
+}
+
+// KnowledgeText renders the top-k items for a query as the KNOWLEDGE
+// section of a prompt. With an empty query it concatenates the k most
+// recent items instead.
+func (s *Store) KnowledgeText(query string, k int) string {
+	var items []Item
+	if strings.TrimSpace(query) == "" {
+		items = s.Recent(k)
+	} else {
+		items = s.Retrieve(query, k)
+	}
+	var b strings.Builder
+	for _, it := range items {
+		b.WriteString(it.Text)
+		if !strings.HasSuffix(it.Text, ".") {
+			b.WriteString(".")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Recent returns the k most recently added items, newest first.
+func (s *Store) Recent(k int) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.items)
+	if k > n {
+		k = n
+	}
+	out := make([]Item, 0, k)
+	for i := n - 1; i >= n-k; i-- {
+		out = append(out, s.items[i])
+	}
+	return out
+}
+
+// All returns a copy of every item in insertion order.
+func (s *Store) All() []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Item(nil), s.items...)
+}
+
+// Sources returns the distinct source URLs in the store, sorted. Used to
+// verify the agent never saw a restricted document.
+func (s *Store) Sources() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	for _, it := range s.items {
+		seen[it.Source] = true
+	}
+	out := make([]string, 0, len(seen))
+	for src := range seen {
+		out = append(out, src)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// file is the JSON schema of knowledge.json.
+type file struct {
+	Items []Item `json:"knowledge"`
+}
+
+// Save writes the store to path as knowledge.json.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	data, err := json.MarshalIndent(file{Items: s.items}, "", "  ")
+	s.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("memory: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("memory: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load replaces the store contents from a knowledge.json file.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("memory: read %s: %w", path, err)
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("memory: parse %s: %w", path, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = nil
+	s.byHash = map[string]bool{}
+	s.idx = index.New()
+	s.seq = 0
+	for _, it := range f.Items {
+		h := contentHash(it.Text)
+		if s.byHash[h] {
+			continue
+		}
+		s.byHash[h] = true
+		if it.Seq > s.seq {
+			s.seq = it.Seq
+		}
+		s.items = append(s.items, it)
+		s.idx.Add(index.Doc{ID: it.ID, Title: it.Topic, Body: it.Text})
+	}
+	return nil
+}

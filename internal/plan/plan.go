@@ -1,0 +1,92 @@
+// Package plan evaluates the agent's planning ability (§4.3): the agent
+// is asked for a "shutdown" response plan for a future superstorm, and
+// the generated plan is scored against the human-researcher reference
+// plan (Predictive Shutdown, Redundancy Utilization, Phased Shutdown,
+// Data Preservation, Gradual Reboot). The paper reports the first two
+// elements "highly consistent"; the overlap report quantifies that.
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/facts"
+	"repro/internal/index"
+	"repro/internal/prompt"
+)
+
+// Item aliases the prompt plan item.
+type Item = prompt.PlanItem
+
+// Reference returns the human-researcher plan from the paper's §4.3
+// snippet, as canonical strategy elements.
+func Reference() []Item {
+	var out []Item
+	for _, m := range facts.CanonicalMitigations() {
+		out = append(out, Item{Name: m.Strategy, Description: m.Description})
+	}
+	return out
+}
+
+// ElementScore is the per-element comparison of an agent plan against
+// the reference.
+type ElementScore struct {
+	Element    string  `json:"element"`
+	Present    bool    `json:"present"`
+	Similarity float64 `json:"similarity"` // description token overlap, 0..1
+}
+
+// Report summarizes plan overlap.
+type Report struct {
+	Elements  []ElementScore `json:"elements"`
+	Matched   int            `json:"matched"`
+	Total     int            `json:"total"`
+	Extra     []string       `json:"extra"` // agent strategies not in the reference
+	MeanMatch float64        `json:"mean_match"`
+}
+
+// Compare scores an agent-generated plan against the reference plan.
+// An element counts as present when the agent proposes a strategy with
+// the same canonical name, or one whose description overlaps the
+// reference description by at least half its terms.
+func Compare(got []Item) Report {
+	ref := Reference()
+	rep := Report{Total: len(ref)}
+	used := map[int]bool{}
+	var simSum float64
+	for _, r := range ref {
+		best, bestSim, bestIdx := false, 0.0, -1
+		for i, g := range got {
+			if used[i] {
+				continue
+			}
+			var sim float64
+			if strings.EqualFold(g.Name, r.Name) {
+				sim = 1.0
+				if g.Description != "" {
+					sim = 0.5 + 0.5*index.Overlap(r.Description, g.Description)
+				}
+			} else {
+				sim = index.Overlap(r.Description, g.Description)
+			}
+			if sim > bestSim {
+				bestSim, bestIdx = sim, i
+				best = sim >= 0.5
+			}
+		}
+		if best {
+			used[bestIdx] = true
+			rep.Matched++
+			simSum += bestSim
+		}
+		rep.Elements = append(rep.Elements, ElementScore{Element: r.Name, Present: best, Similarity: bestSim})
+	}
+	for i, g := range got {
+		if !used[i] {
+			rep.Extra = append(rep.Extra, g.Name)
+		}
+	}
+	if rep.Matched > 0 {
+		rep.MeanMatch = simSum / float64(rep.Matched)
+	}
+	return rep
+}

@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func TestReference(t *testing.T) {
+	ref := Reference()
+	if len(ref) != 5 {
+		t.Fatalf("reference plan has %d elements, want 5", len(ref))
+	}
+	if ref[0].Name != "predictive shutdown" || ref[4].Name != "gradual reboot" {
+		t.Errorf("reference order wrong: %+v", ref)
+	}
+	for _, it := range ref {
+		if it.Description == "" {
+			t.Errorf("element %q missing description", it.Name)
+		}
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	rep := Compare(Reference())
+	if rep.Matched != 5 || rep.Total != 5 {
+		t.Errorf("identical plan matched %d/%d", rep.Matched, rep.Total)
+	}
+	if rep.MeanMatch < 0.99 {
+		t.Errorf("identical plan mean match = %f", rep.MeanMatch)
+	}
+	if len(rep.Extra) != 0 {
+		t.Errorf("identical plan has extras: %v", rep.Extra)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	rep := Compare(nil)
+	if rep.Matched != 0 || rep.Total != 5 {
+		t.Errorf("empty plan matched %d/%d", rep.Matched, rep.Total)
+	}
+	for _, e := range rep.Elements {
+		if e.Present {
+			t.Errorf("element %q should be absent", e.Element)
+		}
+	}
+}
+
+func TestComparePartialAndRenamed(t *testing.T) {
+	ref := Reference()
+	got := []Item{
+		{Name: "Predictive Shutdown", Description: ref[0].Description},  // case-insensitive name match
+		{Name: "traffic failover", Description: ref[1].Description},     // matched by description only
+		{Name: "buy more coffee", Description: "unrelated description"}, // extra
+	}
+	rep := Compare(got)
+	if rep.Matched != 2 {
+		t.Errorf("matched %d, want 2: %+v", rep.Matched, rep.Elements)
+	}
+	if len(rep.Extra) != 1 || rep.Extra[0] != "buy more coffee" {
+		t.Errorf("extras = %v", rep.Extra)
+	}
+	for _, e := range rep.Elements {
+		switch e.Element {
+		case "predictive shutdown", "redundancy utilization":
+			if !e.Present {
+				t.Errorf("%s should be present", e.Element)
+			}
+		default:
+			if e.Present {
+				t.Errorf("%s should be absent", e.Element)
+			}
+		}
+	}
+}
+
+func TestCompareDoesNotDoubleCount(t *testing.T) {
+	ref := Reference()
+	// One agent item cannot satisfy two reference elements.
+	got := []Item{{Name: "predictive shutdown", Description: ref[0].Description}}
+	rep := Compare(got)
+	if rep.Matched != 1 {
+		t.Errorf("matched %d, want 1", rep.Matched)
+	}
+}
+
+// TestTrainedAgentPlanOverlap reproduces §4.3's shape: the trained agent's
+// plan covers predictive shutdown and redundancy utilization.
+func TestTrainedAgentPlanOverlap(t *testing.T) {
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil, agent.Config{})
+	ctx := context.Background()
+	if _, err := bob.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.SelfLearn(ctx, []string{"operator response planning severe space weather"}); err != nil {
+		t.Fatal(err)
+	}
+	items, err := bob.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(items)
+	present := map[string]bool{}
+	for _, e := range rep.Elements {
+		present[e.Element] = e.Present
+	}
+	if !present["predictive shutdown"] || !present["redundancy utilization"] {
+		t.Errorf("core strategies absent: %+v", rep.Elements)
+	}
+	if rep.Matched < 2 {
+		t.Errorf("matched %d/5, want >= 2", rep.Matched)
+	}
+}

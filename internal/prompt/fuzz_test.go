@@ -1,0 +1,64 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the prompt parser must never panic and, on success, re-encode
+// to a prompt that parses identically (encode/parse is a retraction).
+func FuzzParse(f *testing.F) {
+	f.Add(Prompt{Task: TaskAnswer, Role: "Bob", Knowledge: "facts", Question: "q"}.Encode())
+	f.Add(Prompt{Task: TaskStep, Goal: "g", History: "ran google \"q\" -> results: u"}.Encode())
+	f.Add("### TASK:\nanswer\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		again, err := Parse(p.Encode())
+		if err != nil {
+			t.Fatalf("re-parse of encoded prompt failed: %v", err)
+		}
+		if again != p {
+			t.Errorf("parse/encode not stable:\n%+v\n%+v", p, again)
+		}
+	})
+}
+
+// FuzzParseStep: arbitrary reply text either fails cleanly or yields a
+// command that re-encodes stably.
+func FuzzParseStep(f *testing.F) {
+	f.Add(StepReply{Thoughts: "t", Reasoning: "r", Command: Command{Name: "google", Arg: "q"}}.Encode())
+	f.Add("COMMAND: browse_website \"https://x\"\n")
+	f.Add("COMMAND: broken \"unterminated\n")
+	f.Add("no command at all")
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseStep(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseStep(r.Encode())
+		if err != nil {
+			t.Fatalf("re-parse of encoded step failed: %v (from %q)", err, s)
+		}
+		if again.Command != r.Command {
+			t.Errorf("command not stable: %+v vs %+v", r.Command, again.Command)
+		}
+	})
+}
+
+// FuzzParseHistory: garbage in, no panic, and well-formed lines written by
+// the runtime always parse.
+func FuzzParseHistory(f *testing.F) {
+	f.Add(HistoryGoogle("a query", []string{"https://u/1"}))
+	f.Add(HistoryBrowse("https://u/2", 3))
+	f.Add(HistoryError("google", "q", "boom"))
+	f.Add("ran google \"half")
+	f.Add(strings.Repeat("ran ", 50))
+	f.Fuzz(func(t *testing.T, s string) {
+		_ = ParseHistory(s)
+	})
+}

@@ -1,0 +1,76 @@
+package prompt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// History line formats shared between the Auto-GPT runtime (which writes
+// them) and the model (which reads them to decide the next command). Like
+// everything else at the model boundary, history is plain text.
+
+// HistoryEvent is one parsed history line.
+type HistoryEvent struct {
+	Command string   // "google" or "browse_website"
+	Arg     string   // query or URL
+	URLs    []string // result URLs (google events)
+	Saved   int      // facts saved (browse events)
+}
+
+// HistoryGoogle renders a search event.
+func HistoryGoogle(query string, urls []string) string {
+	return fmt.Sprintf("ran google %q -> results: %s", query, strings.Join(urls, " | "))
+}
+
+// HistoryBrowse renders a page-visit event.
+func HistoryBrowse(url string, saved int) string {
+	return fmt.Sprintf("ran browse_website %q -> saved %d facts", url, saved)
+}
+
+// HistoryError renders a failed command event.
+func HistoryError(command, arg, errMsg string) string {
+	return fmt.Sprintf("ran %s %q -> error: %s", command, arg, errMsg)
+}
+
+// ParseHistory decodes history lines; unknown lines are skipped.
+func ParseHistory(history string) []HistoryEvent {
+	var out []HistoryEvent
+	for _, line := range strings.Split(history, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "ran ") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "ran ")
+		cmd, rest, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		argEnd := strings.Index(rest, "\" ->")
+		if !strings.HasPrefix(rest, "\"") || argEnd < 0 {
+			continue
+		}
+		arg, err := strconv.Unquote(rest[:argEnd+1])
+		if err != nil {
+			continue
+		}
+		ev := HistoryEvent{Command: cmd, Arg: arg}
+		tail := rest[argEnd+len("\" ->"):]
+		tail = strings.TrimSpace(tail)
+		switch {
+		case strings.HasPrefix(tail, "results:"):
+			list := strings.TrimSpace(strings.TrimPrefix(tail, "results:"))
+			if list != "" {
+				for _, u := range strings.Split(list, " | ") {
+					if u = strings.TrimSpace(u); u != "" {
+						ev.URLs = append(ev.URLs, u)
+					}
+				}
+			}
+		case strings.HasPrefix(tail, "saved "):
+			fmt.Sscanf(tail, "saved %d facts", &ev.Saved)
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package prompt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHistoryGoogleRoundTrip(t *testing.T) {
+	line := HistoryGoogle("solar storms", []string{"https://a/1", "https://b/2"})
+	evs := ParseHistory(line)
+	if len(evs) != 1 {
+		t.Fatalf("parsed %d events", len(evs))
+	}
+	want := HistoryEvent{Command: "google", Arg: "solar storms", URLs: []string{"https://a/1", "https://b/2"}}
+	if !reflect.DeepEqual(evs[0], want) {
+		t.Errorf("event = %+v, want %+v", evs[0], want)
+	}
+}
+
+func TestHistoryGoogleNoResults(t *testing.T) {
+	evs := ParseHistory(HistoryGoogle("obscure query", nil))
+	if len(evs) != 1 || len(evs[0].URLs) != 0 {
+		t.Errorf("no-result event = %+v", evs)
+	}
+}
+
+func TestHistoryBrowseRoundTrip(t *testing.T) {
+	evs := ParseHistory(HistoryBrowse("https://x/page", 4))
+	if len(evs) != 1 {
+		t.Fatalf("parsed %d events", len(evs))
+	}
+	if evs[0].Command != "browse_website" || evs[0].Arg != "https://x/page" || evs[0].Saved != 4 {
+		t.Errorf("event = %+v", evs[0])
+	}
+}
+
+func TestHistoryErrorLine(t *testing.T) {
+	line := HistoryError("google", "query", "websim: transient failure")
+	evs := ParseHistory(line)
+	if len(evs) != 1 || evs[0].Command != "google" || evs[0].Arg != "query" {
+		t.Errorf("error event = %+v", evs)
+	}
+}
+
+func TestParseHistoryMultiline(t *testing.T) {
+	history := strings.Join([]string{
+		HistoryGoogle("q1", []string{"https://a"}),
+		"some narrative the model wrote",
+		HistoryBrowse("https://a", 2),
+		"",
+		HistoryError("browse_website", "https://b", "not found"),
+	}, "\n")
+	evs := ParseHistory(history)
+	if len(evs) != 3 {
+		t.Fatalf("parsed %d events, want 3: %+v", len(evs), evs)
+	}
+	if evs[0].Command != "google" || evs[1].Command != "browse_website" || evs[2].Command != "browse_website" {
+		t.Errorf("commands = %v", evs)
+	}
+}
+
+func TestParseHistoryGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"ran",
+		"ran google",
+		"ran google noquotes -> results: x",
+		`ran google "unterminated -> results: x`,
+	}
+	for _, c := range cases {
+		if evs := ParseHistory(c); len(evs) != 0 {
+			t.Errorf("ParseHistory(%q) = %+v, want none", c, evs)
+		}
+	}
+}
+
+func TestQuestionsReplyRoundTrip(t *testing.T) {
+	r := QuestionsReply{Questions: []string{
+		"Which is more vulnerable? A or B?",
+		"What caused the X outage?",
+	}}
+	got, err := ParseQuestions(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip: %+v vs %+v", got, r)
+	}
+	empty, err := ParseQuestions(QuestionsReply{}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Questions) != 0 {
+		t.Errorf("empty reply = %+v", empty)
+	}
+	if _, err := ParseQuestions("no question lines"); err == nil {
+		t.Error("missing QUESTION lines should fail")
+	}
+}

@@ -1,0 +1,119 @@
+// Package prompt defines the structured text protocol between the agent
+// and the language model. Everything that crosses the model boundary is
+// plain text: the agent encodes a Prompt into sections, the model parses
+// it back, and the model's reply is again plain text the agent parses.
+// Keeping the boundary textual preserves the paper's architecture — the
+// agent's knowledge only influences answers by being loaded into the
+// prompt, never through a side channel.
+package prompt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Task tells the model what kind of completion is wanted.
+type Task string
+
+// Task kinds, mirroring the interactions in the paper:
+// answering a question from knowledge (§4.2), rating confidence (§3 step
+// 4), proposing self-learning searches (§4.2), generating a response plan
+// (§4.3), and producing one Auto-GPT thought/command step (§3.1).
+const (
+	TaskAnswer     Task = "answer"
+	TaskConfidence Task = "confidence"
+	TaskSearches   Task = "searches"
+	TaskPlan       Task = "plan"
+	TaskStep       Task = "autogpt-step"
+	// TaskQuestions asks the model to propose research questions from
+	// its knowledge (§5's "generating high-quality research questions").
+	TaskQuestions Task = "questions"
+)
+
+// Prompt is a structured prompt. Only Task is mandatory; empty sections
+// are omitted from the encoding.
+type Prompt struct {
+	Task      Task
+	Role      string // agent role description
+	Goal      string // current goal (autogpt-step)
+	Knowledge string // the agent's knowledge memory, as text
+	Question  string // the question under test
+	History   string // prior steps (autogpt-step)
+}
+
+const headerPrefix = "### "
+
+// Encode renders the prompt in the sectioned wire format.
+func (p Prompt) Encode() string {
+	var b strings.Builder
+	section := func(name, value string) {
+		if value == "" {
+			return
+		}
+		fmt.Fprintf(&b, "%s%s:\n%s\n", headerPrefix, name, strings.TrimRight(value, "\n"))
+	}
+	fmt.Fprintf(&b, "%sTASK:\n%s\n", headerPrefix, p.Task)
+	section("ROLE", p.Role)
+	section("GOAL", p.Goal)
+	section("KNOWLEDGE", p.Knowledge)
+	section("QUESTION", p.Question)
+	section("HISTORY", p.History)
+	return b.String()
+}
+
+// Parse decodes the sectioned wire format. Unknown sections are an error:
+// the protocol is closed.
+func Parse(s string) (Prompt, error) {
+	var p Prompt
+	var current string
+	var buf strings.Builder
+	flush := func() error {
+		if current == "" {
+			return nil
+		}
+		value := strings.TrimRight(buf.String(), "\n")
+		buf.Reset()
+		switch current {
+		case "TASK":
+			p.Task = Task(strings.TrimSpace(value))
+		case "ROLE":
+			p.Role = value
+		case "GOAL":
+			p.Goal = value
+		case "KNOWLEDGE":
+			p.Knowledge = value
+		case "QUESTION":
+			p.Question = value
+		case "HISTORY":
+			p.History = value
+		default:
+			return fmt.Errorf("prompt: unknown section %q", current)
+		}
+		return nil
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, headerPrefix) && strings.HasSuffix(line, ":") {
+			if err := flush(); err != nil {
+				return Prompt{}, err
+			}
+			current = strings.TrimSuffix(strings.TrimPrefix(line, headerPrefix), ":")
+			continue
+		}
+		if current != "" {
+			buf.WriteString(line)
+			buf.WriteString("\n")
+		}
+	}
+	if err := flush(); err != nil {
+		return Prompt{}, err
+	}
+	if p.Task == "" {
+		return Prompt{}, fmt.Errorf("prompt: missing TASK section")
+	}
+	switch p.Task {
+	case TaskAnswer, TaskConfidence, TaskSearches, TaskPlan, TaskStep, TaskQuestions:
+	default:
+		return Prompt{}, fmt.Errorf("prompt: unknown task %q", p.Task)
+	}
+	return p, nil
+}

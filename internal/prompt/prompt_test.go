@@ -1,0 +1,174 @@
+package prompt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPromptRoundTrip(t *testing.T) {
+	tests := []Prompt{
+		{Task: TaskAnswer, Role: "Agent Bob, an Internet researcher", Knowledge: "Fact one. Fact two.", Question: "Which cable is more vulnerable?"},
+		{Task: TaskConfidence, Question: "Rate confidence."},
+		{Task: TaskSearches, Role: "Bob", Knowledge: "k", Question: "q"},
+		{Task: TaskPlan, Knowledge: "strategies here"},
+		{Task: TaskStep, Role: "Bob", Goal: "understand solar storms", History: "step 1: searched"},
+	}
+	for _, p := range tests {
+		got, err := Parse(p.Encode())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.Encode(), err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("round trip:\n in:  %+v\n out: %+v", p, got)
+		}
+	}
+}
+
+func TestPromptMultilineKnowledge(t *testing.T) {
+	p := Prompt{Task: TaskAnswer, Knowledge: "line one\nline two\nline three", Question: "q"}
+	got, err := Parse(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Knowledge != p.Knowledge {
+		t.Errorf("multiline knowledge lost: %q", got.Knowledge)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"no sections at all",
+		"### TASK:\nbogus-task\n",
+		"### WEIRD:\nvalue\n### TASK:\nanswer\n",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestAnswerReplyRoundTrip(t *testing.T) {
+	tests := []AnswerReply{
+		{Answer: "The Grace Hopper cable.", Verdict: "Grace Hopper", Confidence: 9},
+		{Answer: "Cannot say.", Confidence: 3, Missing: []string{"route of the cable", "latitude rule"}},
+		{Answer: "Multi\nline answer", Confidence: 5},
+	}
+	for _, r := range tests {
+		got, err := ParseAnswer(r.Encode())
+		if err != nil {
+			t.Fatalf("ParseAnswer: %v", err)
+		}
+		if got.Verdict != r.Verdict || got.Confidence != r.Confidence {
+			t.Errorf("round trip: %+v vs %+v", r, got)
+		}
+		if len(got.Missing) != len(r.Missing) {
+			t.Errorf("missing list lost: %+v", got)
+		}
+		if strings.Contains(got.Answer, "\n") {
+			t.Error("answer should be flattened to one line")
+		}
+	}
+}
+
+func TestParseAnswerErrors(t *testing.T) {
+	if _, err := ParseAnswer("VERDICT: x\n"); err == nil {
+		t.Error("missing ANSWER/CONFIDENCE should fail")
+	}
+	if _, err := ParseAnswer("ANSWER: a\nCONFIDENCE: lots\n"); err == nil {
+		t.Error("non-numeric confidence should fail")
+	}
+}
+
+func TestSearchReplyRoundTrip(t *testing.T) {
+	r := SearchReply{Queries: []string{"specific route of EllaLink", "geomagnetic storm latitude effects"}}
+	got, err := ParseSearches(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip: %+v vs %+v", r, got)
+	}
+	// Empty search reply is valid (model has nothing to suggest).
+	empty, err := ParseSearches(SearchReply{}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Queries) != 0 {
+		t.Errorf("empty reply round-tripped to %+v", empty)
+	}
+	if _, err := ParseSearches("no search lines"); err == nil {
+		t.Error("reply without SEARCH lines should fail")
+	}
+}
+
+func TestPlanReplyRoundTrip(t *testing.T) {
+	r := PlanReply{Items: []PlanItem{
+		{Name: "predictive shutdown", Description: "power down vulnerable systems first"},
+		{Name: "redundancy utilization", Description: "redirect traffic to safer zones"},
+	}}
+	got, err := ParsePlan(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip: %+v vs %+v", r, got)
+	}
+	if _, err := ParsePlan("nothing"); err == nil {
+		t.Error("reply without STRATEGY lines should fail")
+	}
+}
+
+func TestStepReplyRoundTrip(t *testing.T) {
+	r := StepReply{
+		Thoughts:  "I need to gather information on solar superstorms.",
+		Reasoning: "The google command finds relevant sources.",
+		Plan:      []string{"search for solar superstorms", "analyze results", "save important information"},
+		Criticism: "I should avoid irrelevant pages.",
+		Command:   Command{Name: "google", Arg: "solar superstorms and network infrastructure"},
+	}
+	got, err := ParseStep(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip:\n in:  %+v\n out: %+v", r, got)
+	}
+}
+
+func TestStepReplyQuotedArgs(t *testing.T) {
+	r := StepReply{Thoughts: "t", Reasoning: "r", Command: Command{Name: "browse_website", Arg: `https://example.com/path?q="quoted"`}}
+	got, err := ParseStep(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != r.Command {
+		t.Errorf("quoted arg mangled: %+v", got.Command)
+	}
+	if _, err := ParseStep("THOUGHTS: t\n"); err == nil {
+		t.Error("step without COMMAND should fail")
+	}
+}
+
+func TestPromptEncodeParseProperty(t *testing.T) {
+	f := func(role, knowledge, question string) bool {
+		// Newlines inside values are preserved; header-like lines inside
+		// values could break framing, so strip them as the agent does.
+		clean := func(s string) string {
+			return strings.ReplaceAll(s, headerPrefix, "")
+		}
+		p := Prompt{Task: TaskAnswer, Role: clean(role), Knowledge: clean(knowledge), Question: clean(question)}
+		got, err := Parse(p.Encode())
+		if err != nil {
+			return false
+		}
+		trim := func(s string) string { return strings.TrimRight(s, "\n") }
+		return got.Role == trim(p.Role) && got.Knowledge == trim(p.Knowledge) && got.Question == trim(p.Question)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+package prompt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AnswerReply is the model's reply to TaskAnswer / TaskConfidence
+// prompts: free-form answer text plus machine-readable trailer lines.
+type AnswerReply struct {
+	Answer     string   // natural-language answer
+	Verdict    string   // canonical name of the winning subject; "" if undecided
+	Confidence int      // 0..10 self-assessed confidence
+	Missing    []string // evidence gaps, when undecided or uncertain
+}
+
+// Encode renders the reply wire format.
+func (r AnswerReply) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ANSWER: %s\n", strings.ReplaceAll(r.Answer, "\n", " "))
+	if r.Verdict != "" {
+		fmt.Fprintf(&b, "VERDICT: %s\n", r.Verdict)
+	}
+	fmt.Fprintf(&b, "CONFIDENCE: %d\n", r.Confidence)
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "MISSING: %s\n", m)
+	}
+	return b.String()
+}
+
+// ParseAnswer decodes an AnswerReply.
+func ParseAnswer(s string) (AnswerReply, error) {
+	var r AnswerReply
+	sawAnswer, sawConfidence := false, false
+	for _, line := range strings.Split(s, "\n") {
+		key, value, ok := cutLine(line)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "ANSWER":
+			r.Answer = value
+			sawAnswer = true
+		case "VERDICT":
+			r.Verdict = value
+		case "CONFIDENCE":
+			c, err := strconv.Atoi(value)
+			if err != nil {
+				return r, fmt.Errorf("prompt: bad confidence %q", value)
+			}
+			r.Confidence = c
+			sawConfidence = true
+		case "MISSING":
+			r.Missing = append(r.Missing, value)
+		}
+	}
+	if !sawAnswer || !sawConfidence {
+		return r, fmt.Errorf("prompt: reply missing ANSWER or CONFIDENCE line")
+	}
+	return r, nil
+}
+
+// SearchReply is the model's reply to TaskSearches: the follow-up
+// queries the agent should run to fill its evidence gaps.
+type SearchReply struct {
+	Queries []string
+}
+
+// Encode renders the reply wire format.
+func (r SearchReply) Encode() string {
+	var b strings.Builder
+	for _, q := range r.Queries {
+		fmt.Fprintf(&b, "SEARCH: %s\n", q)
+	}
+	if len(r.Queries) == 0 {
+		b.WriteString("SEARCH:\n")
+	}
+	return b.String()
+}
+
+// ParseSearches decodes a SearchReply.
+func ParseSearches(s string) (SearchReply, error) {
+	var r SearchReply
+	saw := false
+	for _, line := range strings.Split(s, "\n") {
+		key, value, ok := cutLine(line)
+		if !ok || key != "SEARCH" {
+			continue
+		}
+		saw = true
+		if value != "" {
+			r.Queries = append(r.Queries, value)
+		}
+	}
+	if !saw {
+		return r, fmt.Errorf("prompt: reply has no SEARCH lines")
+	}
+	return r, nil
+}
+
+// PlanItem is one element of a generated response plan.
+type PlanItem struct {
+	Name        string
+	Description string
+}
+
+// PlanReply is the model's reply to TaskPlan.
+type PlanReply struct {
+	Items []PlanItem
+}
+
+// Encode renders the reply wire format.
+func (r PlanReply) Encode() string {
+	var b strings.Builder
+	for _, it := range r.Items {
+		fmt.Fprintf(&b, "STRATEGY: %s :: %s\n", it.Name, strings.ReplaceAll(it.Description, "\n", " "))
+	}
+	if len(r.Items) == 0 {
+		b.WriteString("STRATEGY:\n")
+	}
+	return b.String()
+}
+
+// ParsePlan decodes a PlanReply.
+func ParsePlan(s string) (PlanReply, error) {
+	var r PlanReply
+	saw := false
+	for _, line := range strings.Split(s, "\n") {
+		key, value, ok := cutLine(line)
+		if !ok || key != "STRATEGY" {
+			continue
+		}
+		saw = true
+		if value == "" {
+			continue
+		}
+		name, desc, found := strings.Cut(value, " :: ")
+		if !found {
+			name = value
+		}
+		r.Items = append(r.Items, PlanItem{Name: strings.TrimSpace(name), Description: strings.TrimSpace(desc)})
+	}
+	if !saw {
+		return r, fmt.Errorf("prompt: reply has no STRATEGY lines")
+	}
+	return r, nil
+}
+
+// QuestionsReply is the model's reply to TaskQuestions: proposed
+// research questions, one per line.
+type QuestionsReply struct {
+	Questions []string
+}
+
+// Encode renders the reply wire format.
+func (r QuestionsReply) Encode() string {
+	var b strings.Builder
+	for _, q := range r.Questions {
+		fmt.Fprintf(&b, "QUESTION: %s\n", strings.ReplaceAll(q, "\n", " "))
+	}
+	if len(r.Questions) == 0 {
+		b.WriteString("QUESTION:\n")
+	}
+	return b.String()
+}
+
+// ParseQuestions decodes a QuestionsReply.
+func ParseQuestions(s string) (QuestionsReply, error) {
+	var r QuestionsReply
+	saw := false
+	for _, line := range strings.Split(s, "\n") {
+		key, value, ok := cutLine(line)
+		if !ok || key != "QUESTION" {
+			continue
+		}
+		saw = true
+		if value != "" {
+			r.Questions = append(r.Questions, value)
+		}
+	}
+	if !saw {
+		return r, fmt.Errorf("prompt: reply has no QUESTION lines")
+	}
+	return r, nil
+}
+
+// Command is one Auto-GPT command invocation.
+type Command struct {
+	Name string // e.g. "google", "browse_website", "memory_add", "task_complete"
+	Arg  string
+}
+
+// StepReply is the model's reply to TaskStep: the Auto-GPT
+// thoughts/reasoning/plan/criticism cycle plus the next command.
+type StepReply struct {
+	Thoughts  string
+	Reasoning string
+	Plan      []string
+	Criticism string
+	Command   Command
+}
+
+// Encode renders the reply wire format, matching the shape of the
+// paper's Auto-GPT snippets.
+func (r StepReply) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "THOUGHTS: %s\n", strings.ReplaceAll(r.Thoughts, "\n", " "))
+	fmt.Fprintf(&b, "REASONING: %s\n", strings.ReplaceAll(r.Reasoning, "\n", " "))
+	for _, p := range r.Plan {
+		fmt.Fprintf(&b, "PLAN: - %s\n", strings.ReplaceAll(p, "\n", " "))
+	}
+	if r.Criticism != "" {
+		fmt.Fprintf(&b, "CRITICISM: %s\n", strings.ReplaceAll(r.Criticism, "\n", " "))
+	}
+	fmt.Fprintf(&b, "COMMAND: %s %s\n", r.Command.Name, strconv.Quote(r.Command.Arg))
+	return b.String()
+}
+
+// ParseStep decodes a StepReply.
+func ParseStep(s string) (StepReply, error) {
+	var r StepReply
+	sawCommand := false
+	for _, line := range strings.Split(s, "\n") {
+		key, value, ok := cutLine(line)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "THOUGHTS":
+			r.Thoughts = value
+		case "REASONING":
+			r.Reasoning = value
+		case "PLAN":
+			r.Plan = append(r.Plan, strings.TrimPrefix(value, "- "))
+		case "CRITICISM":
+			r.Criticism = value
+		case "COMMAND":
+			name, rest, _ := strings.Cut(value, " ")
+			arg, err := strconv.Unquote(strings.TrimSpace(rest))
+			if err != nil {
+				return r, fmt.Errorf("prompt: bad command arg in %q", value)
+			}
+			r.Command = Command{Name: name, Arg: arg}
+			sawCommand = true
+		}
+	}
+	if !sawCommand {
+		return r, fmt.Errorf("prompt: step reply missing COMMAND line")
+	}
+	return r, nil
+}
+
+// cutLine splits "KEY: value" lines; returns ok=false for other lines.
+func cutLine(line string) (key, value string, ok bool) {
+	key, value, found := strings.Cut(line, ":")
+	if !found {
+		return "", "", false
+	}
+	key = strings.TrimSpace(key)
+	if key == "" || strings.ContainsAny(key, " \t") {
+		return "", "", false
+	}
+	return key, strings.TrimSpace(value), true
+}

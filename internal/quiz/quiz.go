@@ -1,0 +1,228 @@
+// Package quiz encodes the evaluation methodology of §4.1-§4.2: the key
+// conclusions of the SIGCOMM'21 solar-superstorms paper are turned into
+// quiz questions, the agent (which never sees that paper) answers them,
+// and grading checks whether the agent's verdicts are consistent with the
+// conclusions. The paper reports Bob consistent on 7 of 8 conclusions;
+// this harness regenerates that table.
+package quiz
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/index"
+)
+
+// Conclusion is one ground-truth conclusion with its quiz question.
+type Conclusion struct {
+	ID        int    `json:"id"`
+	Statement string `json:"statement"` // the conclusion as the source paper states it
+	Question  string `json:"question"`  // the quiz prompt posed to the agent
+	// Expect are tokens that must all appear in a consistent verdict;
+	// Forbid are tokens that must not (distinguishing the wrong side).
+	Expect []string `json:"expect"`
+	Forbid []string `json:"forbid"`
+}
+
+// Conclusions returns the eight-conclusion quiz. The first two are the
+// paper's §4.2 case studies verbatim; the rest encode the remaining
+// conclusions of the source paper against the same world model.
+func Conclusions() []Conclusion {
+	return []Conclusion{
+		{
+			ID:        1,
+			Statement: "The cable between Brazil and Europe has less probability of being affected compared to the cables connecting the US and Europe.",
+			Question:  "Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?",
+			Expect:    []string{"us"},
+			Forbid:    []string{"brazil"},
+		},
+		{
+			ID:        2,
+			Statement: "Google data centers have a better spread, particularly in Asia and South America. Facebook is more vulnerable.",
+			Question:  "Whose datacenter is more vulnerable? Google's data centers or Facebook's data centers?",
+			Expect:    []string{"facebook"},
+			Forbid:    []string{"google"},
+		},
+		{
+			ID:        3,
+			Statement: "Submarine cables with powered repeaters are more vulnerable to geomagnetic storms than terrestrial fiber links.",
+			Question:  "Which is more vulnerable to a geomagnetic storm? Long submarine cables or terrestrial fiber links?",
+			Expect:    []string{"submarine"},
+			Forbid:    []string{"terrestrial"},
+		},
+		{
+			ID:        4,
+			Statement: "High-latitude power grids with long transmission lines fail first; equatorial grids are largely safe.",
+			Question:  "Which power grid is more at risk during a superstorm? The US Northeast power grid or the Singapore power grid?",
+			Expect:    []string{"northeast"},
+			Forbid:    []string{"singapore"},
+		},
+		{
+			ID:        5,
+			Statement: "Northern European grids face far higher geomagnetic exposure than South American grids.",
+			Question:  "Which power grid is more at risk in a Carrington-class storm? The Nordic grid or the Brazil Interconnected System grid?",
+			Expect:    []string{"nordic"},
+			Forbid:    []string{"brazil"},
+		},
+		{
+			ID:        6,
+			Statement: "North Atlantic cables are among the most exposed systems; equatorial South Atlantic cables are among the safest.",
+			Question:  "Which is more vulnerable to solar activity? The TAT-14 cable or the SACS cable?",
+			Expect:    []string{"tat"},
+			Forbid:    []string{"sacs"},
+		},
+		{
+			ID:        7,
+			Statement: "Transatlantic US-Europe routes are more exposed than transpacific US-Japan routes.",
+			Question:  "Which is more vulnerable to solar activity? The cable that connects the US to Japan or the cable that connects the US to Europe?",
+			Expect:    []string{"europe"},
+			Forbid:    []string{"japan"},
+		},
+		{
+			ID:        8,
+			Statement: "Arctic cable systems face the most severe exposure of all; equatorial Asian routes the least.",
+			Question:  "Which is more vulnerable to a geomagnetic storm? The Svalbard Undersea Cable or the SEA-ME-WE 5 cable?",
+			Expect:    []string{"svalbard"},
+			Forbid:    []string{"sea"},
+		},
+	}
+}
+
+// ExtendedConclusions returns four additional conclusions beyond the
+// paper's eight, derived from the same world model over entities the
+// source paper did not discuss — a generalization check that the agent's
+// ability is not specific to the original quiz.
+func ExtendedConclusions() []Conclusion {
+	return []Conclusion{
+		{
+			ID:        9,
+			Statement: "Amazon's fleet is spread across more regions than Facebook's; Facebook is more vulnerable.",
+			Question:  "Whose datacenter is more vulnerable? Amazon's data centers or Facebook's data centers?",
+			Expect:    []string{"facebook"},
+			Forbid:    []string{"amazon"},
+		},
+		{
+			ID:        10,
+			Statement: "Microsoft's fleet is spread across more regions than Facebook's; Facebook is more vulnerable.",
+			Question:  "Whose datacenter is more vulnerable? Microsoft's data centers or Facebook's data centers?",
+			Expect:    []string{"facebook"},
+			Forbid:    []string{"microsoft"},
+		},
+		{
+			ID:        11,
+			Statement: "The north-Pacific FASTER route is more exposed than the eastern-Pacific Curie route.",
+			Question:  "Which is more vulnerable to solar activity? The FASTER cable or the Curie cable?",
+			Expect:    []string{"faster"},
+			Forbid:    []string{"curie"},
+		},
+		{
+			ID:        12,
+			Statement: "The UK National Grid faces higher geomagnetic exposure than the India Northern Grid.",
+			Question:  "Which power grid is more at risk in a Carrington-class storm? The UK National Grid or the India Northern Grid?",
+			Expect:    []string{"uk"},
+			Forbid:    []string{"india"},
+		},
+	}
+}
+
+// RunSet poses an arbitrary conclusion set to the answerer and grades it.
+func RunSet(ctx context.Context, answer Answerer, set []Conclusion) ([]Result, error) {
+	var out []Result
+	for _, c := range set {
+		ans, rounds, err := answer(ctx, c.Question)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Result{
+			Conclusion: c,
+			Verdict:    ans.Verdict,
+			Confidence: ans.Confidence,
+			Rounds:     rounds,
+			Consistent: Consistent(c, ans.Verdict),
+			Answer:     ans.Text,
+		})
+	}
+	return out, nil
+}
+
+// Consistent grades a verdict against a conclusion: every Expect token
+// must appear in the verdict (as a whole token) and no Forbid token may.
+// An empty verdict is always inconsistent.
+func Consistent(c Conclusion, verdict string) bool {
+	if strings.TrimSpace(verdict) == "" {
+		return false
+	}
+	toks := map[string]bool{}
+	for _, t := range index.Tokenize(verdict) {
+		toks[t] = true
+	}
+	has := func(word string) bool {
+		for _, t := range index.Tokenize(word) {
+			if !toks[t] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, e := range c.Expect {
+		if !has(e) {
+			return false
+		}
+	}
+	for _, f := range c.Forbid {
+		if has(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is one graded quiz answer.
+type Result struct {
+	Conclusion Conclusion `json:"conclusion"`
+	Verdict    string     `json:"verdict"`
+	Confidence int        `json:"confidence"`
+	Rounds     int        `json:"rounds"`
+	Consistent bool       `json:"consistent"`
+	Answer     string     `json:"answer"`
+}
+
+// Answerer is anything that can answer a quiz question: a trained agent
+// (via Investigate), an untrained agent (via Ask), or a bare model.
+type Answerer func(ctx context.Context, question string) (agent.Answer, int, error)
+
+// AgentInvestigator adapts an agent's self-learning loop to an Answerer.
+func AgentInvestigator(a *agent.Agent) Answerer {
+	return func(ctx context.Context, q string) (agent.Answer, int, error) {
+		inv, err := a.Investigate(ctx, q)
+		if err != nil {
+			return agent.Answer{}, 0, err
+		}
+		return inv.Final, len(inv.Rounds), nil
+	}
+}
+
+// AgentOneShot adapts an agent's single-round Ask to an Answerer.
+func AgentOneShot(a *agent.Agent) Answerer {
+	return func(ctx context.Context, q string) (agent.Answer, int, error) {
+		ans, err := a.Ask(ctx, q)
+		return ans, 1, err
+	}
+}
+
+// Run poses every paper conclusion's question to the answerer and grades
+// the verdicts.
+func Run(ctx context.Context, answer Answerer) ([]Result, error) {
+	return RunSet(ctx, answer, Conclusions())
+}
+
+// Score counts consistent results.
+func Score(results []Result) (consistent, total int) {
+	for _, r := range results {
+		if r.Consistent {
+			consistent++
+		}
+	}
+	return consistent, len(results)
+}

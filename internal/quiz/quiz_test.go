@@ -1,0 +1,190 @@
+package quiz
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/solar"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func TestConclusionsWellFormed(t *testing.T) {
+	cs := Conclusions()
+	if len(cs) != 8 {
+		t.Fatalf("quiz has %d conclusions, want 8 (as in the paper)", len(cs))
+	}
+	seen := map[int]bool{}
+	for _, c := range cs {
+		if seen[c.ID] {
+			t.Errorf("duplicate conclusion ID %d", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Statement == "" || c.Question == "" || len(c.Expect) == 0 || len(c.Forbid) == 0 {
+			t.Errorf("conclusion %d incomplete: %+v", c.ID, c)
+		}
+	}
+}
+
+// TestConclusionsAgreeWithWorldModel is the non-circularity check: the
+// hardcoded quiz expectations must agree with what the ground-truth world
+// model computes independently.
+func TestConclusionsAgreeWithWorldModel(t *testing.T) {
+	w := world.Default()
+	get := func(name string) world.Cable {
+		c, ok := w.CableByName(name)
+		if !ok {
+			t.Fatalf("world missing cable %q", name)
+		}
+		return c
+	}
+	// Conclusion 1: US-Europe corridor beats Brazil-Europe.
+	gh, el := get("Grace Hopper"), get("EllaLink")
+	if v := world.CompareCables(gh, el, 1.0); v.MoreVulnerable != "Grace Hopper" {
+		t.Errorf("conclusion 1 disagrees with world: %+v", v)
+	}
+	// Conclusion 2: Facebook more vulnerable than Google.
+	if v := world.CompareOperators(w, "Google", "Facebook", 1.0); v.MoreVulnerable != "Facebook" {
+		t.Errorf("conclusion 2 disagrees with world: %+v", v)
+	}
+	// Conclusion 3: submarine (Grace Hopper) vs terrestrial route.
+	terr := get("US Transcontinental Terrestrial Route")
+	if v := world.CompareCables(terr, gh, 1.0); v.MoreVulnerable != "Grace Hopper" {
+		t.Errorf("conclusion 3 disagrees with world: %+v", v)
+	}
+	// Conclusions 4-5: grid orderings.
+	gridScore := func(name string) float64 {
+		g, ok := w.GridByName(name)
+		if !ok {
+			t.Fatalf("world missing grid %q", name)
+		}
+		return world.AssessGrid(g, 1.0).Score
+	}
+	if gridScore("US Northeast (PJM/NYISO)") <= gridScore("Singapore Grid") {
+		t.Error("conclusion 4 disagrees with world")
+	}
+	if gridScore("Nordic Grid") <= gridScore("Brazil Interconnected System") {
+		t.Error("conclusion 5 disagrees with world")
+	}
+	// Conclusion 6: TAT-14 vs SACS.
+	if v := world.CompareCables(get("TAT-14"), get("SACS"), 1.0); v.MoreVulnerable != "TAT-14" {
+		t.Errorf("conclusion 6 disagrees with world: %+v", v)
+	}
+	// Conclusion 7: US-Europe vs US-Japan. The corridors are compared by
+	// their max-latitude representatives, as the reasoner does.
+	usJapan := get("FASTER")
+	if usJapan.MaxGeomagneticLat() >= gh.MaxGeomagneticLat() {
+		t.Errorf("conclusion 7 disagrees with world: FASTER %.1f vs Grace Hopper %.1f",
+			usJapan.MaxGeomagneticLat(), gh.MaxGeomagneticLat())
+	}
+	// Conclusion 8: Svalbard vs SEA-ME-WE 5.
+	if v := world.CompareCables(get("Svalbard Undersea Cable"), get("SEA-ME-WE 5"), 1.0); v.MoreVulnerable != "Svalbard Undersea Cable" {
+		t.Errorf("conclusion 8 disagrees with world: %+v", v)
+	}
+	_ = solar.Carrington
+}
+
+func TestConsistentGrading(t *testing.T) {
+	c := Conclusion{Expect: []string{"us"}, Forbid: []string{"brazil"}}
+	tests := []struct {
+		verdict string
+		want    bool
+	}{
+		{"the one that connects the US to Europe", true},
+		{"the fiber optic cable that connects Brazil to Europe", false},
+		{"", false},
+		{"the US cable and the Brazil cable", false}, // mentions both sides
+		{"business as usual", false},                 // "us" must be a token, not a substring
+	}
+	for _, tt := range tests {
+		if got := Consistent(c, tt.verdict); got != tt.want {
+			t.Errorf("Consistent(%q) = %v, want %v", tt.verdict, got, tt.want)
+		}
+	}
+}
+
+func TestTrainedAgentPassesQuiz(t *testing.T) {
+	// The headline reproduction: a trained agent with self-learning is
+	// consistent on at least 7 of 8 conclusions (the paper reports 7/8).
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil, agent.Config{})
+	ctx := context.Background()
+	if _, err := bob.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(ctx, AgentInvestigator(bob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	consistent, total := Score(results)
+	if total != 8 {
+		t.Fatalf("graded %d questions, want 8", total)
+	}
+	if consistent < 7 {
+		for _, r := range results {
+			t.Logf("Q%d consistent=%v verdict=%q conf=%d", r.Conclusion.ID, r.Consistent, r.Verdict, r.Confidence)
+		}
+		t.Errorf("trained agent consistent on %d/8, want >= 7", consistent)
+	}
+}
+
+func TestExtendedConclusionsAgreeWithWorldModel(t *testing.T) {
+	w := world.Default()
+	for _, pair := range [][2]string{{"Amazon", "Facebook"}, {"Microsoft", "Facebook"}} {
+		if v := world.CompareOperators(w, pair[0], pair[1], 1.0); v.MoreVulnerable != "Facebook" {
+			t.Errorf("%s vs Facebook: world says %+v", pair[0], v)
+		}
+	}
+	faster, _ := w.CableByName("FASTER")
+	curie, _ := w.CableByName("Curie")
+	if v := world.CompareCables(faster, curie, 1.0); v.MoreVulnerable != "FASTER" {
+		t.Errorf("FASTER vs Curie disagrees with world: %+v", v)
+	}
+	uk, _ := w.GridByName("UK National Grid")
+	india, _ := w.GridByName("India Northern Grid")
+	if world.AssessGrid(uk, 1.0).Score <= world.AssessGrid(india, 1.0).Score {
+		t.Error("UK vs India grid disagrees with world")
+	}
+}
+
+func TestTrainedAgentGeneralizesToExtendedQuiz(t *testing.T) {
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil, agent.Config{})
+	ctx := context.Background()
+	if _, err := bob.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunSet(ctx, AgentInvestigator(bob), ExtendedConclusions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	consistent, total := Score(results)
+	if total != 4 {
+		t.Fatalf("graded %d extended questions", total)
+	}
+	if consistent < 3 {
+		for _, r := range results {
+			t.Logf("Q%d consistent=%v verdict=%q conf=%d", r.Conclusion.ID, r.Consistent, r.Verdict, r.Confidence)
+		}
+		t.Errorf("extended quiz: %d/4 consistent, want >= 3", consistent)
+	}
+}
+
+func TestBaselineModelFailsQuiz(t *testing.T) {
+	// The baseline (a bare model with no agent knowledge — the paper's
+	// vanilla ChatGPT) must do much worse than the trained agent.
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	bare := agent.New(agent.BobRole(), llm.NewSim(), eng, nil, agent.Config{})
+	// No Train call: empty memory, one-shot answers.
+	results, err := Run(context.Background(), AgentOneShot(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	consistent, _ := Score(results)
+	if consistent > 2 {
+		t.Errorf("baseline consistent on %d/8; expected near-zero", consistent)
+	}
+}

@@ -1,0 +1,156 @@
+// Package repl provides the interactive session loop behind `bob chat`:
+// a line-oriented conversation with a research agent, in the spirit of
+// the paper's title — the operator asks investigation questions, the
+// agent self-learns as needed and answers, and session commands expose
+// training, planning, question generation and report writing.
+package repl
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/report"
+)
+
+// Session drives one interactive conversation.
+type Session struct {
+	Agent *agent.Agent
+	// MemoryPath, when set, is saved after mutating commands.
+	MemoryPath string
+}
+
+// commands lists the session commands for :help.
+const commands = `commands:
+  :train            run the role goals through the autonomous loop
+  :plan             propose a response plan from current knowledge
+  :questions [topic] generate research questions
+  :report <question> investigate and print a markdown report
+  :memory           show knowledge-memory statistics
+  :help             this text
+  :quit             end the session
+anything else is investigated as a question.`
+
+// Run reads lines from r and writes responses to w until :quit or EOF.
+// Every error is reported to the operator and the loop continues; only
+// context cancellation or a write failure ends the session early.
+func (s *Session) Run(ctx context.Context, r io.Reader, w io.Writer) error {
+	fmt.Fprintf(w, "%s ready. %d knowledge items loaded. Type :help for commands.\n",
+		s.Agent.Role.Name, s.Agent.Memory.Len())
+	scanner := bufio.NewScanner(r)
+	for scanner.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == ":quit" || line == ":q" {
+			fmt.Fprintln(w, "bye.")
+			return nil
+		}
+		if err := s.handle(ctx, line, w); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+	}
+	return scanner.Err()
+}
+
+func (s *Session) handle(ctx context.Context, line string, w io.Writer) error {
+	cmd, arg, _ := strings.Cut(line, " ")
+	arg = strings.TrimSpace(arg)
+	switch cmd {
+	case ":help":
+		fmt.Fprintln(w, commands)
+		return nil
+
+	case ":train":
+		rep, err := s.Agent.Train(ctx)
+		if err != nil {
+			return err
+		}
+		for _, g := range rep.Goals {
+			fmt.Fprintf(w, "goal %-50.50q searches=%d pages=%d facts=%d\n",
+				g.Goal, g.Searches, g.PagesRead, g.FactsSaved)
+		}
+		fmt.Fprintf(w, "memory now holds %d items\n", s.Agent.Memory.Len())
+		return s.save()
+
+	case ":plan":
+		items, err := s.Agent.Plan(ctx)
+		if err != nil {
+			return err
+		}
+		if len(items) == 0 {
+			fmt.Fprintln(w, "no response-planning knowledge yet; try investigating storm response first")
+			return nil
+		}
+		for _, it := range items {
+			fmt.Fprintf(w, "- %s: %s\n", it.Name, it.Description)
+		}
+		return nil
+
+	case ":questions":
+		qs, err := s.Agent.GenerateQuestions(ctx, arg)
+		if err != nil {
+			return err
+		}
+		if len(qs) == 0 {
+			fmt.Fprintln(w, "no questions come to mind; the knowledge base may be too thin")
+			return nil
+		}
+		for _, q := range qs {
+			fmt.Fprintf(w, "? %s\n", q)
+		}
+		return nil
+
+	case ":report":
+		if arg == "" {
+			return fmt.Errorf(":report needs a question")
+		}
+		inv, err := s.Agent.Investigate(ctx, arg)
+		if err != nil {
+			return err
+		}
+		if err := report.Build(s.Agent, inv).WriteMarkdown(w); err != nil {
+			return err
+		}
+		return s.save()
+
+	case ":memory":
+		fmt.Fprintf(w, "%d knowledge items from %d sources\n",
+			s.Agent.Memory.Len(), len(s.Agent.Memory.Sources()))
+		return nil
+
+	default:
+		if strings.HasPrefix(cmd, ":") {
+			return fmt.Errorf("unknown command %s (try :help)", cmd)
+		}
+		inv, err := s.Agent.Investigate(ctx, line)
+		if err != nil {
+			return err
+		}
+		for _, round := range inv.Rounds {
+			if len(round.Searches) > 0 {
+				fmt.Fprintf(w, "[round %d: confidence %d, searching %d queries]\n",
+					round.Round, round.Confidence, len(round.Searches))
+			}
+		}
+		fmt.Fprintf(w, "%s\n(confidence %d/10)\n", inv.Final.Text, inv.Final.Confidence)
+		return s.save()
+	}
+}
+
+func (s *Session) save() error {
+	if s.MemoryPath == "" {
+		return nil
+	}
+	return s.Agent.Memory.Save(s.MemoryPath)
+}

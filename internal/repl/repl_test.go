@@ -1,0 +1,136 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
+	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil, agent.Config{})
+	return &Session{Agent: bob}
+}
+
+func run(t *testing.T, s *Session, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := s.Run(context.Background(), strings.NewReader(script), &out); err != nil {
+		t.Fatalf("session error: %v\noutput so far:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestSessionBanner(t *testing.T) {
+	out := run(t, newSession(t), ":quit\n")
+	if !strings.Contains(out, "Agent Bob ready") {
+		t.Errorf("banner missing: %q", out)
+	}
+	if !strings.Contains(out, "bye.") {
+		t.Errorf("quit not acknowledged: %q", out)
+	}
+}
+
+func TestSessionHelpAndUnknown(t *testing.T) {
+	out := run(t, newSession(t), ":help\n:bogus\n:quit\n")
+	if !strings.Contains(out, "commands:") {
+		t.Error("help missing")
+	}
+	if !strings.Contains(out, "unknown command :bogus") {
+		t.Error("unknown command not reported")
+	}
+}
+
+func TestSessionTrainAndInvestigate(t *testing.T) {
+	script := ":train\n" +
+		"Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?\n" +
+		":memory\n:quit\n"
+	out := run(t, newSession(t), script)
+	if !strings.Contains(out, "memory now holds") {
+		t.Error("train output missing")
+	}
+	if !strings.Contains(out, "confidence 8/10") && !strings.Contains(out, "confidence 9/10") {
+		t.Errorf("investigation did not conclude:\n%s", out)
+	}
+	if !strings.Contains(out, "knowledge items from") {
+		t.Error(":memory output missing")
+	}
+}
+
+func TestSessionQuestionsAndPlan(t *testing.T) {
+	script := ":train\n:questions\n:plan\n:quit\n"
+	out := run(t, newSession(t), script)
+	if !strings.Contains(out, "? ") {
+		t.Errorf("no questions generated:\n%s", out)
+	}
+	// Depending on what training retrieved, the plan is either grounded
+	// (and must lead with the handbook strategies) or explicitly empty —
+	// never a failure.
+	if !strings.Contains(out, "no response-planning knowledge yet") &&
+		!strings.Contains(out, "- predictive shutdown") {
+		t.Errorf("plan output unexpected:\n%s", out)
+	}
+}
+
+func TestSessionReport(t *testing.T) {
+	script := ":train\n:report Which is more vulnerable to solar activity? The TAT-14 cable or the SACS cable?\n:quit\n"
+	out := run(t, newSession(t), script)
+	if !strings.Contains(out, "# Investigation report:") {
+		t.Errorf("report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "## Supporting evidence") {
+		t.Error("report lacks evidence section")
+	}
+}
+
+func TestSessionReportNeedsQuestion(t *testing.T) {
+	out := run(t, newSession(t), ":report\n:quit\n")
+	if !strings.Contains(out, "error: :report needs a question") {
+		t.Errorf("missing argument not reported: %q", out)
+	}
+}
+
+func TestSessionPersistsMemory(t *testing.T) {
+	s := newSession(t)
+	s.MemoryPath = filepath.Join(t.TempDir(), "knowledge.json")
+	run(t, s, ":train\n:quit\n")
+	if s.Agent.Memory.Len() == 0 {
+		t.Fatal("nothing memorized")
+	}
+	// The file must exist and reload.
+	other := newSession(t)
+	if err := other.Agent.Memory.Load(s.MemoryPath); err != nil {
+		t.Fatalf("saved memory unreadable: %v", err)
+	}
+	if other.Agent.Memory.Len() != s.Agent.Memory.Len() {
+		t.Errorf("reloaded %d items, want %d", other.Agent.Memory.Len(), s.Agent.Memory.Len())
+	}
+}
+
+func TestSessionEOFEndsCleanly(t *testing.T) {
+	// EOF without :quit is a normal ending.
+	out := run(t, newSession(t), ":memory\n")
+	if !strings.Contains(out, "knowledge items") {
+		t.Errorf("command before EOF lost: %q", out)
+	}
+}
+
+func TestSessionContextCancel(t *testing.T) {
+	s := newSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := s.Run(ctx, strings.NewReader(":train\n"), &out)
+	if err == nil {
+		t.Error("cancelled context should end the session with an error")
+	}
+}

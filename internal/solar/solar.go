@@ -1,0 +1,233 @@
+// Package solar models solar superstorms (coronal mass ejections and the
+// geomagnetic storms they drive) and the exposure of ground infrastructure
+// to the resulting geomagnetically induced currents (GIC).
+//
+// The model follows the physical picture used by "Solar Superstorms:
+// Planning for an Internet Apocalypse" (SIGCOMM 2021): storm severity is
+// summarized by the disturbance-storm-time (Dst) index; GIC impact rises
+// steeply with geomagnetic latitude because the auroral electrojet sits at
+// high latitudes; during extreme storms the auroral oval expands
+// equatorward, widening the exposed band. Equipment fails when induced
+// currents exceed its shielding margin; long conductors (power lines,
+// submarine-cable powering feeds) integrate the induced field over their
+// length.
+package solar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Class is a geomagnetic storm severity class on the NOAA G-scale,
+// extended with an off-scale Carrington class for 1859/1921-type events.
+type Class int
+
+// Storm severity classes, weakest to strongest.
+const (
+	Quiet      Class = iota
+	Minor            // G1
+	Moderate         // G2
+	Strong           // G3
+	Severe           // G4
+	Extreme          // G5
+	Carrington       // off-scale superstorm (1859, 1921)
+)
+
+var classNames = [...]string{
+	"quiet", "minor (G1)", "moderate (G2)", "strong (G3)",
+	"severe (G4)", "extreme (G5)", "Carrington-class superstorm",
+}
+
+// String returns the human-readable class name.
+func (c Class) String() string {
+	if c < Quiet || int(c) >= len(classNames) {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// ClassifyDst maps a minimum Dst value (nT, negative during storms) to a
+// severity class. Boundaries follow common space-weather usage.
+func ClassifyDst(dst float64) Class {
+	switch {
+	case dst > -30:
+		return Quiet
+	case dst > -50:
+		return Minor
+	case dst > -100:
+		return Moderate
+	case dst > -200:
+		return Strong
+	case dst > -350:
+		return Severe
+	case dst > -600:
+		return Extreme
+	default:
+		return Carrington
+	}
+}
+
+// Storm describes one geomagnetic storm event.
+type Storm struct {
+	Name   string  `json:"name"`
+	Year   int     `json:"year"`
+	DstMin float64 `json:"dst_min"` // minimum Dst in nT (negative)
+	Notes  string  `json:"notes"`
+}
+
+// Class returns the severity class implied by the storm's minimum Dst.
+func (s Storm) Class() Class { return ClassifyDst(s.DstMin) }
+
+// Intensity returns a dimensionless severity in (0, ~2], normalized so a
+// Carrington-scale Dst of -850 nT maps to 1.0.
+func (s Storm) Intensity() float64 { return -s.DstMin / 850.0 }
+
+// HistoricalStorms returns the documented storm events the corpus and
+// world model reference, ordered by year. The slice is freshly allocated;
+// callers may modify it.
+func HistoricalStorms() []Storm {
+	return []Storm{
+		{
+			Name: "Carrington Event", Year: 1859, DstMin: -900,
+			Notes: "strongest recorded geomagnetic storm; telegraph systems failed worldwide, some operators received shocks and lines carried current with batteries disconnected",
+		},
+		{
+			Name: "New York Railroad Storm", Year: 1921, DstMin: -907,
+			Notes: "most notable solar event of the twentieth century; caused extensive power outages and severe damage to the telegraph network, the predominant communication system of that era",
+		},
+		{
+			Name: "Quebec Blackout Storm", Year: 1989, DstMin: -589,
+			Notes: "collapsed the Hydro-Quebec power grid in 92 seconds, leaving six million people without electricity for nine hours",
+		},
+		{
+			Name: "Bastille Day Storm", Year: 2000, DstMin: -301,
+			Notes: "caused satellite anomalies and short-wave radio blackouts",
+		},
+		{
+			Name: "Halloween Storms", Year: 2003, DstMin: -383,
+			Notes: "damaged a transformer in South Africa and forced aircraft rerouting; auroras visible at Mediterranean latitudes",
+		},
+		{
+			Name: "St. Patrick's Day Storm", Year: 2015, DstMin: -223,
+			Notes: "strongest storm of solar cycle 24; degraded GPS accuracy at high latitudes",
+		},
+	}
+}
+
+// StormByName returns the historical storm with the given name.
+func StormByName(name string) (Storm, bool) {
+	for _, s := range HistoricalStorms() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Storm{}, false
+}
+
+// CarringtonDecadalProbability bounds the per-decade probability of a
+// Carrington-class event, as estimated in the literature the SIGCOMM'21
+// paper relies on (1.6%..12% per decade).
+func CarringtonDecadalProbability() (low, high float64) { return 0.016, 0.12 }
+
+// auroralBoundary returns the equatorward edge of the auroral oval in
+// absolute geomagnetic degrees for a storm of the given intensity. Quiet
+// conditions put the oval near 65-70 deg; Carrington-scale storms push it
+// to ~40 deg or below (auroras were seen in the Caribbean in 1859).
+func auroralBoundary(intensity float64) float64 {
+	b := 68 - 28*intensity
+	if b < 30 {
+		b = 30
+	}
+	return b
+}
+
+// GICExposure returns the normalized ground-induced-current exposure
+// (0..1) at the given absolute geomagnetic latitude during a storm of the
+// given intensity. Exposure follows a logistic curve centred on the
+// storm-expanded auroral boundary: sites well poleward of the boundary see
+// near-maximal induced fields, sites well equatorward see almost none.
+func GICExposure(absGeomagLat, intensity float64) float64 {
+	if intensity <= 0 {
+		return 0
+	}
+	if absGeomagLat < 0 {
+		absGeomagLat = -absGeomagLat
+	}
+	boundary := auroralBoundary(intensity)
+	const steepness = 0.35 // deg^-1; width of the transition band
+	logistic := 1 / (1 + math.Exp(-steepness*(absGeomagLat-boundary)))
+	scale := math.Min(1.25*intensity, 1.0) // weak storms cap below 1
+	return logistic * scale
+}
+
+// SegmentExposure integrates GIC exposure over a conductor described by
+// per-segment absolute geomagnetic latitudes and lengths (km). It returns
+// both the mean exposure and the peak segment exposure. Long conductors
+// accumulate induced voltage, so the mean is weighted by length.
+func SegmentExposure(absGeomagLats, lengthsKm []float64, intensity float64) (mean, peak float64) {
+	if len(absGeomagLats) == 0 || len(absGeomagLats) != len(lengthsKm) {
+		return 0, 0
+	}
+	var total, weighted float64
+	for i, lat := range absGeomagLats {
+		e := GICExposure(lat, intensity)
+		if e > peak {
+			peak = e
+		}
+		weighted += e * lengthsKm[i]
+		total += lengthsKm[i]
+	}
+	if total == 0 {
+		return 0, peak
+	}
+	return weighted / total, peak
+}
+
+// FailureProbability converts an exposure level into a failure probability
+// for equipment with the given shielding margin (0 = unshielded, 1 =
+// perfectly hardened). The mapping is a smooth ramp: below the margin
+// nothing fails; above it, probability rises with the excess exposure.
+func FailureProbability(exposure, shielding float64) float64 {
+	excess := exposure - shielding
+	if excess <= 0 {
+		return 0
+	}
+	p := 1 - math.Exp(-3*excess)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// VulnerabilityLevel buckets a 0..1 vulnerability score into the
+// qualitative labels the corpus generator and quiz grader share.
+func VulnerabilityLevel(score float64) string {
+	switch {
+	case score < 0.15:
+		return "low"
+	case score < 0.40:
+		return "moderate"
+	case score < 0.70:
+		return "high"
+	default:
+		return "severe"
+	}
+}
+
+// RankByExposure sorts the given names by their exposure values,
+// descending, and returns the ordered names. It is a convenience used in
+// vulnerability reports.
+func RankByExposure(exposure map[string]float64) []string {
+	names := make([]string, 0, len(exposure))
+	for n := range exposure {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if exposure[names[i]] != exposure[names[j]] {
+			return exposure[names[i]] > exposure[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,226 @@
+package solar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyDst(t *testing.T) {
+	tests := []struct {
+		dst  float64
+		want Class
+	}{
+		{0, Quiet},
+		{-29, Quiet},
+		{-35, Minor},
+		{-75, Moderate},
+		{-150, Strong},
+		{-300, Severe},
+		{-500, Extreme},
+		{-600, Carrington},
+		{-900, Carrington},
+	}
+	for _, tt := range tests {
+		if got := ClassifyDst(tt.dst); got != tt.want {
+			t.Errorf("ClassifyDst(%.0f) = %v, want %v", tt.dst, got, tt.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Carrington.String() != "Carrington-class superstorm" {
+		t.Errorf("unexpected name %q", Carrington.String())
+	}
+	if got := Class(99).String(); got != "Class(99)" {
+		t.Errorf("out-of-range class name = %q", got)
+	}
+}
+
+func TestHistoricalStorms(t *testing.T) {
+	storms := HistoricalStorms()
+	if len(storms) < 5 {
+		t.Fatalf("expected at least 5 historical storms, got %d", len(storms))
+	}
+	prevYear := 0
+	for _, s := range storms {
+		if s.Year < prevYear {
+			t.Errorf("storms out of order at %s (%d)", s.Name, s.Year)
+		}
+		prevYear = s.Year
+		if s.DstMin >= 0 {
+			t.Errorf("%s: DstMin should be negative, got %.0f", s.Name, s.DstMin)
+		}
+		if s.Notes == "" {
+			t.Errorf("%s: missing notes", s.Name)
+		}
+	}
+	// The two canonical superstorms must classify as Carrington-class.
+	for _, name := range []string{"Carrington Event", "New York Railroad Storm"} {
+		s, ok := StormByName(name)
+		if !ok {
+			t.Fatalf("missing storm %q", name)
+		}
+		if s.Class() != Carrington {
+			t.Errorf("%s class = %v, want Carrington", name, s.Class())
+		}
+	}
+	if _, ok := StormByName("No Such Storm"); ok {
+		t.Error("StormByName should miss on unknown name")
+	}
+}
+
+func TestCarringtonDecadalProbability(t *testing.T) {
+	low, high := CarringtonDecadalProbability()
+	if !(low > 0 && low < high && high < 1) {
+		t.Errorf("probability bounds out of order: %v, %v", low, high)
+	}
+}
+
+func TestGICExposureMonotoneInLatitude(t *testing.T) {
+	for _, intensity := range []float64{0.3, 0.7, 1.0} {
+		prev := -1.0
+		for lat := 0.0; lat <= 90; lat += 5 {
+			e := GICExposure(lat, intensity)
+			if e < prev-1e-9 {
+				t.Errorf("intensity %.1f: exposure decreased at lat %.0f", intensity, lat)
+			}
+			if e < 0 || e > 1 {
+				t.Errorf("exposure out of range: %f", e)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestGICExposureMonotoneInIntensity(t *testing.T) {
+	for lat := 20.0; lat <= 70; lat += 10 {
+		prev := -1.0
+		for _, in := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+			e := GICExposure(lat, in)
+			if e < prev-1e-9 {
+				t.Errorf("lat %.0f: exposure decreased as intensity rose to %.1f", lat, in)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestGICExposureBounds(t *testing.T) {
+	f := func(lat, intensity float64) bool {
+		lat = math.Mod(math.Abs(lat), 90)
+		intensity = math.Mod(math.Abs(intensity), 2)
+		e := GICExposure(lat, intensity)
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGICExposureHighVsLowLatitude(t *testing.T) {
+	// Carrington-scale storm: ~55 deg geomagnetic (US east coast / UK)
+	// must be far more exposed than ~5 deg (equatorial Brazil).
+	high := GICExposure(55, 1.0)
+	low := GICExposure(5, 1.0)
+	if high < 0.7 {
+		t.Errorf("high-latitude exposure = %.2f, want >= 0.7", high)
+	}
+	if low > 0.05 {
+		t.Errorf("equatorial exposure = %.2f, want <= 0.05", low)
+	}
+}
+
+func TestGICExposureQuietIsZero(t *testing.T) {
+	if e := GICExposure(80, 0); e != 0 {
+		t.Errorf("zero-intensity exposure = %f, want 0", e)
+	}
+	if e := GICExposure(80, -1); e != 0 {
+		t.Errorf("negative-intensity exposure = %f, want 0", e)
+	}
+}
+
+func TestGICExposureNegativeLatitudeSymmetric(t *testing.T) {
+	if a, b := GICExposure(-60, 1), GICExposure(60, 1); a != b {
+		t.Errorf("southern hemisphere asymmetry: %f vs %f", a, b)
+	}
+}
+
+func TestSegmentExposure(t *testing.T) {
+	lats := []float64{10, 40, 60}
+	lens := []float64{1000, 1000, 1000}
+	mean, peak := SegmentExposure(lats, lens, 1.0)
+	if peak < mean {
+		t.Errorf("peak (%f) < mean (%f)", peak, mean)
+	}
+	if peak != GICExposure(60, 1.0) {
+		t.Errorf("peak should come from the 60-degree segment")
+	}
+	// Weighting: making the high-latitude segment longer raises the mean.
+	mean2, _ := SegmentExposure(lats, []float64{1000, 1000, 5000}, 1.0)
+	if mean2 <= mean {
+		t.Errorf("longer poleward segment should raise mean: %f <= %f", mean2, mean)
+	}
+}
+
+func TestSegmentExposureDegenerate(t *testing.T) {
+	if m, p := SegmentExposure(nil, nil, 1); m != 0 || p != 0 {
+		t.Errorf("empty input should be zero, got %f, %f", m, p)
+	}
+	if m, p := SegmentExposure([]float64{50}, []float64{10, 20}, 1); m != 0 || p != 0 {
+		t.Errorf("mismatched input should be zero, got %f, %f", m, p)
+	}
+	if m, _ := SegmentExposure([]float64{50, 60}, []float64{0, 0}, 1); m != 0 {
+		t.Errorf("zero-length conductor mean should be 0, got %f", m)
+	}
+}
+
+func TestFailureProbability(t *testing.T) {
+	if p := FailureProbability(0.3, 0.5); p != 0 {
+		t.Errorf("shielded equipment should not fail: %f", p)
+	}
+	if p := FailureProbability(0.9, 0.1); p <= 0 || p > 1 {
+		t.Errorf("exposed equipment probability out of range: %f", p)
+	}
+	// Monotone in exposure.
+	prev := -1.0
+	for e := 0.0; e <= 1.0; e += 0.1 {
+		p := FailureProbability(e, 0.2)
+		if p < prev {
+			t.Errorf("failure probability decreased at exposure %.1f", e)
+		}
+		prev = p
+	}
+}
+
+func TestVulnerabilityLevel(t *testing.T) {
+	tests := []struct {
+		score float64
+		want  string
+	}{
+		{0.0, "low"}, {0.14, "low"}, {0.2, "moderate"},
+		{0.5, "high"}, {0.8, "severe"}, {1.0, "severe"},
+	}
+	for _, tt := range tests {
+		if got := VulnerabilityLevel(tt.score); got != tt.want {
+			t.Errorf("VulnerabilityLevel(%.2f) = %q, want %q", tt.score, got, tt.want)
+		}
+	}
+}
+
+func TestRankByExposure(t *testing.T) {
+	got := RankByExposure(map[string]float64{"a": 0.2, "b": 0.9, "c": 0.5, "d": 0.5})
+	want := []string{"b", "c", "d", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankByExposure = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStormIntensityNormalization(t *testing.T) {
+	s := Storm{DstMin: -850}
+	if math.Abs(s.Intensity()-1.0) > 1e-9 {
+		t.Errorf("Dst -850 should normalize to 1.0, got %f", s.Intensity())
+	}
+}

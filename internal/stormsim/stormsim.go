@@ -1,0 +1,290 @@
+// Package stormsim simulates a geomagnetic superstorm striking the
+// world model's infrastructure, with and without the response-plan
+// actions the agent proposes. The paper notes (§4.3) that there is no
+// metric for the accuracy of future response plans; this simulator
+// provides one: a plan is executed against the storm timeline and scored
+// by the damage it prevents.
+//
+// The timeline follows the standard CME sequence: detection at t=0
+// (coronagraph observation), shock arrival after a warning window of
+// 13-72 hours, a main phase of several hours in which ground-induced
+// currents damage powered equipment, and a recovery phase whose length
+// depends on how much equipment was lost and how the restart is managed.
+package stormsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/solar"
+	"repro/internal/textgen"
+	"repro/internal/world"
+)
+
+// Action is one executable response-plan element. Actions map one-to-one
+// to the canonical mitigation strategies the agent can learn.
+type Action int
+
+// Available actions.
+const (
+	ActionPredictiveShutdown Action = iota
+	ActionRedundancyUtilization
+	ActionPhasedShutdown
+	ActionDataPreservation
+	ActionGradualReboot
+	numActions
+)
+
+var actionNames = [...]string{
+	"predictive shutdown",
+	"redundancy utilization",
+	"phased shutdown",
+	"data preservation",
+	"gradual reboot",
+}
+
+// String returns the canonical strategy name.
+func (a Action) String() string {
+	if a < 0 || int(a) >= len(actionNames) {
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+	return actionNames[a]
+}
+
+// ActionsFromPlan maps plan-item strategy names to executable actions.
+// Unknown strategies are ignored.
+func ActionsFromPlan(names []string) []Action {
+	var out []Action
+	seen := map[Action]bool{}
+	for _, n := range names {
+		n = strings.ToLower(strings.TrimSpace(n))
+		for a := Action(0); a < numActions; a++ {
+			if n == a.String() && !seen[a] {
+				out = append(out, a)
+				seen[a] = true
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Config tunes the simulation.
+type Config struct {
+	// WarningHours is the lead time between CME detection and shock
+	// arrival (default 18h — a fast Carrington-type transit).
+	WarningHours float64
+	// Seed drives per-equipment failure draws.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WarningHours <= 0 {
+		c.WarningHours = 18
+	}
+	return c
+}
+
+// Event is one timeline entry.
+type Event struct {
+	THours float64 `json:"t_hours"`
+	What   string  `json:"what"`
+}
+
+// Outcome is the scored result of one simulated storm.
+type Outcome struct {
+	Storm           string   `json:"storm"`
+	Actions         []string `json:"actions"`
+	Events          []Event  `json:"events"`
+	GridsFailed     []string `json:"grids_failed"`
+	CablesFailed    []string `json:"cables_failed"`
+	DCsOffline      int      `json:"dcs_offline"`
+	CapacityLossPct float64  `json:"capacity_loss_pct"` // peak transatlantic+core loss
+	DataLossPct     float64  `json:"data_loss_pct"`     // unsynchronized data lost
+	RecoveryHours   float64  `json:"recovery_hours"`    // time to full service
+	DamageScore     float64  `json:"damage_score"`      // 0..1 aggregate, lower is better
+}
+
+// Simulate runs one storm against the world with the given response
+// actions. It is deterministic for a given (world, storm, actions, seed).
+func Simulate(w *world.World, storm solar.Storm, actions []Action, cfg Config) Outcome {
+	cfg = cfg.withDefaults()
+	rng := textgen.NewRNG(cfg.Seed)
+	act := map[Action]bool{}
+	names := make([]string, 0, len(actions))
+	for _, a := range actions {
+		act[a] = true
+		names = append(names, a.String())
+	}
+	intensity := storm.Intensity()
+	out := Outcome{Storm: storm.Name, Actions: names}
+	add := func(t float64, format string, args ...any) {
+		out.Events = append(out.Events, Event{THours: t, What: fmt.Sprintf(format, args...)})
+	}
+	add(0, "coronal mass ejection detected; estimated arrival in %.0f hours", cfg.WarningHours)
+
+	// Pre-arrival: shutdowns reduce the damage multiplier on powered
+	// equipment. A phased shutdown avoids the transient failures a
+	// panicked all-at-once power-down causes.
+	damageFactor := 1.0
+	shutdownTransientFailures := 0.0
+	if act[ActionPredictiveShutdown] {
+		damageFactor = 0.35
+		shutdownTransientFailures = 0.06
+		if act[ActionPhasedShutdown] {
+			shutdownTransientFailures = 0.01
+			add(2, "phased shutdown of high-latitude systems begins, sequenced by vulnerability")
+		} else {
+			add(2, "emergency shutdown of high-latitude systems begins")
+		}
+	}
+	if act[ActionRedundancyUtilization] {
+		add(4, "traffic redirected to redundant capacity in low-latitude regions")
+	}
+	if act[ActionDataPreservation] {
+		add(6, "critical data backed up ahead of the storm front")
+	}
+	add(cfg.WarningHours, "storm front arrives; Dst falling toward %.0f nT (%s)", storm.DstMin, storm.Class())
+
+	// Main phase: per-grid and per-cable failure draws.
+	tMain := cfg.WarningHours + 2
+	for _, g := range w.Grids {
+		assess := world.AssessGrid(g, intensity)
+		p := assess.Score * damageFactor
+		if draw(rng, g.Name) < p {
+			out.GridsFailed = append(out.GridsFailed, g.Name)
+			add(tMain, "grid %s collapses under geomagnetically induced currents", g.Name)
+		}
+	}
+	for _, c := range w.Cables {
+		assess := world.AssessCable(c, intensity)
+		p := assess.Score * damageFactor
+		if draw(rng, c.Name) < p {
+			out.CablesFailed = append(out.CablesFailed, c.Name)
+			add(tMain+1, "cable %s loses powered repeaters", c.Name)
+		}
+	}
+	failedGrid := map[string]bool{}
+	for _, g := range out.GridsFailed {
+		failedGrid[g] = true
+	}
+	// Data centers go offline when their regional grid fails (backup
+	// generation covers hours, not multi-day restoration).
+	for _, d := range w.DataCenters {
+		for _, g := range w.Grids {
+			if failedGrid[g.Name] && g.Region == d.Region {
+				out.DCsOffline++
+				break
+			}
+		}
+	}
+
+	// Capacity loss: failed cable route-length share of the total, plus
+	// a data-center term; redundancy redirects around part of it.
+	var lostKm, totalKm float64
+	for _, c := range w.Cables {
+		l := c.LengthKm()
+		totalKm += l
+		for _, f := range out.CablesFailed {
+			if f == c.Name {
+				lostKm += l
+			}
+		}
+	}
+	capLoss := 0.0
+	if totalKm > 0 {
+		capLoss = lostKm / totalKm
+	}
+	if n := len(w.DataCenters); n > 0 {
+		capLoss = 0.7*capLoss + 0.3*float64(out.DCsOffline)/float64(n)
+	}
+	capLoss += shutdownTransientFailures
+	if act[ActionRedundancyUtilization] {
+		capLoss *= 0.6
+		add(tMain+3, "redundant low-latitude capacity absorbs redirected traffic")
+	}
+	out.CapacityLossPct = 100 * clamp01(capLoss)
+
+	// Data loss: only unsynchronized state on failed equipment.
+	dataLoss := 0.4 * capLoss
+	if act[ActionDataPreservation] {
+		dataLoss *= 0.1
+	}
+	out.DataLossPct = 100 * clamp01(dataLoss)
+
+	// Recovery: transformer replacement dominates; a gradual reboot
+	// avoids re-damaging equipment and shortens effective downtime.
+	recovery := 24 + 120*float64(len(out.GridsFailed))/float64(max(1, len(w.Grids))) +
+		72*capLoss
+	if act[ActionGradualReboot] {
+		recovery *= 0.7
+		add(tMain+12, "gradual reboot begins, checking for damage before each stage")
+	} else if len(out.GridsFailed) > 0 {
+		recovery *= 1.15 // restart surges trip repaired sections again
+		add(tMain+12, "rapid restart causes secondary trips in repaired sections")
+	}
+	out.RecoveryHours = recovery
+	add(tMain+recovery, "service fully restored")
+
+	// Aggregate damage: capacity, data, and normalized recovery time.
+	out.DamageScore = clamp01(0.5*capLoss + 0.2*dataLoss + 0.3*math.Min(recovery/240, 1))
+	return out
+}
+
+// EconomicImpact prices an outcome with the cost model: regions whose
+// grid collapsed lose most of their connectivity for the recovery
+// period; every region additionally shares the global capacity loss.
+func EconomicImpact(w *world.World, o Outcome) (totalBillions float64, breakdown []cost.RegionCost) {
+	failedRegion := map[string]bool{}
+	for _, name := range o.GridsFailed {
+		if g, ok := w.GridByName(name); ok {
+			failedRegion[g.Region] = true
+		}
+	}
+	loss := map[string]float64{}
+	for _, e := range cost.Economies() {
+		l := o.CapacityLossPct / 100 * 0.5
+		if failedRegion[e.Region] {
+			l += 0.7
+		}
+		if l > 1 {
+			l = 1
+		}
+		if l > 0 {
+			loss[e.Region] = l
+		}
+	}
+	return cost.EventCost(cost.Event{LossByRegion: loss, Hours: o.RecoveryHours})
+}
+
+// draw produces a deterministic per-entity uniform sample that does not
+// depend on iteration order.
+func draw(rng *textgen.RNG, name string) float64 {
+	return rng.Fork(name).Float64()
+}
+
+// CompareOutcomes returns how much damage the planned response prevented
+// relative to the unplanned baseline, in absolute damage-score points.
+func CompareOutcomes(baseline, planned Outcome) float64 {
+	return baseline.DamageScore - planned.DamageScore
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package stormsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/solar"
+	"repro/internal/world"
+)
+
+func carrington(t *testing.T) solar.Storm {
+	t.Helper()
+	s, ok := solar.StormByName("Carrington Event")
+	if !ok {
+		t.Fatal("missing Carrington storm")
+	}
+	return s
+}
+
+func allActions() []Action {
+	return []Action{
+		ActionPredictiveShutdown, ActionRedundancyUtilization,
+		ActionPhasedShutdown, ActionDataPreservation, ActionGradualReboot,
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	w := world.Default()
+	s := carrington(t)
+	a := Simulate(w, s, allActions(), Config{Seed: 1})
+	b := Simulate(w, s, allActions(), Config{Seed: 1})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same inputs produced different outcomes")
+	}
+	c := Simulate(w, s, allActions(), Config{Seed: 2})
+	if reflect.DeepEqual(a.GridsFailed, c.GridsFailed) && reflect.DeepEqual(a.CablesFailed, c.CablesFailed) {
+		// Different seeds may coincide, but full equality of every field
+		// would suggest the seed is ignored.
+		if reflect.DeepEqual(a, c) {
+			t.Error("seed appears to be ignored")
+		}
+	}
+}
+
+func TestUnplannedCarringtonIsSevere(t *testing.T) {
+	w := world.Default()
+	out := Simulate(w, carrington(t), nil, Config{Seed: 1})
+	if len(out.GridsFailed) == 0 {
+		t.Error("a Carrington storm with no response should fail grids")
+	}
+	if len(out.CablesFailed) == 0 {
+		t.Error("a Carrington storm with no response should fail cables")
+	}
+	if out.DamageScore < 0.25 {
+		t.Errorf("unplanned damage = %.2f, want >= 0.25", out.DamageScore)
+	}
+	if out.RecoveryHours < 48 {
+		t.Errorf("unplanned recovery = %.0f h, want >= 48", out.RecoveryHours)
+	}
+}
+
+func TestFullPlanReducesDamage(t *testing.T) {
+	w := world.Default()
+	s := carrington(t)
+	for seed := uint64(1); seed <= 5; seed++ {
+		baseline := Simulate(w, s, nil, Config{Seed: seed})
+		planned := Simulate(w, s, allActions(), Config{Seed: seed})
+		if planned.DamageScore >= baseline.DamageScore {
+			t.Errorf("seed %d: plan did not reduce damage: %.3f >= %.3f",
+				seed, planned.DamageScore, baseline.DamageScore)
+		}
+		if planned.DataLossPct > baseline.DataLossPct {
+			t.Errorf("seed %d: data preservation increased data loss", seed)
+		}
+		if planned.RecoveryHours > baseline.RecoveryHours {
+			t.Errorf("seed %d: plan lengthened recovery", seed)
+		}
+	}
+}
+
+func TestPartialPlanIsIntermediate(t *testing.T) {
+	// The agent's standard plan (the paper's two "highly consistent"
+	// elements) should land between no plan and the full reference plan.
+	w := world.Default()
+	s := carrington(t)
+	agentPlan := []Action{ActionPredictiveShutdown, ActionRedundancyUtilization}
+	var worse, better int
+	for seed := uint64(1); seed <= 5; seed++ {
+		none := Simulate(w, s, nil, Config{Seed: seed})
+		partial := Simulate(w, s, agentPlan, Config{Seed: seed})
+		full := Simulate(w, s, allActions(), Config{Seed: seed})
+		if partial.DamageScore < none.DamageScore {
+			better++
+		}
+		if partial.DamageScore > full.DamageScore {
+			worse++
+		}
+	}
+	if better < 4 {
+		t.Errorf("partial plan beat no-plan in only %d/5 seeds", better)
+	}
+	if worse < 4 {
+		t.Errorf("full plan beat partial plan in only %d/5 seeds", worse)
+	}
+}
+
+func TestWeakStormMildOutcome(t *testing.T) {
+	w := world.Default()
+	weak, ok := solar.StormByName("St. Patrick's Day Storm")
+	if !ok {
+		t.Fatal("missing weak storm")
+	}
+	strong := Simulate(w, carrington(t), nil, Config{Seed: 3})
+	mild := Simulate(w, weak, nil, Config{Seed: 3})
+	if mild.DamageScore >= strong.DamageScore {
+		t.Errorf("weak storm damage (%.3f) should be below Carrington (%.3f)",
+			mild.DamageScore, strong.DamageScore)
+	}
+}
+
+func TestActionsFromPlan(t *testing.T) {
+	got := ActionsFromPlan([]string{
+		"Predictive Shutdown", "redundancy utilization", "made-up strategy",
+		"predictive shutdown", // duplicate
+	})
+	want := []Action{ActionPredictiveShutdown, ActionRedundancyUtilization}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ActionsFromPlan = %v, want %v", got, want)
+	}
+	if got := ActionsFromPlan(nil); len(got) != 0 {
+		t.Errorf("empty plan should map to no actions: %v", got)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionGradualReboot.String() != "gradual reboot" {
+		t.Errorf("unexpected name %q", ActionGradualReboot.String())
+	}
+	if Action(99).String() != "Action(99)" {
+		t.Errorf("out-of-range: %q", Action(99).String())
+	}
+}
+
+func TestTimelineOrdered(t *testing.T) {
+	out := Simulate(world.Default(), carrington(t), allActions(), Config{Seed: 1})
+	prev := -1.0
+	for _, e := range out.Events {
+		if e.THours < prev {
+			t.Errorf("events out of order at %q (t=%.1f after %.1f)", e.What, e.THours, prev)
+		}
+		prev = e.THours
+	}
+	if len(out.Events) < 5 {
+		t.Errorf("timeline too sparse: %d events", len(out.Events))
+	}
+}
+
+func TestCompareOutcomes(t *testing.T) {
+	w := world.Default()
+	s := carrington(t)
+	baseline := Simulate(w, s, nil, Config{Seed: 1})
+	planned := Simulate(w, s, allActions(), Config{Seed: 1})
+	if d := CompareOutcomes(baseline, planned); d <= 0 {
+		t.Errorf("prevented damage = %.3f, want > 0", d)
+	}
+}
+
+func TestEconomicImpact(t *testing.T) {
+	w := world.Default()
+	s := carrington(t)
+	baseline := Simulate(w, s, nil, Config{Seed: 1})
+	planned := Simulate(w, s, allActions(), Config{Seed: 1})
+	baseCost, breakdown := EconomicImpact(w, baseline)
+	planCost, _ := EconomicImpact(w, planned)
+	if baseCost <= 0 {
+		t.Fatal("unplanned Carrington storm should have positive cost")
+	}
+	if planCost >= baseCost {
+		t.Errorf("planning should reduce cost: %.1fB >= %.1fB", planCost, baseCost)
+	}
+	if len(breakdown) == 0 {
+		t.Error("no per-region breakdown")
+	}
+	var sum float64
+	for _, b := range breakdown {
+		sum += b.CostBillions
+	}
+	if diff := sum - baseCost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("breakdown sum %.6f != total %.6f", sum, baseCost)
+	}
+}
+
+func TestPhasedShutdownReducesTransients(t *testing.T) {
+	w := world.Default()
+	s := carrington(t)
+	abrupt := Simulate(w, s, []Action{ActionPredictiveShutdown}, Config{Seed: 4})
+	phased := Simulate(w, s, []Action{ActionPredictiveShutdown, ActionPhasedShutdown}, Config{Seed: 4})
+	if phased.CapacityLossPct >= abrupt.CapacityLossPct {
+		t.Errorf("phased shutdown should reduce capacity loss: %.2f >= %.2f",
+			phased.CapacityLossPct, abrupt.CapacityLossPct)
+	}
+}

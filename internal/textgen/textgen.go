@@ -1,0 +1,141 @@
+// Package textgen provides the deterministic random source and small
+// natural-language helpers shared by the corpus generator and the
+// simulated language model. Everything is seeded: the same seed always
+// produces the same corpus and the same model outputs, which keeps every
+// experiment reproducible bit-for-bit.
+package textgen
+
+import (
+	"strings"
+	"unicode"
+)
+
+// RNG is a small deterministic pseudo-random generator (splitmix64). It
+// is NOT cryptographically secure and is intentionally independent of
+// math/rand so that generated corpora stay stable across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed + 0x9e3779b97f4a7c15} }
+
+// next advances the splitmix64 state.
+func (r *RNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.next() }
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("textgen: Intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Pick returns a uniformly chosen element of items. It panics on an empty
+// slice.
+func Pick[T any](r *RNG, items []T) T {
+	return items[r.Intn(len(items))]
+}
+
+// Shuffle permutes items in place (Fisher-Yates).
+func Shuffle[T any](r *RNG, items []T) {
+	for i := len(items) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		items[i], items[j] = items[j], items[i]
+	}
+}
+
+// Fork derives an independent generator from r and a label, so sibling
+// generation tasks don't perturb each other's streams when one of them
+// changes how many values it draws.
+func (r *RNG) Fork(label string) *RNG {
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(label) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return NewRNG(r.state ^ h)
+}
+
+// JoinAnd joins items as "a", "a and b", or "a, b, and c".
+func JoinAnd(items []string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	case 2:
+		return items[0] + " and " + items[1]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + ", and " + items[len(items)-1]
+	}
+}
+
+// Capitalize upper-cases the first letter of s.
+func Capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	runes := []rune(s)
+	runes[0] = unicode.ToUpper(runes[0])
+	return string(runes)
+}
+
+// Sentence joins fragments with spaces, capitalizes the first letter, and
+// terminates with a period if no terminal punctuation is present.
+func Sentence(fragments ...string) string {
+	s := strings.TrimSpace(strings.Join(fragments, " "))
+	if s == "" {
+		return s
+	}
+	s = Capitalize(s)
+	switch s[len(s)-1] {
+	case '.', '!', '?':
+		return s
+	}
+	return s + "."
+}
+
+// Slug converts a title to a lowercase-hyphenated URL path segment.
+func Slug(s string) string {
+	var b strings.Builder
+	lastHyphen := true // suppress leading hyphen
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastHyphen = false
+		default:
+			if !lastHyphen {
+				b.WriteByte('-')
+				lastHyphen = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// Paragraph joins sentences with single spaces.
+func Paragraph(sentences ...string) string {
+	nonEmpty := make([]string, 0, len(sentences))
+	for _, s := range sentences {
+		if s = strings.TrimSpace(s); s != "" {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	return strings.Join(nonEmpty, " ")
+}

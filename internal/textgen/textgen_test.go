@@ -1,0 +1,179 @@
+package textgen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 700 {
+			t.Errorf("bucket %d undersampled: %d/7000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %f", v)
+		}
+	}
+}
+
+func TestPickAndShuffle(t *testing.T) {
+	r := NewRNG(5)
+	items := []string{"a", "b", "c", "d"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, items)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("Pick over 100 draws hit %d/4 items", len(seen))
+	}
+	orig := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	shuffled := append([]int(nil), orig...)
+	Shuffle(r, shuffled)
+	sum := 0
+	for _, v := range shuffled {
+		sum += v
+	}
+	if sum != 36 {
+		t.Errorf("shuffle lost elements: %v", shuffled)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(9)
+	f1 := r.Fork("corpus")
+	f2 := r.Fork("llm")
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forks with different labels should diverge")
+	}
+	// Same label from same state is reproducible.
+	r2 := NewRNG(9)
+	g1 := r2.Fork("corpus")
+	h1 := NewRNG(9).Fork("corpus")
+	if g1.Uint64() != h1.Uint64() {
+		t.Error("same-label forks should match")
+	}
+}
+
+func TestJoinAnd(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"a"}, "a"},
+		{[]string{"a", "b"}, "a and b"},
+		{[]string{"a", "b", "c"}, "a, b, and c"},
+	}
+	for _, tt := range tests {
+		if got := JoinAnd(tt.in); got != tt.want {
+			t.Errorf("JoinAnd(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSentence(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{[]string{"hello", "world"}, "Hello world."},
+		{[]string{"already done."}, "Already done."},
+		{[]string{"a question?"}, "A question?"},
+		{[]string{""}, ""},
+		{[]string{"  spaced  "}, "Spaced."},
+	}
+	for _, tt := range tests {
+		if got := Sentence(tt.in...); got != tt.want {
+			t.Errorf("Sentence(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Solar Superstorms: Planning", "solar-superstorms-planning"},
+		{"  A  B  ", "a-b"},
+		{"Already-Slugged", "already-slugged"},
+		{"123 Go!", "123-go"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := Slug(tt.in); got != tt.want {
+			t.Errorf("Slug(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSlugProperty(t *testing.T) {
+	f := func(s string) bool {
+		out := Slug(s)
+		for _, r := range out {
+			ok := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '-'
+			if !ok {
+				return false
+			}
+		}
+		return len(out) == 0 || (out[0] != '-' && out[len(out)-1] != '-')
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParagraph(t *testing.T) {
+	got := Paragraph("First.", "", "  Second.  ")
+	if got != "First. Second." {
+		t.Errorf("Paragraph = %q", got)
+	}
+}
+
+func TestCapitalize(t *testing.T) {
+	if Capitalize("") != "" || Capitalize("abc") != "Abc" || Capitalize("Xyz") != "Xyz" {
+		t.Error("Capitalize misbehaves")
+	}
+}

@@ -1,0 +1,110 @@
+// Package trace records structured event logs of agent runs: every
+// model call, command execution, memory write and self-learning round.
+// Traces are what let an operator audit *how* the agent reached a
+// conclusion — the paper's §4.2 "we carefully monitor how Bob draws
+// conclusions ... to verify the sources of the knowledge".
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Kind classifies trace events.
+type Kind string
+
+// Event kinds.
+const (
+	KindModelCall  Kind = "model-call"
+	KindCommand    Kind = "command"
+	KindMemoryAdd  Kind = "memory-add"
+	KindSearch     Kind = "search"
+	KindFetch      Kind = "fetch"
+	KindConfidence Kind = "confidence"
+	KindRound      Kind = "round"
+	KindNote       Kind = "note"
+	KindError      Kind = "error"
+)
+
+// Event is one trace record.
+type Event struct {
+	Seq    int64  `json:"seq"`
+	Kind   Kind   `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// Log is an append-only event log, safe for concurrent use. A nil *Log is
+// valid and discards everything, so tracing is always optional.
+type Log struct {
+	mu     sync.Mutex
+	seq    int64
+	events []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add appends an event. Safe on a nil receiver.
+func (l *Log) Add(kind Kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.events = append(l.events, Event{Seq: l.seq, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns a copy of all events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// CountKind returns how many events of the given kind were recorded.
+func (l *Log) CountKind(kind Kind) int {
+	n := 0
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL writes the log as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	return nil
+}
+
+// String renders a compact human-readable transcript.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		fmt.Fprintf(&b, "%4d %-12s %s\n", e.Seq, e.Kind, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := New()
+	l.Add(KindSearch, "query %q", "solar")
+	l.Add(KindFetch, "url %s", "https://x")
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Errorf("sequence wrong: %+v", evs)
+	}
+	if evs[0].Kind != KindSearch || !strings.Contains(evs[0].Detail, `"solar"`) {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(KindNote, "into the void")
+	if l.Events() != nil || l.Len() != 0 {
+		t.Error("nil log should be empty")
+	}
+	if l.CountKind(KindNote) != 0 {
+		t.Error("nil log count should be 0")
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	l := New()
+	l.Add(KindSearch, "a")
+	l.Add(KindSearch, "b")
+	l.Add(KindError, "c")
+	if got := l.CountKind(KindSearch); got != 2 {
+		t.Errorf("CountKind(search) = %d", got)
+	}
+	if got := l.CountKind(KindFetch); got != 0 {
+		t.Errorf("CountKind(fetch) = %d", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	l := New()
+	l.Add(KindRound, "round 1")
+	l.Add(KindConfidence, "conf 8")
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindRound {
+		t.Errorf("decoded kind = %s", e.Kind)
+	}
+}
+
+func TestStringTranscript(t *testing.T) {
+	l := New()
+	l.Add(KindCommand, "google \"solar\"")
+	s := l.String()
+	if !strings.Contains(s, "command") || !strings.Contains(s, "google") {
+		t.Errorf("transcript = %q", s)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Add(KindNote, "n")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 1000 {
+		t.Errorf("Len = %d, want 1000", l.Len())
+	}
+	// Sequence numbers must be unique.
+	seen := map[int64]bool{}
+	for _, e := range l.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

@@ -1,0 +1,149 @@
+package websim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Handler exposes an Engine as an HTTP JSON API:
+//
+//	GET /search?q=<query>&k=<n>  -> {"results": [...]}
+//	GET /fetch?url=<url>         -> Page
+//	GET /healthz                 -> {"status":"ok", ...stats}
+//
+// Errors map to HTTP statuses: 403 for restricted pages, 451 for social
+// pages without the crawler extension, 404 for unknown URLs, 400 for bad
+// requests.
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			httpError(w, http.StatusBadRequest, "missing q parameter")
+			return
+		}
+		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+		results, err := e.Search(r.Context(), q, k)
+		switch {
+		case errors.Is(err, ErrTransient):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	})
+	mux.HandleFunc("GET /fetch", func(w http.ResponseWriter, r *http.Request) {
+		u := r.URL.Query().Get("url")
+		if u == "" {
+			httpError(w, http.StatusBadRequest, "missing url parameter")
+			return
+		}
+		page, err := e.Fetch(r.Context(), u)
+		switch {
+		case errors.Is(err, ErrForbidden):
+			httpError(w, http.StatusForbidden, err.Error())
+		case errors.Is(err, ErrUnsupportedSite):
+			httpError(w, http.StatusUnavailableForLegalReasons, err.Error())
+		case errors.Is(err, ErrNotFound):
+			httpError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrTransient):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, page)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": e.Stats()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// Client talks to a websim Handler over HTTP and implements Web, so an
+// agent can run against a remote simulated Internet exactly as it runs
+// against the in-process engine.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses a 10-second-timeout
+// default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// Search implements Web.
+func (c *Client) Search(ctx context.Context, query string, k int) ([]Result, error) {
+	u := fmt.Sprintf("%s/search?q=%s&k=%d", c.base, url.QueryEscape(query), k)
+	var payload struct {
+		Results []Result `json:"results"`
+	}
+	if err := c.getJSON(ctx, u, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Results, nil
+}
+
+// Fetch implements Web, translating HTTP statuses back to the engine's
+// sentinel errors.
+func (c *Client) Fetch(ctx context.Context, pageURL string) (Page, error) {
+	u := fmt.Sprintf("%s/fetch?url=%s", c.base, url.QueryEscape(pageURL))
+	var page Page
+	err := c.getJSON(ctx, u, &page)
+	return page, err
+}
+
+func (c *Client) getJSON(ctx context.Context, u string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("websim client: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("websim client: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("websim client: read body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return json.Unmarshal(body, v)
+	case http.StatusForbidden:
+		return fmt.Errorf("%w: %s", ErrForbidden, u)
+	case http.StatusUnavailableForLegalReasons:
+		return fmt.Errorf("%w: %s", ErrUnsupportedSite, u)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, u)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", ErrTransient, u)
+	default:
+		return fmt.Errorf("websim client: unexpected status %d: %s", resp.StatusCode, body)
+	}
+}

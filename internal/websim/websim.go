@@ -1,0 +1,254 @@
+// Package websim simulates the web the agent investigates: a search
+// engine over the synthetic corpus plus page fetching, with the access
+// limitations the paper reports (social sites unreachable to Auto-GPT,
+// the source research paper never served). The engine can be used
+// in-process or served over real HTTP (see http.go), in which case the
+// agent exercises an actual network client.
+package websim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+)
+
+// Result is one search hit.
+type Result struct {
+	URL     string  `json:"url"`
+	Title   string  `json:"title"`
+	Site    string  `json:"site"`
+	Snippet string  `json:"snippet"`
+	Score   float64 `json:"score"`
+	DocID   string  `json:"doc_id"`
+}
+
+// Page is a fetched document.
+type Page struct {
+	URL   string `json:"url"`
+	Title string `json:"title"`
+	Body  string `json:"body"`
+	Site  string `json:"site"`
+}
+
+// Web is the interface the agent programs against; Engine implements it
+// in-process and Client implements it over HTTP.
+type Web interface {
+	// Search returns up to k ranked results for the query.
+	Search(ctx context.Context, query string, k int) ([]Result, error)
+	// Fetch returns the full page at the given URL.
+	Fetch(ctx context.Context, url string) (Page, error)
+}
+
+// Errors returned by the engine.
+var (
+	// ErrUnsupportedSite is returned when fetching a social site without
+	// the crawler extension — the Auto-GPT limitation the paper reports.
+	ErrUnsupportedSite = errors.New("websim: site requires the crawler extension")
+	// ErrForbidden is returned for restricted documents (the source
+	// research paper), which are never served.
+	ErrForbidden = errors.New("websim: access forbidden")
+	// ErrNotFound is returned for unknown URLs.
+	ErrNotFound = errors.New("websim: page not found")
+	// ErrTransient simulates a transient server failure (a 503); the
+	// failure-injection option returns it on a deterministic fraction of
+	// requests so that agent resilience can be tested.
+	ErrTransient = errors.New("websim: transient failure")
+)
+
+// Options configures engine behaviour.
+type Options struct {
+	// EnableSocial makes the search engine index and serve social
+	// documents (the paper's planned "integrated online crawler").
+	EnableSocial bool
+	// MaxResults caps results per query (default 8).
+	MaxResults int
+	// Latency is the simulated per-request latency (default 0).
+	Latency time.Duration
+	// Ranking selects the search ranking function (default BM25).
+	Ranking index.Ranking
+	// FailureRate injects deterministic transient failures: that
+	// fraction of requests (0..1) returns ErrTransient. The failing
+	// request positions depend only on the request sequence, so runs
+	// remain reproducible.
+	FailureRate float64
+}
+
+// Stats counts engine traffic; read with atomic loads via the accessor.
+type Stats struct {
+	Queries int64 `json:"queries"`
+	Fetches int64 `json:"fetches"`
+	Denied  int64 `json:"denied"`
+}
+
+// Engine is the in-process simulated web.
+type Engine struct {
+	opts   Options
+	main   *index.Index
+	social *index.Index
+	mu     sync.RWMutex
+	byURL  map[string]corpus.Document
+	byID   map[string]corpus.Document
+
+	queries  atomic.Int64
+	fetches  atomic.Int64
+	denied   atomic.Int64
+	requests atomic.Int64 // failure-injection sequence counter
+}
+
+// failNow deterministically decides whether the current request fails,
+// by hashing the request sequence number: request n fails iff
+// hash(n) mod 1e6 < rate*1e6.
+func (e *Engine) failNow() bool {
+	if e.opts.FailureRate <= 0 {
+		return false
+	}
+	n := uint64(e.requests.Add(1))
+	n ^= n >> 33
+	n *= 0xff51afd7ed558ccd
+	n ^= n >> 33
+	return float64(n%1_000_000) < e.opts.FailureRate*1_000_000
+}
+
+// NewEngine indexes the corpus under the given options.
+func NewEngine(c *corpus.Corpus, opts Options) *Engine {
+	if opts.MaxResults <= 0 {
+		opts.MaxResults = 8
+	}
+	e := &Engine{
+		opts:   opts,
+		main:   index.New(),
+		social: index.New(),
+		byURL:  map[string]corpus.Document{},
+		byID:   map[string]corpus.Document{},
+	}
+	for _, d := range c.Docs {
+		e.byURL[d.URL] = d
+		e.byID[d.ID] = d
+		e.indexDoc(d)
+	}
+	return e
+}
+
+// indexDoc routes a document to the right index. Social documents join
+// the main index only when the crawler extension is enabled, so that
+// social and non-social hits rank on a comparable scale; restricted
+// documents are never indexed.
+func (e *Engine) indexDoc(d corpus.Document) {
+	switch d.Source {
+	case corpus.SourceRestricted:
+		// never indexed
+	case corpus.SourceSocial:
+		if e.opts.EnableSocial {
+			e.main.Add(index.Doc{ID: d.ID, Title: d.Title, Body: d.Body, Tags: d.Topics})
+		} else {
+			e.social.Add(index.Doc{ID: d.ID, Title: d.Title, Body: d.Body, Tags: d.Topics})
+		}
+	default:
+		e.main.Add(index.Doc{ID: d.ID, Title: d.Title, Body: d.Body, Tags: d.Topics})
+	}
+}
+
+// Stats returns a snapshot of traffic counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries: e.queries.Load(),
+		Fetches: e.fetches.Load(),
+		Denied:  e.denied.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters.
+func (e *Engine) ResetStats() {
+	e.queries.Store(0)
+	e.fetches.Store(0)
+	e.denied.Store(0)
+}
+
+func (e *Engine) sleep(ctx context.Context) error {
+	if e.opts.Latency <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(e.opts.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Search implements Web. With EnableSocial, social hits are merged into
+// the ranking by score.
+func (e *Engine) Search(ctx context.Context, query string, k int) ([]Result, error) {
+	if err := e.sleep(ctx); err != nil {
+		return nil, err
+	}
+	if e.failNow() {
+		return nil, fmt.Errorf("%w: search %q", ErrTransient, query)
+	}
+	e.queries.Add(1)
+	if k <= 0 || k > e.opts.MaxResults {
+		k = e.opts.MaxResults
+	}
+	hits := e.main.SearchRanked(query, k, e.opts.Ranking)
+	out := make([]Result, 0, len(hits))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, h := range hits {
+		d := e.byID[h.ID]
+		out = append(out, Result{
+			URL:     d.URL,
+			Title:   d.Title,
+			Site:    d.Site,
+			Snippet: h.Snippet,
+			Score:   h.Score,
+			DocID:   d.ID,
+		})
+	}
+	return out, nil
+}
+
+// Fetch implements Web, enforcing the source-gating rules.
+func (e *Engine) Fetch(ctx context.Context, url string) (Page, error) {
+	if err := e.sleep(ctx); err != nil {
+		return Page{}, err
+	}
+	if e.failNow() {
+		return Page{}, fmt.Errorf("%w: fetch %s", ErrTransient, url)
+	}
+	e.fetches.Add(1)
+	e.mu.RLock()
+	d, ok := e.byURL[url]
+	e.mu.RUnlock()
+	if !ok {
+		return Page{}, fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	switch d.Source {
+	case corpus.SourceRestricted:
+		e.denied.Add(1)
+		return Page{}, fmt.Errorf("%w: %s", ErrForbidden, url)
+	case corpus.SourceSocial:
+		if !e.opts.EnableSocial {
+			e.denied.Add(1)
+			return Page{}, fmt.Errorf("%w: %s", ErrUnsupportedSite, url)
+		}
+	}
+	return Page{URL: d.URL, Title: d.Title, Body: d.Body, Site: d.Site}, nil
+}
+
+// Publish adds a new document to the live engine (used by failure-
+// injection tests and long-running scenarios).
+func (e *Engine) Publish(d corpus.Document) {
+	e.mu.Lock()
+	e.byURL[d.URL] = d
+	e.byID[d.ID] = d
+	e.mu.Unlock()
+	e.indexDoc(d)
+}

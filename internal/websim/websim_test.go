@@ -1,0 +1,307 @@
+package websim
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/world"
+)
+
+func testEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	return NewEngine(corpus.Generate(world.Default(), 42), opts)
+}
+
+func TestSearchFindsDomainDocs(t *testing.T) {
+	e := testEngine(t, Options{})
+	ctx := context.Background()
+	results, err := e.Search(ctx, "solar superstorm coronal mass ejection effects", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	found := false
+	for _, r := range results {
+		if r.DocID == "science-cme" {
+			found = true
+		}
+		if r.URL == "" || r.Title == "" {
+			t.Errorf("result missing URL or title: %+v", r)
+		}
+	}
+	if !found {
+		t.Errorf("science-cme not in results: %+v", results)
+	}
+}
+
+func TestSearchNeverReturnsRestricted(t *testing.T) {
+	e := testEngine(t, Options{EnableSocial: true})
+	// Query lifted straight from the restricted paper's title.
+	results, err := e.Search(context.Background(), "solar superstorms planning for an internet apocalypse conclusions", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.DocID == "paper-solar-superstorms" {
+			t.Fatal("restricted paper served by search")
+		}
+	}
+}
+
+func TestSearchSocialGating(t *testing.T) {
+	q := "thread about solar storm risk twitter"
+	off := testEngine(t, Options{})
+	on := testEngine(t, Options{EnableSocial: true})
+	ctx := context.Background()
+	offRes, _ := off.Search(ctx, q, 10)
+	onRes, _ := on.Search(ctx, q, 10)
+	offSocial, onSocial := 0, 0
+	for _, r := range offRes {
+		if r.Site == "twitter.com" || r.Site == "reddit.com" {
+			offSocial++
+		}
+	}
+	for _, r := range onRes {
+		if r.Site == "twitter.com" || r.Site == "reddit.com" {
+			onSocial++
+		}
+	}
+	if offSocial != 0 {
+		t.Errorf("social results served without crawler: %d", offSocial)
+	}
+	if onSocial == 0 {
+		t.Error("crawler enabled but no social results")
+	}
+}
+
+func TestFetchRules(t *testing.T) {
+	e := testEngine(t, Options{})
+	ctx := context.Background()
+	c := corpus.Generate(world.Default(), 42)
+
+	var wikiURL, socialURL, restrictedURL string
+	for _, d := range c.Docs {
+		switch {
+		case d.ID == "science-cme":
+			wikiURL = d.URL
+		case d.Source == corpus.SourceSocial && socialURL == "":
+			socialURL = d.URL
+		case d.Source == corpus.SourceRestricted:
+			restrictedURL = d.URL
+		}
+	}
+
+	page, err := e.Fetch(ctx, wikiURL)
+	if err != nil {
+		t.Fatalf("fetch wiki: %v", err)
+	}
+	if !strings.Contains(page.Body, "coronal mass ejection") {
+		t.Error("fetched body missing expected content")
+	}
+
+	if _, err := e.Fetch(ctx, socialURL); !errors.Is(err, ErrUnsupportedSite) {
+		t.Errorf("social fetch error = %v, want ErrUnsupportedSite", err)
+	}
+	if _, err := e.Fetch(ctx, restrictedURL); !errors.Is(err, ErrForbidden) {
+		t.Errorf("restricted fetch error = %v, want ErrForbidden", err)
+	}
+	if _, err := e.Fetch(ctx, "https://nowhere.example.com/x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown fetch error = %v, want ErrNotFound", err)
+	}
+
+	st := e.Stats()
+	if st.Fetches != 4 || st.Denied != 2 {
+		t.Errorf("stats = %+v, want 4 fetches and 2 denied", st)
+	}
+}
+
+func TestFetchSocialWithCrawler(t *testing.T) {
+	e := testEngine(t, Options{EnableSocial: true})
+	c := corpus.Generate(world.Default(), 42)
+	for _, d := range c.Docs {
+		if d.Source == corpus.SourceSocial {
+			if _, err := e.Fetch(context.Background(), d.URL); err != nil {
+				t.Errorf("crawler-enabled social fetch failed: %v", err)
+			}
+			break
+		}
+	}
+}
+
+func TestMaxResults(t *testing.T) {
+	e := testEngine(t, Options{MaxResults: 3})
+	results, _ := e.Search(context.Background(), "cable", 100)
+	if len(results) > 3 {
+		t.Errorf("MaxResults=3 but got %d results", len(results))
+	}
+}
+
+func TestLatencyAndContextCancel(t *testing.T) {
+	e := testEngine(t, Options{Latency: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := e.Search(ctx, "cable", 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expected deadline error, got %v", err)
+	}
+}
+
+func TestPublishLive(t *testing.T) {
+	e := testEngine(t, Options{})
+	doc := corpus.Document{
+		ID: "breaking-news", URL: "https://netnews.example.org/breaking",
+		Site: "netnews.example.org", Title: "Breaking: zorbulated flux capacitor anomaly",
+		Body: "A zorbulated flux capacitor anomaly was reported today.", Source: corpus.SourceNews, Year: 2026,
+	}
+	e.Publish(doc)
+	results, _ := e.Search(context.Background(), "zorbulated flux capacitor", 3)
+	if len(results) != 1 || results[0].DocID != "breaking-news" {
+		t.Errorf("published doc not searchable: %+v", results)
+	}
+	if _, err := e.Fetch(context.Background(), doc.URL); err != nil {
+		t.Errorf("published doc not fetchable: %v", err)
+	}
+}
+
+func TestConcurrentTraffic(t *testing.T) {
+	e := testEngine(t, Options{})
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				results, err := e.Search(ctx, "solar storm cable latitude", 5)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				if len(results) > 0 {
+					if _, err := e.Fetch(ctx, results[0].URL); err != nil {
+						t.Errorf("fetch: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Stats().Queries; got != 320 {
+		t.Errorf("query count = %d, want 320", got)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	e := testEngine(t, Options{})
+	srv := httptest.NewServer(Handler(e))
+	defer srv.Close()
+	client := NewClient(srv.URL, nil)
+	ctx := context.Background()
+
+	results, err := client.Search(ctx, "geomagnetically induced currents power grid", 5)
+	if err != nil {
+		t.Fatalf("client search: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("client search returned nothing")
+	}
+	page, err := client.Fetch(ctx, results[0].URL)
+	if err != nil {
+		t.Fatalf("client fetch: %v", err)
+	}
+	if page.Body == "" || page.Title != results[0].Title {
+		t.Errorf("fetched page mismatch: %+v vs %+v", page, results[0])
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	e := testEngine(t, Options{})
+	srv := httptest.NewServer(Handler(e))
+	defer srv.Close()
+	client := NewClient(srv.URL, nil)
+	ctx := context.Background()
+	c := corpus.Generate(world.Default(), 42)
+
+	var socialURL, restrictedURL string
+	for _, d := range c.Docs {
+		if d.Source == corpus.SourceSocial && socialURL == "" {
+			socialURL = d.URL
+		}
+		if d.Source == corpus.SourceRestricted {
+			restrictedURL = d.URL
+		}
+	}
+	if _, err := client.Fetch(ctx, restrictedURL); !errors.Is(err, ErrForbidden) {
+		t.Errorf("restricted over HTTP: %v, want ErrForbidden", err)
+	}
+	if _, err := client.Fetch(ctx, socialURL); !errors.Is(err, ErrUnsupportedSite) {
+		t.Errorf("social over HTTP: %v, want ErrUnsupportedSite", err)
+	}
+	if _, err := client.Fetch(ctx, "https://nope.example.com/"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing over HTTP: %v, want ErrNotFound", err)
+	}
+	if _, err := client.Search(ctx, "", 5); err == nil {
+		t.Error("empty query should error over HTTP")
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	e := testEngine(t, Options{FailureRate: 0.3})
+	ctx := context.Background()
+	failures := 0
+	const total = 200
+	for i := 0; i < total; i++ {
+		if _, err := e.Search(ctx, "solar storm", 3); errors.Is(err, ErrTransient) {
+			failures++
+		} else if err != nil {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	}
+	if failures < total*15/100 || failures > total*45/100 {
+		t.Errorf("failure rate off: %d/%d at configured 0.3", failures, total)
+	}
+	// Determinism: a fresh engine with the same config fails on the same
+	// request positions.
+	e2 := testEngine(t, Options{FailureRate: 0.3})
+	for i := 0; i < 50; i++ {
+		_, err1 := e.Fetch(ctx, "https://nowhere.example/x")
+		_, err2 := e2.Fetch(ctx, "https://nowhere.example/x")
+		// Different engines have different counters by now; compare only
+		// error *classes* are sane.
+		if err1 == nil || err2 == nil {
+			t.Fatal("fetch of unknown URL should always error")
+		}
+	}
+}
+
+func TestFailureInjectionZeroByDefault(t *testing.T) {
+	e := testEngine(t, Options{})
+	for i := 0; i < 100; i++ {
+		if _, err := e.Search(context.Background(), "cable", 3); err != nil {
+			t.Fatalf("default engine failed: %v", err)
+		}
+	}
+}
+
+func TestHTTPTransientMapping(t *testing.T) {
+	e := testEngine(t, Options{FailureRate: 1.0}) // every request fails
+	srv := httptest.NewServer(Handler(e))
+	defer srv.Close()
+	client := NewClient(srv.URL, nil)
+	if _, err := client.Search(context.Background(), "cable", 3); !errors.Is(err, ErrTransient) {
+		t.Errorf("transient not mapped over HTTP: %v", err)
+	}
+}
+
+func TestEngineImplementsWeb(t *testing.T) {
+	var _ Web = (*Engine)(nil)
+	var _ Web = (*Client)(nil)
+}

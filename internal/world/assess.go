@@ -1,0 +1,278 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/solar"
+)
+
+// geomagAbs returns the absolute geomagnetic latitude of a coordinate.
+func geomagAbs(lat, lon float64) float64 {
+	v := geo.GeomagneticLat(geo.Pt(lat, lon))
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// CableAssessment is the vulnerability evaluation of one cable under a
+// storm of a given intensity.
+type CableAssessment struct {
+	Cable        string  `json:"cable"`
+	MeanExposure float64 `json:"mean_exposure"`
+	PeakExposure float64 `json:"peak_exposure"`
+	MaxGeomagLat float64 `json:"max_geomag_lat"`
+	LengthKm     float64 `json:"length_km"`
+	Repeaters    int     `json:"repeaters"`
+	Score        float64 `json:"score"` // 0..1 composite vulnerability
+	Level        string  `json:"level"` // qualitative bucket
+}
+
+// AssessCable evaluates a cable's vulnerability to a storm of the given
+// intensity (1.0 = Carrington-scale). The score combines the
+// length-weighted mean GIC exposure along the route with a repeater-count
+// factor: submarine cables are powered end-to-end, so every repeater adds
+// a failure point, while unpowered terrestrial fiber spans with short
+// regenerator distances are largely immune.
+func AssessCable(c Cable, intensity float64) CableAssessment {
+	lats, lens := c.RouteProfile()
+	mean, peak := solar.SegmentExposure(lats, lens, intensity)
+	reps := c.RepeaterCount()
+	// Repeater factor saturates: beyond ~100 repeaters the powering feed
+	// already spans the full induced-voltage envelope.
+	repFactor := 1 - math.Exp(-float64(reps)/40.0)
+	if !c.Submarine {
+		repFactor = 0.1 // short unpowered spans; grid dependence only
+	}
+	score := mean * (0.4 + 0.6*repFactor)
+	if score > 1 {
+		score = 1
+	}
+	return CableAssessment{
+		Cable:        c.Name,
+		MeanExposure: mean,
+		PeakExposure: peak,
+		MaxGeomagLat: c.MaxGeomagneticLat(),
+		LengthKm:     c.LengthKm(),
+		Repeaters:    reps,
+		Score:        score,
+		Level:        solar.VulnerabilityLevel(score),
+	}
+}
+
+// Verdict is the outcome of a comparative vulnerability question: which of
+// two named subjects is more vulnerable, by how much, and why.
+type Verdict struct {
+	MoreVulnerable string   `json:"more_vulnerable"`
+	LessVulnerable string   `json:"less_vulnerable"`
+	Margin         float64  `json:"margin"` // score difference, 0..1
+	Reasons        []string `json:"reasons"`
+}
+
+// Decisive reports whether the margin is large enough to ground a firm
+// conclusion rather than a toss-up.
+func (v Verdict) Decisive() bool { return v.Margin >= 0.05 }
+
+// CompareCables returns the verdict for "which cable is more vulnerable"
+// under the given storm intensity.
+func CompareCables(a, b Cable, intensity float64) Verdict {
+	aa, ab := AssessCable(a, intensity), AssessCable(b, intensity)
+	hi, lo := aa, ab
+	if ab.Score > aa.Score {
+		hi, lo = ab, aa
+	}
+	return Verdict{
+		MoreVulnerable: hi.Cable,
+		LessVulnerable: lo.Cable,
+		Margin:         hi.Score - lo.Score,
+		Reasons: []string{
+			fmt.Sprintf("%s reaches geomagnetic latitude %.0f deg versus %.0f deg for %s; GIC exposure rises steeply with geomagnetic latitude", hi.Cable, hi.MaxGeomagLat, lo.MaxGeomagLat, lo.Cable),
+			fmt.Sprintf("%s carries %d powered repeaters over %.0f km", hi.Cable, hi.Repeaters, hi.LengthKm),
+		},
+	}
+}
+
+// OperatorAssessment summarizes the resilience of one operator's
+// data-center fleet.
+type OperatorAssessment struct {
+	Operator      string  `json:"operator"`
+	Facilities    int     `json:"facilities"`
+	Regions       int     `json:"regions"`
+	MeanGeomagLat float64 `json:"mean_geomag_lat"`
+	ShareLowLat   float64 `json:"share_low_lat"` // fraction of fleet below 40 deg geomagnetic
+	SpreadScore   float64 `json:"spread_score"`  // 0..1, higher = better dispersed
+	VulnScore     float64 `json:"vuln_score"`    // 0..1, higher = more vulnerable
+	Level         string  `json:"level"`
+}
+
+// lowLatThreshold is the geomagnetic latitude below which even a
+// Carrington-scale storm leaves ground infrastructure mostly unaffected.
+const lowLatThreshold = 40.0
+
+// AssessOperator evaluates an operator's fleet. Vulnerability blends the
+// mean per-facility GIC exposure with a concentration penalty: a fleet
+// spread across many regions, and with a large share of facilities at low
+// geomagnetic latitudes (Asia, South America, Oceania), retains capacity
+// when the high-latitude band fails.
+func AssessOperator(w *World, op string, intensity float64) OperatorAssessment {
+	fleet := w.DataCentersOf(op)
+	a := OperatorAssessment{Operator: op, Facilities: len(fleet)}
+	if len(fleet) == 0 {
+		a.Level = solar.VulnerabilityLevel(0)
+		return a
+	}
+	regions := map[string]bool{}
+	var latSum, exposureSum float64
+	low := 0
+	for _, d := range fleet {
+		regions[d.Region] = true
+		gl := d.GeomagneticLat()
+		latSum += gl
+		exposureSum += solar.GICExposure(gl, intensity)
+		if gl < lowLatThreshold {
+			low++
+		}
+	}
+	a.Regions = len(regions)
+	a.MeanGeomagLat = latSum / float64(len(fleet))
+	a.ShareLowLat = float64(low) / float64(len(fleet))
+	// Spread: region diversity (capped at 6 regions) and low-latitude share.
+	regionDiversity := math.Min(float64(len(regions))/6.0, 1)
+	a.SpreadScore = 0.5*regionDiversity + 0.5*a.ShareLowLat
+	meanExposure := exposureSum / float64(len(fleet))
+	a.VulnScore = clamp01(0.6*meanExposure + 0.4*(1-a.SpreadScore))
+	a.Level = solar.VulnerabilityLevel(a.VulnScore)
+	return a
+}
+
+// CompareOperators returns the verdict for "whose data centers are more
+// vulnerable".
+func CompareOperators(w *World, opA, opB string, intensity float64) Verdict {
+	aa := AssessOperator(w, opA, intensity)
+	ab := AssessOperator(w, opB, intensity)
+	hi, lo := aa, ab
+	if ab.VulnScore > aa.VulnScore {
+		hi, lo = ab, aa
+	}
+	return Verdict{
+		MoreVulnerable: hi.Operator,
+		LessVulnerable: lo.Operator,
+		Margin:         hi.VulnScore - lo.VulnScore,
+		Reasons: []string{
+			fmt.Sprintf("%s operates in %d regions with %.0f%% of facilities at low geomagnetic latitude, versus %d regions and %.0f%% for %s", lo.Operator, lo.Regions, 100*lo.ShareLowLat, hi.Regions, 100*hi.ShareLowLat, hi.Operator),
+			fmt.Sprintf("%s's fleet sits at mean geomagnetic latitude %.0f deg versus %.0f deg for %s", hi.Operator, hi.MeanGeomagLat, lo.MeanGeomagLat, lo.Operator),
+		},
+	}
+}
+
+// GridAssessment is the vulnerability evaluation of one power grid.
+type GridAssessment struct {
+	Grid      string  `json:"grid"`
+	GeomagLat float64 `json:"geomag_lat"`
+	Exposure  float64 `json:"exposure"`
+	Score     float64 `json:"score"`
+	Level     string  `json:"level"`
+}
+
+// AssessGrid evaluates a power grid: exposure at the centroid, amplified
+// by long transmission lines (which integrate the induced field) and
+// reduced by GIC hardening.
+func AssessGrid(g PowerGrid, intensity float64) GridAssessment {
+	exp := solar.GICExposure(g.GeomagneticLat(), intensity)
+	lineFactor := math.Min(g.AvgLineLengthKm/400.0, 1.25)
+	score := exp * (0.5 + 0.5*lineFactor)
+	if g.Hardened {
+		score *= 0.6
+	}
+	score = clamp01(score)
+	return GridAssessment{
+		Grid:      g.Name,
+		GeomagLat: g.GeomagneticLat(),
+		Exposure:  exp,
+		Score:     score,
+		Level:     solar.VulnerabilityLevel(score),
+	}
+}
+
+// RankGrids returns grid assessments sorted most-vulnerable first.
+func RankGrids(w *World, intensity float64) []GridAssessment {
+	out := make([]GridAssessment, 0, len(w.Grids))
+	for _, g := range w.Grids {
+		out = append(out, AssessGrid(g, intensity))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Grid < out[j].Grid
+	})
+	return out
+}
+
+// ConcentrationStats quantifies the skew of Internet infrastructure toward
+// high geomagnetic latitudes: the fraction of cables, data centers and
+// IXPs in the exposed band (>= lowLatThreshold) versus a rough share of
+// global Internet users there (~the SIGCOMM'21 observation that
+// infrastructure is far more poleward-concentrated than users).
+type ConcentrationStats struct {
+	CableShareHighLat float64 `json:"cable_share_high_lat"` // by route length
+	DCShareHighLat    float64 `json:"dc_share_high_lat"`
+	IXPShareHighLat   float64 `json:"ixp_share_high_lat"`
+	UserShareHighLat  float64 `json:"user_share_high_lat"` // reference constant
+}
+
+// userShareHighLat approximates the share of global Internet users living
+// at high geomagnetic latitudes (North America + Northern Europe ≈ 15-20%).
+const userShareHighLat = 0.18
+
+// Concentration computes infrastructure-vs-user latitude concentration.
+func Concentration(w *World) ConcentrationStats {
+	var cableHigh, cableTotal float64
+	for _, c := range w.Cables {
+		lats, lens := c.RouteProfile()
+		for i, lat := range lats {
+			cableTotal += lens[i]
+			if lat >= lowLatThreshold {
+				cableHigh += lens[i]
+			}
+		}
+	}
+	dcHigh := 0
+	for _, d := range w.DataCenters {
+		if d.GeomagneticLat() >= lowLatThreshold {
+			dcHigh++
+		}
+	}
+	ixpHigh := 0
+	for _, x := range w.IXPs {
+		gl := x.Point
+		v := geomagAbs(gl.Lat, gl.Lon)
+		if v >= lowLatThreshold {
+			ixpHigh++
+		}
+	}
+	st := ConcentrationStats{UserShareHighLat: userShareHighLat}
+	if cableTotal > 0 {
+		st.CableShareHighLat = cableHigh / cableTotal
+	}
+	if len(w.DataCenters) > 0 {
+		st.DCShareHighLat = float64(dcHigh) / float64(len(w.DataCenters))
+	}
+	if len(w.IXPs) > 0 {
+		st.IXPShareHighLat = float64(ixpHigh) / float64(len(w.IXPs))
+	}
+	return st
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

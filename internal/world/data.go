@@ -1,0 +1,313 @@
+package world
+
+import (
+	"repro/internal/geo"
+	"repro/internal/solar"
+)
+
+// Region labels used across the world model.
+const (
+	RegionNorthAmerica  = "North America"
+	RegionSouthAmerica  = "South America"
+	RegionEurope        = "Europe"
+	RegionNordics       = "Northern Europe"
+	RegionAsia          = "Asia"
+	RegionSoutheastAsia = "Southeast Asia"
+	RegionOceania       = "Oceania"
+	RegionAfrica        = "Africa"
+)
+
+// Default constructs the reference world: a realistic (approximate but
+// faithful in shape) snapshot of major submarine cables, the Google and
+// Facebook data-center fleets circa 2021, regional power grids, and large
+// IXPs. Coordinates are real landing/city locations to a couple of decimal
+// places; the latitude structure — which drives every vulnerability
+// verdict — matches the real systems.
+func Default() *World {
+	w := &World{
+		Cables:      defaultCables(),
+		DataCenters: defaultDataCenters(),
+		Grids:       defaultGrids(),
+		IXPs:        defaultIXPs(),
+		Incidents:   HistoricalIncidents(),
+		Storms:      solar.HistoricalStorms(),
+	}
+	return w
+}
+
+func defaultCables() []Cable {
+	return []Cable{
+		{
+			Name: "MAREA",
+			Landings: []Landing{
+				{City: "Virginia Beach", Country: "United States", Point: geo.Pt(36.85, -75.98)},
+				{City: "Bilbao", Country: "Spain", Point: geo.Pt(43.26, -2.93)},
+			},
+			YearReady: 2018, Owners: []string{"Microsoft", "Meta", "Telxius"},
+			RepeaterSpacingKm: 70, DesignCapacity: "200 Tbps", Submarine: true,
+		},
+		{
+			Name: "Grace Hopper",
+			Landings: []Landing{
+				{City: "New York", Country: "United States", Point: geo.Pt(40.58, -73.66)},
+				{City: "Bude", Country: "United Kingdom", Point: geo.Pt(50.83, -4.55)},
+			},
+			YearReady: 2022, Owners: []string{"Google"},
+			RepeaterSpacingKm: 70, DesignCapacity: "340 Tbps", Submarine: true,
+		},
+		{
+			Name: "AEC-2 HAVFRUE",
+			Landings: []Landing{
+				{City: "Wall Township", Country: "United States", Point: geo.Pt(40.16, -74.05)},
+				{City: "Blaabjerg", Country: "Denmark", Point: geo.Pt(55.63, 8.17)},
+			},
+			YearReady: 2020, Owners: []string{"Aqua Comms", "Meta", "Google", "Bulk"},
+			RepeaterSpacingKm: 70, DesignCapacity: "108 Tbps", Submarine: true,
+		},
+		{
+			Name: "TAT-14",
+			Landings: []Landing{
+				{City: "Manasquan", Country: "United States", Point: geo.Pt(40.11, -74.04)},
+				{City: "Bude", Country: "United Kingdom", Point: geo.Pt(50.83, -4.55)},
+				{City: "Norden", Country: "Germany", Point: geo.Pt(53.60, 7.20)},
+			},
+			YearReady: 2001, Owners: []string{"consortium"},
+			RepeaterSpacingKm: 60, DesignCapacity: "9.4 Tbps", Submarine: true,
+		},
+		{
+			Name: "EllaLink",
+			Landings: []Landing{
+				{City: "Fortaleza", Country: "Brazil", Point: geo.Pt(-3.73, -38.52)},
+				{City: "Sines", Country: "Portugal", Point: geo.Pt(37.95, -8.87)},
+			},
+			YearReady: 2021, Owners: []string{"EllaLink"},
+			RepeaterSpacingKm: 70, DesignCapacity: "100 Tbps", Submarine: true,
+		},
+		{
+			Name: "Atlantis-2",
+			Landings: []Landing{
+				{City: "Rio de Janeiro", Country: "Brazil", Point: geo.Pt(-22.91, -43.17)},
+				{City: "Dakar", Country: "Senegal", Point: geo.Pt(14.72, -17.47)},
+				{City: "Lisbon", Country: "Portugal", Point: geo.Pt(38.72, -9.14)},
+			},
+			YearReady: 2000, Owners: []string{"consortium"},
+			RepeaterSpacingKm: 60, DesignCapacity: "0.16 Tbps", Submarine: true,
+		},
+		{
+			Name: "SACS",
+			Landings: []Landing{
+				{City: "Fortaleza", Country: "Brazil", Point: geo.Pt(-3.73, -38.52)},
+				{City: "Luanda", Country: "Angola", Point: geo.Pt(-8.84, 13.23)},
+			},
+			YearReady: 2018, Owners: []string{"Angola Cables"},
+			RepeaterSpacingKm: 70, DesignCapacity: "40 Tbps", Submarine: true,
+		},
+		{
+			Name: "Curie",
+			Landings: []Landing{
+				{City: "Los Angeles", Country: "United States", Point: geo.Pt(33.77, -118.19)},
+				{City: "Valparaiso", Country: "Chile", Point: geo.Pt(-33.05, -71.62)},
+			},
+			YearReady: 2019, Owners: []string{"Google"},
+			RepeaterSpacingKm: 70, DesignCapacity: "72 Tbps", Submarine: true,
+		},
+		{
+			Name: "FASTER",
+			Landings: []Landing{
+				{City: "Bandon", Country: "United States", Point: geo.Pt(43.12, -124.42)},
+				{City: "Chikura", Country: "Japan", Point: geo.Pt(34.95, 139.95)},
+			},
+			YearReady: 2016, Owners: []string{"Google", "consortium"},
+			RepeaterSpacingKm: 70, DesignCapacity: "60 Tbps", Submarine: true,
+		},
+		{
+			Name: "JUPITER",
+			Landings: []Landing{
+				{City: "Hermosa Beach", Country: "United States", Point: geo.Pt(33.86, -118.40)},
+				{City: "Maruyama", Country: "Japan", Point: geo.Pt(35.10, 139.87)},
+			},
+			YearReady: 2020, Owners: []string{"Meta", "Amazon", "consortium"},
+			RepeaterSpacingKm: 70, DesignCapacity: "60 Tbps", Submarine: true,
+		},
+		{
+			Name: "Southern Cross NEXT",
+			Landings: []Landing{
+				{City: "Sydney", Country: "Australia", Point: geo.Pt(-33.87, 151.21)},
+				{City: "Auckland", Country: "New Zealand", Point: geo.Pt(-36.85, 174.76)},
+				{City: "Hermosa Beach", Country: "United States", Point: geo.Pt(33.86, -118.40)},
+			},
+			YearReady: 2022, Owners: []string{"Southern Cross"},
+			RepeaterSpacingKm: 70, DesignCapacity: "72 Tbps", Submarine: true,
+		},
+		{
+			Name: "SEA-ME-WE 5",
+			Landings: []Landing{
+				{City: "Singapore", Country: "Singapore", Point: geo.Pt(1.32, 103.69)},
+				{City: "Colombo", Country: "Sri Lanka", Point: geo.Pt(6.93, 79.85)},
+				{City: "Suez", Country: "Egypt", Point: geo.Pt(29.97, 32.55)},
+				{City: "Marseille", Country: "France", Point: geo.Pt(43.30, 5.37)},
+			},
+			YearReady: 2016, Owners: []string{"consortium"},
+			RepeaterSpacingKm: 70, DesignCapacity: "24 Tbps", Submarine: true,
+		},
+		{
+			Name: "2Africa",
+			Landings: []Landing{
+				{City: "Barcelona", Country: "Spain", Point: geo.Pt(41.38, 2.19)},
+				{City: "Lagos", Country: "Nigeria", Point: geo.Pt(6.42, 3.41)},
+				{City: "Cape Town", Country: "South Africa", Point: geo.Pt(-33.93, 18.42)},
+				{City: "Mombasa", Country: "Kenya", Point: geo.Pt(-4.06, 39.67)},
+			},
+			YearReady: 2024, Owners: []string{"Meta", "consortium"},
+			RepeaterSpacingKm: 70, DesignCapacity: "180 Tbps", Submarine: true,
+		},
+		{
+			Name: "Svalbard Undersea Cable",
+			Landings: []Landing{
+				{City: "Harstad", Country: "Norway", Point: geo.Pt(68.80, 16.54)},
+				{City: "Longyearbyen", Country: "Norway", Point: geo.Pt(78.22, 15.63)},
+			},
+			YearReady: 2004, Owners: []string{"Space Norway"},
+			RepeaterSpacingKm: 80, DesignCapacity: "0.02 Tbps", Submarine: true,
+		},
+		{
+			Name: "Amitie",
+			Landings: []Landing{
+				{City: "Lynn", Country: "United States", Point: geo.Pt(42.46, -70.95)},
+				{City: "Le Porge", Country: "France", Point: geo.Pt(44.87, -1.20)},
+			},
+			YearReady: 2023, Owners: []string{"Meta", "Microsoft", "Vodafone"},
+			RepeaterSpacingKm: 70, DesignCapacity: "400 Tbps", Submarine: true,
+		},
+		{
+			Name: "Firmina",
+			Landings: []Landing{
+				{City: "Myrtle Beach", Country: "United States", Point: geo.Pt(33.69, -78.89)},
+				{City: "Las Toninas", Country: "Argentina", Point: geo.Pt(-36.50, -56.70)},
+			},
+			YearReady: 2023, Owners: []string{"Google"},
+			RepeaterSpacingKm: 70, DesignCapacity: "240 Tbps", Submarine: true,
+		},
+		{
+			Name: "US Transcontinental Terrestrial Route",
+			Landings: []Landing{
+				{City: "New York", Country: "United States", Point: geo.Pt(40.71, -74.01)},
+				{City: "Chicago", Country: "United States", Point: geo.Pt(41.88, -87.63)},
+				{City: "Denver", Country: "United States", Point: geo.Pt(39.74, -104.99)},
+				{City: "San Francisco", Country: "United States", Point: geo.Pt(37.77, -122.42)},
+			},
+			YearReady: 2000, Owners: []string{"multiple carriers"},
+			RepeaterSpacingKm: 0, DesignCapacity: "multi-Tbps", Submarine: false,
+		},
+	}
+}
+
+func defaultDataCenters() []DataCenter {
+	mk := func(op string) func(city, country, region string, lat, lon float64, opened int) DataCenter {
+		return func(city, country, region string, lat, lon float64, opened int) DataCenter {
+			return DataCenter{Operator: op, City: city, Country: country, Region: region, Point: geo.Pt(lat, lon), Opened: opened}
+		}
+	}
+	g := mk("Google")
+	f := mk("Facebook")
+	a := mk("Amazon")
+	m := mk("Microsoft")
+	return []DataCenter{
+		// Google: broad global spread including Asia and South America.
+		g("Council Bluffs", "United States", RegionNorthAmerica, 41.26, -95.86, 2009),
+		g("The Dalles", "United States", RegionNorthAmerica, 45.59, -121.18, 2006),
+		g("Berkeley County", "United States", RegionNorthAmerica, 33.19, -80.01, 2008),
+		g("Lenoir", "United States", RegionNorthAmerica, 35.91, -81.54, 2008),
+		g("Mayes County", "United States", RegionNorthAmerica, 36.30, -95.30, 2011),
+		g("Henderson", "United States", RegionNorthAmerica, 36.04, -114.98, 2020),
+		g("Eemshaven", "Netherlands", RegionEurope, 53.43, 6.83, 2016),
+		g("Dublin", "Ireland", RegionEurope, 53.32, -6.34, 2012),
+		g("Hamina", "Finland", RegionNordics, 60.54, 27.17, 2011),
+		g("St. Ghislain", "Belgium", RegionEurope, 50.47, 3.86, 2010),
+		g("Fredericia", "Denmark", RegionNordics, 55.56, 9.65, 2020),
+		g("Changhua County", "Taiwan", RegionAsia, 24.08, 120.43, 2013),
+		g("Jurong West", "Singapore", RegionSoutheastAsia, 1.34, 103.70, 2013),
+		g("Tokyo", "Japan", RegionAsia, 35.68, 139.69, 2016),
+		g("Mumbai", "India", RegionAsia, 19.08, 72.88, 2017),
+		g("Osasco", "Brazil", RegionSouthAmerica, -23.53, -46.79, 2017),
+		g("Quilicura", "Chile", RegionSouthAmerica, -33.36, -70.73, 2015),
+		g("Sydney", "Australia", RegionOceania, -33.87, 151.21, 2017),
+		// Facebook: concentrated in the continental US and the Nordics.
+		f("Prineville", "United States", RegionNorthAmerica, 44.30, -120.83, 2011),
+		f("Forest City", "United States", RegionNorthAmerica, 35.33, -81.87, 2012),
+		f("Altoona", "United States", RegionNorthAmerica, 41.65, -93.47, 2014),
+		f("Fort Worth", "United States", RegionNorthAmerica, 32.76, -97.33, 2017),
+		f("Los Lunas", "United States", RegionNorthAmerica, 34.81, -106.73, 2018),
+		f("New Albany", "United States", RegionNorthAmerica, 40.08, -82.81, 2018),
+		f("Papillion", "United States", RegionNorthAmerica, 41.15, -96.04, 2019),
+		f("Henrico", "United States", RegionNorthAmerica, 37.55, -77.46, 2019),
+		f("Eagle Mountain", "United States", RegionNorthAmerica, 40.31, -112.01, 2020),
+		f("Huntsville", "United States", RegionNorthAmerica, 34.73, -86.59, 2021),
+		f("Lulea", "Sweden", RegionNordics, 65.58, 22.15, 2013),
+		f("Clonee", "Ireland", RegionEurope, 53.41, -6.44, 2018),
+		f("Odense", "Denmark", RegionNordics, 55.40, 10.40, 2019),
+		f("Singapore", "Singapore", RegionSoutheastAsia, 1.33, 103.74, 2022),
+		// Amazon: broad spread, US-heavy but strong Asia/Oceania presence.
+		a("Ashburn", "United States", RegionNorthAmerica, 39.04, -77.49, 2006),
+		a("Columbus", "United States", RegionNorthAmerica, 39.96, -83.00, 2016),
+		a("Boardman", "United States", RegionNorthAmerica, 45.84, -119.70, 2011),
+		a("San Jose", "United States", RegionNorthAmerica, 37.34, -121.89, 2009),
+		a("Montreal", "Canada", RegionNorthAmerica, 45.50, -73.57, 2016),
+		a("Dublin", "Ireland", RegionEurope, 53.35, -6.26, 2007),
+		a("Frankfurt", "Germany", RegionEurope, 50.11, 8.68, 2014),
+		a("Stockholm", "Sweden", RegionNordics, 59.33, 18.07, 2018),
+		a("London", "United Kingdom", RegionEurope, 51.51, -0.13, 2016),
+		a("Singapore", "Singapore", RegionSoutheastAsia, 1.29, 103.85, 2010),
+		a("Tokyo", "Japan", RegionAsia, 35.68, 139.69, 2011),
+		a("Seoul", "South Korea", RegionAsia, 37.57, 126.98, 2016),
+		a("Mumbai", "India", RegionAsia, 19.08, 72.88, 2016),
+		a("Sydney", "Australia", RegionOceania, -33.87, 151.21, 2012),
+		a("Sao Paulo", "Brazil", RegionSouthAmerica, -23.55, -46.63, 2011),
+		a("Cape Town", "South Africa", RegionAfrica, -33.93, 18.42, 2020),
+		// Microsoft: similar global spread with a large US core.
+		m("Boydton", "United States", RegionNorthAmerica, 36.67, -78.39, 2010),
+		m("Des Moines", "United States", RegionNorthAmerica, 41.59, -93.62, 2012),
+		m("Quincy", "United States", RegionNorthAmerica, 47.23, -119.85, 2007),
+		m("San Antonio", "United States", RegionNorthAmerica, 29.42, -98.49, 2008),
+		m("Cheyenne", "United States", RegionNorthAmerica, 41.14, -104.82, 2012),
+		m("Dublin", "Ireland", RegionEurope, 53.33, -6.25, 2009),
+		m("Amsterdam", "Netherlands", RegionEurope, 52.37, 4.90, 2010),
+		m("Gavle", "Sweden", RegionNordics, 60.67, 17.14, 2021),
+		m("Singapore", "Singapore", RegionSoutheastAsia, 1.32, 103.82, 2010),
+		m("Hong Kong", "China", RegionAsia, 22.32, 114.17, 2011),
+		m("Osaka", "Japan", RegionAsia, 34.69, 135.50, 2014),
+		m("Pune", "India", RegionAsia, 18.52, 73.86, 2015),
+		m("Sydney", "Australia", RegionOceania, -33.87, 151.21, 2014),
+		m("Campinas", "Brazil", RegionSouthAmerica, -22.91, -47.06, 2014),
+		m("Johannesburg", "South Africa", RegionAfrica, -26.20, 28.05, 2019),
+	}
+}
+
+func defaultGrids() []PowerGrid {
+	return []PowerGrid{
+		{Name: "Hydro-Quebec", Region: RegionNorthAmerica, Centroid: geo.Pt(53.0, -72.0), HVTransformers: 130, AvgLineLengthKm: 600, Hardened: true},
+		{Name: "US Northeast (PJM/NYISO)", Region: RegionNorthAmerica, Centroid: geo.Pt(41.0, -76.0), HVTransformers: 500, AvgLineLengthKm: 250, Hardened: false},
+		{Name: "US West (CAISO)", Region: RegionNorthAmerica, Centroid: geo.Pt(37.0, -120.0), HVTransformers: 320, AvgLineLengthKm: 300, Hardened: false},
+		{Name: "Nordic Grid", Region: RegionNordics, Centroid: geo.Pt(62.0, 15.0), HVTransformers: 210, AvgLineLengthKm: 400, Hardened: true},
+		{Name: "UK National Grid", Region: RegionEurope, Centroid: geo.Pt(53.0, -1.5), HVTransformers: 240, AvgLineLengthKm: 150, Hardened: false},
+		{Name: "Continental Europe (ENTSO-E Central)", Region: RegionEurope, Centroid: geo.Pt(49.0, 8.0), HVTransformers: 800, AvgLineLengthKm: 180, Hardened: false},
+		{Name: "Brazil Interconnected System", Region: RegionSouthAmerica, Centroid: geo.Pt(-15.0, -47.9), HVTransformers: 400, AvgLineLengthKm: 500, Hardened: false},
+		{Name: "India Northern Grid", Region: RegionAsia, Centroid: geo.Pt(27.0, 78.0), HVTransformers: 450, AvgLineLengthKm: 350, Hardened: false},
+		{Name: "Singapore Grid", Region: RegionSoutheastAsia, Centroid: geo.Pt(1.35, 103.8), HVTransformers: 60, AvgLineLengthKm: 40, Hardened: false},
+		{Name: "Japan East Grid", Region: RegionAsia, Centroid: geo.Pt(36.5, 139.5), HVTransformers: 380, AvgLineLengthKm: 200, Hardened: false},
+		{Name: "Australia NEM", Region: RegionOceania, Centroid: geo.Pt(-34.0, 146.0), HVTransformers: 260, AvgLineLengthKm: 450, Hardened: false},
+	}
+}
+
+func defaultIXPs() []IXP {
+	return []IXP{
+		{Name: "DE-CIX Frankfurt", City: "Frankfurt", Country: "Germany", Point: geo.Pt(50.11, 8.68), Peers: 1000},
+		{Name: "AMS-IX", City: "Amsterdam", Country: "Netherlands", Point: geo.Pt(52.37, 4.90), Peers: 870},
+		{Name: "LINX", City: "London", Country: "United Kingdom", Point: geo.Pt(51.51, -0.13), Peers: 850},
+		{Name: "IX.br Sao Paulo", City: "Sao Paulo", Country: "Brazil", Point: geo.Pt(-23.55, -46.63), Peers: 2200},
+		{Name: "Equinix Ashburn", City: "Ashburn", Country: "United States", Point: geo.Pt(39.04, -77.49), Peers: 700},
+		{Name: "Equinix Singapore", City: "Singapore", Country: "Singapore", Point: geo.Pt(1.30, 103.79), Peers: 500},
+		{Name: "JPNAP Tokyo", City: "Tokyo", Country: "Japan", Point: geo.Pt(35.68, 139.69), Peers: 300},
+		{Name: "NAPAfrica", City: "Johannesburg", Country: "South Africa", Point: geo.Pt(-26.20, 28.05), Peers: 600},
+	}
+}

@@ -1,0 +1,129 @@
+package world
+
+import "time"
+
+// IncidentKind categorizes Internet disruption incidents, mirroring the
+// taxonomy in §2 of the paper.
+type IncidentKind string
+
+// Incident kinds.
+const (
+	KindConfigError     IncidentKind = "configuration-error"
+	KindNaturalDisaster IncidentKind = "natural-disaster"
+	KindSolarStorm      IncidentKind = "solar-storm"
+	KindGeopolitical    IncidentKind = "geopolitical"
+	KindBlackSwan       IncidentKind = "black-swan"
+)
+
+// Incident is a historical (or hypothetical) Internet disruption event.
+type Incident struct {
+	Kind      IncidentKind  `json:"kind"`
+	Name      string        `json:"name"`
+	Year      int           `json:"year"`
+	Duration  time.Duration `json:"duration"`
+	Cause     string        `json:"cause"`
+	Mechanism string        `json:"mechanism"` // technical failure chain
+	Effects   []string      `json:"effects"`
+	Regions   []string      `json:"regions"`
+	Lessons   []string      `json:"lessons"`
+}
+
+// HistoricalIncidents returns the incident records referenced by the
+// paper's motivation section; the corpus renders them into news and wiki
+// articles and the non-solar examples investigate them.
+func HistoricalIncidents() []Incident {
+	return []Incident{
+		{
+			Kind:      KindConfigError,
+			Name:      "2021 Facebook outage",
+			Year:      2021,
+			Duration:  7 * time.Hour,
+			Cause:     "a command issued during routine maintenance unintentionally disconnected Facebook's backbone, and a bug in the audit tool failed to block it",
+			Mechanism: "with the backbone down, Facebook's DNS servers withdrew their BGP anycast prefix announcements; resolvers worldwide could no longer resolve the facebook domain, and internal tooling that depended on the same domains locked engineers out of the facilities needed for recovery",
+			Effects: []string{
+				"facebook, instagram and whatsapp unreachable globally for more than seven hours",
+				"a surge in user complaints and interrupted communication, commerce and vital services",
+				"recursive resolvers worldwide saw elevated query load from retry storms",
+			},
+			Regions: []string{"global"},
+			Lessons: []string{
+				"out-of-band management networks must not depend on the production backbone",
+				"configuration audit tools need independent validation paths",
+			},
+		},
+		{
+			Kind:      KindNaturalDisaster,
+			Name:      "2004 Indian Ocean earthquake and tsunami",
+			Year:      2004,
+			Duration:  14 * 24 * time.Hour,
+			Cause:     "a magnitude 9.1 undersea earthquake off Sumatra and the tsunami it generated",
+			Mechanism: "submarine cable segments in the affected basin were cut or buried by turbidity currents; coastal landing stations and terrestrial backhaul were destroyed, so surviving capacity could not be rerouted locally",
+			Effects: []string{
+				"major communication service disruptions across southeast asia",
+				"repair ships took weeks to restore severed submarine cable segments",
+			},
+			Regions: []string{"southeast asia", "south asia"},
+			Lessons: []string{
+				"geographic route diversity of submarine cables limits the blast radius of seabed events",
+			},
+		},
+		{
+			Kind:      KindSolarStorm,
+			Name:      "1989 Quebec blackout",
+			Year:      1989,
+			Duration:  9 * time.Hour,
+			Cause:     "a severe geomagnetic storm (minimum Dst near -589 nT)",
+			Mechanism: "geomagnetically induced currents saturated high-voltage transformers on Hydro-Quebec's long transmission lines; protective relays tripped and the grid collapsed in 92 seconds",
+			Effects: []string{
+				"six million people without electricity for nine hours",
+				"transformer damage reported as far south as new jersey",
+			},
+			Regions: []string{"north america"},
+			Lessons: []string{
+				"high-latitude grids with long transmission lines fail first in geomagnetic storms",
+				"gic blocking devices and operational procedures can harden grids",
+			},
+		},
+		{
+			Kind:      KindBlackSwan,
+			Name:      "COVID-19 traffic surge",
+			Year:      2020,
+			Duration:  90 * 24 * time.Hour,
+			Cause:     "pandemic lockdowns moved work, school and entertainment online",
+			Mechanism: "aggregate traffic rose 15-20 percent within weeks and residential access patterns shifted toward daytime; interconnection and last-mile capacity absorbed the shift with degraded peak performance rather than outages",
+			Effects: []string{
+				"regional performance reductions during peak hours",
+				"operators deferred maintenance because field staff were unavailable",
+			},
+			Regions: []string{"global"},
+			Lessons: []string{
+				"a scarcity of skilled personnel for maintaining infrastructure is itself a disruption risk",
+			},
+		},
+		{
+			Kind:      KindGeopolitical,
+			Name:      "regional network disconnection events",
+			Year:      2019,
+			Duration:  0,
+			Cause:     "international conflicts or strained relations leading to intentional disruptions",
+			Mechanism: "national gateways withdraw external BGP routes or filter traffic, producing deliberate partitions of the global internet",
+			Effects: []string{
+				"intentional disruptions to internet services and development of disconnected national networks",
+			},
+			Regions: []string{"varies"},
+			Lessons: []string{
+				"the internet's logical connectivity depends on a small number of policy-controlled gateways in some economies",
+			},
+		},
+	}
+}
+
+// IncidentByName returns the named incident.
+func IncidentByName(name string) (Incident, bool) {
+	for _, in := range HistoricalIncidents() {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Incident{}, false
+}

@@ -1,0 +1,248 @@
+// Package world holds the ground-truth model of the Internet
+// infrastructure and the incidents that can disrupt it: submarine cables
+// with geographic routes, data-center fleets per operator, regional power
+// grids, and historical incident records.
+//
+// The world model plays two roles in the reproduction. First, the corpus
+// generator (internal/corpus) renders it into the synthetic web documents
+// the agent learns from — the world is the only source of domain facts.
+// Second, the assessment functions in assess.go compute the "answer key":
+// the vulnerability verdicts a knowledgeable researcher (the SIGCOMM'21
+// paper) would reach, against which agent answers are graded.
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/solar"
+)
+
+// Landing is a cable landing station.
+type Landing struct {
+	City    string    `json:"city"`
+	Country string    `json:"country"`
+	Point   geo.Point `json:"point"`
+}
+
+// String renders "City, Country".
+func (l Landing) String() string { return l.City + ", " + l.Country }
+
+// Cable is a (mostly submarine) fiber-optic cable system. A cable's route
+// is modelled as the great circle between consecutive landings; real
+// routes deviate but keep the same latitude envelope, which is what the
+// storm model cares about.
+type Cable struct {
+	Name              string    `json:"name"`
+	Landings          []Landing `json:"landings"` // at least two, in order
+	YearReady         int       `json:"year_ready"`
+	Owners            []string  `json:"owners"`
+	RepeaterSpacingKm float64   `json:"repeater_spacing_km"` // powered repeaters every N km
+	DesignCapacity    string    `json:"design_capacity"`
+	Submarine         bool      `json:"submarine"`
+}
+
+const routeSamples = 48 // per-hop great-circle samples for exposure integrals
+
+// LengthKm returns the total great-circle route length.
+func (c Cable) LengthKm() float64 {
+	var sum float64
+	for i := 1; i < len(c.Landings); i++ {
+		sum += geo.DistanceKm(c.Landings[i-1].Point, c.Landings[i].Point)
+	}
+	return sum
+}
+
+// RepeaterCount estimates the number of powered repeaters along the cable.
+func (c Cable) RepeaterCount() int {
+	if c.RepeaterSpacingKm <= 0 {
+		return 0
+	}
+	return int(c.LengthKm() / c.RepeaterSpacingKm)
+}
+
+// Endpoints returns the first and last landings.
+func (c Cable) Endpoints() (Landing, Landing) {
+	return c.Landings[0], c.Landings[len(c.Landings)-1]
+}
+
+// MaxGeomagneticLat returns the maximum absolute geomagnetic latitude
+// reached anywhere along the cable route.
+func (c Cable) MaxGeomagneticLat() float64 {
+	max := 0.0
+	for i := 1; i < len(c.Landings); i++ {
+		v := geo.MaxAbsGeomagneticLat(c.Landings[i-1].Point, c.Landings[i].Point, routeSamples)
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// RouteProfile returns per-sample absolute geomagnetic latitudes and
+// segment lengths along the whole route, suitable for
+// solar.SegmentExposure.
+func (c Cable) RouteProfile() (absGeomagLats, lengthsKm []float64) {
+	for i := 1; i < len(c.Landings); i++ {
+		pts := geo.Path(c.Landings[i-1].Point, c.Landings[i].Point, routeSamples)
+		for j := 1; j < len(pts); j++ {
+			mid := geo.Intermediate(pts[j-1], pts[j], 0.5)
+			lat := geo.GeomagneticLat(mid)
+			if lat < 0 {
+				lat = -lat
+			}
+			absGeomagLats = append(absGeomagLats, lat)
+			lengthsKm = append(lengthsKm, geo.DistanceKm(pts[j-1], pts[j]))
+		}
+	}
+	return absGeomagLats, lengthsKm
+}
+
+// DataCenter is one operator facility.
+type DataCenter struct {
+	Operator string    `json:"operator"`
+	City     string    `json:"city"`
+	Country  string    `json:"country"`
+	Region   string    `json:"region"` // continental region label
+	Point    geo.Point `json:"point"`
+	Opened   int       `json:"opened"`
+}
+
+// GeomagneticLat returns the data center's absolute geomagnetic latitude.
+func (d DataCenter) GeomagneticLat() float64 {
+	v := geo.GeomagneticLat(d.Point)
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// PowerGrid is a regional electricity grid; grids fail first in a
+// superstorm because large transformers integrate GIC over long
+// transmission lines.
+type PowerGrid struct {
+	Name            string    `json:"name"`
+	Region          string    `json:"region"`
+	Centroid        geo.Point `json:"centroid"`
+	HVTransformers  int       `json:"hv_transformers"` // count of vulnerable high-voltage transformers
+	AvgLineLengthKm float64   `json:"avg_line_length_km"`
+	Hardened        bool      `json:"hardened"` // post-1989 GIC blocking devices etc.
+}
+
+// GeomagneticLat returns the grid centroid's absolute geomagnetic latitude.
+func (g PowerGrid) GeomagneticLat() float64 {
+	v := geo.GeomagneticLat(g.Centroid)
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// IXP is an Internet exchange point; used for infrastructure-concentration
+// statistics.
+type IXP struct {
+	Name    string    `json:"name"`
+	City    string    `json:"city"`
+	Country string    `json:"country"`
+	Point   geo.Point `json:"point"`
+	Peers   int       `json:"peers"`
+}
+
+// World aggregates the full ground-truth model.
+type World struct {
+	Cables      []Cable       `json:"cables"`
+	DataCenters []DataCenter  `json:"data_centers"`
+	Grids       []PowerGrid   `json:"grids"`
+	IXPs        []IXP         `json:"ixps"`
+	Incidents   []Incident    `json:"incidents"`
+	Storms      []solar.Storm `json:"storms"`
+}
+
+// CableByName returns the named cable.
+func (w *World) CableByName(name string) (Cable, bool) {
+	for _, c := range w.Cables {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Cable{}, false
+}
+
+// Operators returns the distinct data-center operators, sorted.
+func (w *World) Operators() []string {
+	seen := map[string]bool{}
+	for _, d := range w.DataCenters {
+		seen[d.Operator] = true
+	}
+	out := make([]string, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DataCentersOf returns the fleet of one operator.
+func (w *World) DataCentersOf(op string) []DataCenter {
+	var out []DataCenter
+	for _, d := range w.DataCenters {
+		if d.Operator == op {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// GridByName returns the named power grid.
+func (w *World) GridByName(name string) (PowerGrid, bool) {
+	for _, g := range w.Grids {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return PowerGrid{}, false
+}
+
+// Validate checks structural invariants of the world: every cable has at
+// least two landings with valid coordinates, every data center and grid
+// has valid coordinates, and names are unique per category.
+func (w *World) Validate() error {
+	cableNames := map[string]bool{}
+	for _, c := range w.Cables {
+		if cableNames[c.Name] {
+			return fmt.Errorf("duplicate cable %q", c.Name)
+		}
+		cableNames[c.Name] = true
+		if len(c.Landings) < 2 {
+			return fmt.Errorf("cable %q has %d landings, need >= 2", c.Name, len(c.Landings))
+		}
+		for _, l := range c.Landings {
+			if !l.Point.Valid() {
+				return fmt.Errorf("cable %q landing %q has invalid point %v", c.Name, l.City, l.Point)
+			}
+		}
+		if c.Submarine && c.RepeaterSpacingKm <= 0 {
+			return fmt.Errorf("submarine cable %q must have repeater spacing", c.Name)
+		}
+	}
+	for _, d := range w.DataCenters {
+		if !d.Point.Valid() {
+			return fmt.Errorf("data center %s/%s has invalid point", d.Operator, d.City)
+		}
+		if d.Operator == "" || d.Region == "" {
+			return fmt.Errorf("data center %q missing operator or region", d.City)
+		}
+	}
+	gridNames := map[string]bool{}
+	for _, g := range w.Grids {
+		if gridNames[g.Name] {
+			return fmt.Errorf("duplicate grid %q", g.Name)
+		}
+		gridNames[g.Name] = true
+		if !g.Centroid.Valid() {
+			return fmt.Errorf("grid %q has invalid centroid", g.Name)
+		}
+	}
+	return nil
+}

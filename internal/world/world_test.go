@@ -1,0 +1,281 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	w := Default()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Default world invalid: %v", err)
+	}
+}
+
+func TestDefaultInventory(t *testing.T) {
+	w := Default()
+	if len(w.Cables) < 10 {
+		t.Errorf("expected >= 10 cables, got %d", len(w.Cables))
+	}
+	if len(w.DataCenters) < 25 {
+		t.Errorf("expected >= 25 data centers, got %d", len(w.DataCenters))
+	}
+	if len(w.Grids) < 8 {
+		t.Errorf("expected >= 8 grids, got %d", len(w.Grids))
+	}
+	ops := w.Operators()
+	if len(ops) != 4 {
+		t.Errorf("operators = %v, want 4", ops)
+	}
+	want := []string{"Amazon", "Facebook", "Google", "Microsoft"}
+	for i, o := range want {
+		if i >= len(ops) || ops[i] != o {
+			t.Fatalf("operators = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestCableLengths(t *testing.T) {
+	w := Default()
+	tests := []struct {
+		name  string
+		minKm float64
+		maxKm float64
+	}{
+		{"MAREA", 5500, 7500},
+		{"EllaLink", 5000, 7000},
+		{"Grace Hopper", 5000, 6500},
+		{"Curie", 8500, 11000},
+	}
+	for _, tt := range tests {
+		c, ok := w.CableByName(tt.name)
+		if !ok {
+			t.Fatalf("missing cable %q", tt.name)
+		}
+		l := c.LengthKm()
+		if l < tt.minKm || l > tt.maxKm {
+			t.Errorf("%s length = %.0f km, want %0.f..%0.f", tt.name, l, tt.minKm, tt.maxKm)
+		}
+		if c.RepeaterCount() <= 0 {
+			t.Errorf("%s should have repeaters", tt.name)
+		}
+	}
+}
+
+func TestCableEndpointsAndString(t *testing.T) {
+	w := Default()
+	c, _ := w.CableByName("EllaLink")
+	a, b := c.Endpoints()
+	if a.City != "Fortaleza" || b.City != "Sines" {
+		t.Errorf("EllaLink endpoints = %v, %v", a, b)
+	}
+	if got := a.String(); got != "Fortaleza, Brazil" {
+		t.Errorf("Landing.String = %q", got)
+	}
+}
+
+func TestCableGeomagneticOrdering(t *testing.T) {
+	// The physical ground truth behind quiz question 1: transatlantic
+	// US-Europe cables reach much higher geomagnetic latitude than the
+	// Brazil-Europe cable.
+	w := Default()
+	gh, _ := w.CableByName("Grace Hopper")
+	el, _ := w.CableByName("EllaLink")
+	if gh.MaxGeomagneticLat() <= el.MaxGeomagneticLat()+10 {
+		t.Errorf("Grace Hopper max geomag lat (%.1f) should exceed EllaLink (%.1f) by >10",
+			gh.MaxGeomagneticLat(), el.MaxGeomagneticLat())
+	}
+}
+
+func TestAssessCableOrdering(t *testing.T) {
+	w := Default()
+	gh, _ := w.CableByName("Grace Hopper")
+	el, _ := w.CableByName("EllaLink")
+	sacs, _ := w.CableByName("SACS")
+	aGH := AssessCable(gh, 1.0)
+	aEL := AssessCable(el, 1.0)
+	aSACS := AssessCable(sacs, 1.0)
+	if aGH.Score <= aEL.Score {
+		t.Errorf("Grace Hopper score (%.3f) should exceed EllaLink (%.3f)", aGH.Score, aEL.Score)
+	}
+	if aEL.Score <= aSACS.Score {
+		t.Errorf("EllaLink (%.3f) should exceed the equatorial SACS (%.3f)", aEL.Score, aSACS.Score)
+	}
+	if aGH.Level == "low" {
+		t.Errorf("Grace Hopper under a Carrington storm should not be low, got %s", aGH.Level)
+	}
+	if aSACS.Level != "low" {
+		t.Errorf("SACS should be low vulnerability, got %s (score %.3f)", aSACS.Level, aSACS.Score)
+	}
+}
+
+func TestTerrestrialRouteLessVulnerable(t *testing.T) {
+	w := Default()
+	terr, ok := w.CableByName("US Transcontinental Terrestrial Route")
+	if !ok {
+		t.Fatal("missing terrestrial route")
+	}
+	gh, _ := w.CableByName("Grace Hopper")
+	v := CompareCables(terr, gh, 1.0)
+	if v.MoreVulnerable != "Grace Hopper" {
+		t.Errorf("submarine cable should be more vulnerable than terrestrial route, got %q", v.MoreVulnerable)
+	}
+	if !v.Decisive() {
+		t.Errorf("verdict should be decisive, margin %.3f", v.Margin)
+	}
+}
+
+func TestCompareCablesUSvsBrazil(t *testing.T) {
+	w := Default()
+	gh, _ := w.CableByName("Grace Hopper")
+	el, _ := w.CableByName("EllaLink")
+	v := CompareCables(gh, el, 1.0)
+	if v.MoreVulnerable != "Grace Hopper" || v.LessVulnerable != "EllaLink" {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if !v.Decisive() {
+		t.Errorf("expected decisive margin, got %.3f", v.Margin)
+	}
+	if len(v.Reasons) == 0 || !strings.Contains(v.Reasons[0], "geomagnetic latitude") {
+		t.Errorf("reasons should mention geomagnetic latitude: %v", v.Reasons)
+	}
+	// Order of arguments must not matter.
+	v2 := CompareCables(el, gh, 1.0)
+	if v2.MoreVulnerable != v.MoreVulnerable {
+		t.Errorf("verdict depends on argument order")
+	}
+}
+
+func TestAssessOperatorGoogleVsFacebook(t *testing.T) {
+	// The ground truth behind quiz question 2: Google's fleet is better
+	// spread (Asia, South America, Oceania) so Facebook is more vulnerable.
+	w := Default()
+	g := AssessOperator(w, "Google", 1.0)
+	f := AssessOperator(w, "Facebook", 1.0)
+	if g.Regions <= f.Regions {
+		t.Errorf("Google regions (%d) should exceed Facebook (%d)", g.Regions, f.Regions)
+	}
+	if g.SpreadScore <= f.SpreadScore {
+		t.Errorf("Google spread (%.3f) should exceed Facebook (%.3f)", g.SpreadScore, f.SpreadScore)
+	}
+	if f.VulnScore <= g.VulnScore {
+		t.Errorf("Facebook vulnerability (%.3f) should exceed Google (%.3f)", f.VulnScore, g.VulnScore)
+	}
+	v := CompareOperators(w, "Google", "Facebook", 1.0)
+	if v.MoreVulnerable != "Facebook" {
+		t.Errorf("CompareOperators verdict = %+v", v)
+	}
+	if !v.Decisive() {
+		t.Errorf("operator verdict should be decisive, margin %.3f", v.Margin)
+	}
+}
+
+func TestAssessOperatorUnknown(t *testing.T) {
+	w := Default()
+	a := AssessOperator(w, "NoSuchOp", 1.0)
+	if a.Facilities != 0 || a.VulnScore != 0 {
+		t.Errorf("unknown operator should be empty assessment: %+v", a)
+	}
+}
+
+func TestRankGridsHighLatitudeFirst(t *testing.T) {
+	w := Default()
+	ranked := RankGrids(w, 1.0)
+	if len(ranked) != len(w.Grids) {
+		t.Fatalf("ranked %d grids, want %d", len(ranked), len(w.Grids))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Errorf("grids out of order at %d", i)
+		}
+	}
+	// Singapore (equatorial) must rank at or near the bottom; a
+	// high-latitude unhardened grid must rank in the top three.
+	pos := map[string]int{}
+	for i, g := range ranked {
+		pos[g.Grid] = i
+	}
+	if pos["Singapore Grid"] < len(ranked)-3 {
+		t.Errorf("Singapore Grid ranked too vulnerable: position %d", pos["Singapore Grid"])
+	}
+	if pos["US Northeast (PJM/NYISO)"] > 3 {
+		t.Errorf("US Northeast should be near the top, position %d", pos["US Northeast (PJM/NYISO)"])
+	}
+}
+
+func TestGridHardeningReducesScore(t *testing.T) {
+	g := PowerGrid{Name: "x", Centroid: geo.Pt(55, -70), HVTransformers: 100, AvgLineLengthKm: 500}
+	soft := AssessGrid(g, 1.0)
+	g.Hardened = true
+	hard := AssessGrid(g, 1.0)
+	if hard.Score >= soft.Score {
+		t.Errorf("hardening should reduce score: %.3f >= %.3f", hard.Score, soft.Score)
+	}
+}
+
+func TestConcentrationSkew(t *testing.T) {
+	// The SIGCOMM'21 observation: infrastructure is concentrated at high
+	// geomagnetic latitudes well beyond the user share there.
+	w := Default()
+	st := Concentration(w)
+	if st.DCShareHighLat <= st.UserShareHighLat {
+		t.Errorf("DC high-lat share (%.2f) should exceed user share (%.2f)", st.DCShareHighLat, st.UserShareHighLat)
+	}
+	if st.CableShareHighLat <= 0 || st.CableShareHighLat > 1 {
+		t.Errorf("cable share out of range: %.2f", st.CableShareHighLat)
+	}
+}
+
+func TestHistoricalIncidents(t *testing.T) {
+	incs := HistoricalIncidents()
+	if len(incs) < 4 {
+		t.Fatalf("expected >= 4 incidents, got %d", len(incs))
+	}
+	kinds := map[IncidentKind]bool{}
+	for _, in := range incs {
+		kinds[in.Kind] = true
+		if in.Name == "" || in.Cause == "" || in.Mechanism == "" {
+			t.Errorf("incident %q incomplete", in.Name)
+		}
+	}
+	for _, k := range []IncidentKind{KindConfigError, KindNaturalDisaster, KindSolarStorm, KindBlackSwan} {
+		if !kinds[k] {
+			t.Errorf("missing incident kind %s", k)
+		}
+	}
+	fb, ok := IncidentByName("2021 Facebook outage")
+	if !ok {
+		t.Fatal("missing facebook outage")
+	}
+	if fb.Duration.Hours() < 7 {
+		t.Errorf("facebook outage duration = %v, want >= 7h", fb.Duration)
+	}
+	if _, ok := IncidentByName("nope"); ok {
+		t.Error("IncidentByName should miss")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	w := Default()
+	w.Cables = append(w.Cables, w.Cables[0]) // duplicate name
+	if err := w.Validate(); err == nil {
+		t.Error("expected duplicate-cable error")
+	}
+	w = Default()
+	w.Cables[0].Landings = w.Cables[0].Landings[:1]
+	if err := w.Validate(); err == nil {
+		t.Error("expected too-few-landings error")
+	}
+	w = Default()
+	w.DataCenters[0].Region = ""
+	if err := w.Validate(); err == nil {
+		t.Error("expected missing-region error")
+	}
+	w = Default()
+	w.Cables[0].RepeaterSpacingKm = 0
+	if err := w.Validate(); err == nil {
+		t.Error("expected missing-repeater-spacing error")
+	}
+}
