@@ -17,6 +17,8 @@ import (
 	"repro/internal/agent"
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/evalcache"
+	"repro/internal/index"
 	"repro/internal/llm"
 	"repro/internal/memory"
 	"repro/internal/prompt"
@@ -323,6 +325,24 @@ func BenchmarkE13Generalization(b *testing.B) {
 	b.ReportMetric(float64(consistent), "extended_consistent/4")
 }
 
+// BenchmarkE1ConclusionConsistencyParallel drives RunE1 from concurrent
+// goroutines with a pool-sized per-conclusion fan-out, exercising the
+// shared corpus/engine/trained-state caches under contention. Results
+// are byte-identical to the serial benchmark for the same seed.
+func BenchmarkE1ConclusionConsistencyParallel(b *testing.B) {
+	ctx := context.Background()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := eval.DefaultSetup()
+			s.Workers = 0 // GOMAXPROCS-sized pool
+			if _, err := eval.RunE1(ctx, s); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // --- microbenchmarks of the substrates ---
 
 // BenchmarkCorpusGenerate measures synthetic-web generation.
@@ -344,6 +364,68 @@ func BenchmarkSearchBM25(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkIndexSearch isolates the BM25 scorer: cold-idf forces the
+// derived idf/length-norm tables to rebuild every iteration (a write
+// between searches), warm-idf reuses them — the steady state of a
+// trained agent querying a stable web.
+func BenchmarkIndexSearch(b *testing.B) {
+	docs := corpus.Generate(world.Default(), 42).Docs
+	build := func() *index.Index {
+		ix := index.New()
+		for _, d := range docs {
+			ix.Add(index.Doc{ID: d.ID, Title: d.Title, Body: d.Body})
+		}
+		return ix
+	}
+	const q = "solar storm submarine cable geomagnetic latitude"
+	b.Run("cold-idf", func(b *testing.B) {
+		ix := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Add(index.Doc{ID: "churn", Title: "churn", Body: "unrelated churn text"})
+			if hits := ix.Search(q, 8); len(hits) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+	b.Run("warm-idf", func(b *testing.B) {
+		ix := build()
+		ix.Search(q, 8) // warm the derived tables
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if hits := ix.Search(q, 8); len(hits) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+}
+
+// BenchmarkCorpusCache compares the memoized world build against a full
+// regeneration, plus the cost of a copy-on-write engine fork — the three
+// price points the eval harness now chooses between.
+func BenchmarkCorpusCache(b *testing.B) {
+	b.Run("miss", func(b *testing.B) {
+		w := world.Default()
+		for i := 0; i < b.N; i++ {
+			corpus.Generate(w, 42)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		evalcache.Corpus(42) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			evalcache.Corpus(42)
+		}
+	})
+	b.Run("engine-fork", func(b *testing.B) {
+		evalcache.Engine(42, websim.Options{}) // prime the base build
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			evalcache.Engine(42, websim.Options{})
+		}
+	})
 }
 
 // BenchmarkAgentTrain measures full goal-driven training of Bob.

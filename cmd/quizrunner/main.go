@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	quizrunner [-exp all|e1|e2|e3|e4|e5|e6|a1|a2|a3] [-seed N]
+//	quizrunner [-exp all|e1|e2|e3|e4|e5|e6|a1|a2|a3] [-seed N] [-parallel N]
+//
+// -parallel sizes the worker pool for the per-conclusion fan-out inside
+// each experiment: 0 (the default) uses GOMAXPROCS, 1 forces the serial
+// path. Results are byte-identical at any setting for the same seed.
 package main
 
 import (
@@ -19,10 +23,12 @@ import (
 func main() {
 	expFlag := flag.String("exp", "all", "experiment to run: all, e1..e12, a1..a3")
 	seed := flag.Uint64("seed", 42, "world/corpus seed")
+	parallel := flag.Int("parallel", 0, "workers for per-conclusion fan-out: 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
 
 	setup := eval.DefaultSetup()
 	setup.Seed = *seed
+	setup.Workers = *parallel
 	ctx := context.Background()
 	out := os.Stdout
 

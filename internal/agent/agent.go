@@ -115,6 +115,24 @@ func New(role Role, model llm.Model, web websim.Web, store *memory.Store, cfg Co
 	return &Agent{Role: role, Model: model, Web: web, Memory: store, Trace: trace.New(), Config: cfg}
 }
 
+// Clone returns an agent with the same role, model and config, an
+// independent snapshot of the memory, a fresh trace, and the given web.
+// Clones are the unit of parallelism in the eval harness: concurrent
+// investigations must never share a memory store (writes would interleave
+// nondeterministically) or an engine's counters, so each worker runs on a
+// clone backed by its own websim fork. The model is shared — llm
+// implementations are stateless by contract.
+func (a *Agent) Clone(web websim.Web) *Agent {
+	return &Agent{
+		Role:   a.Role,
+		Model:  a.Model,
+		Web:    web,
+		Memory: a.Memory.Clone(),
+		Trace:  trace.New(),
+		Config: a.Config,
+	}
+}
+
 // TrainReport summarizes initial goal-driven training.
 type TrainReport struct {
 	Goals       []autogpt.GoalReport `json:"goals"`

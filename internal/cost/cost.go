@@ -89,7 +89,6 @@ func EventCost(ev Event) (total float64, breakdown []RegionCost) {
 		c := OutageCostBillions(e, loss, ev.Hours)
 		if c > 0 {
 			breakdown = append(breakdown, RegionCost{Region: region, CostBillions: c})
-			total += c
 		}
 	}
 	sort.Slice(breakdown, func(i, j int) bool {
@@ -98,6 +97,12 @@ func EventCost(ev Event) (total float64, breakdown []RegionCost) {
 		}
 		return breakdown[i].Region < breakdown[j].Region
 	})
+	// Sum after sorting: float addition is not associative, and the map
+	// above iterates in randomized order, so summing inline would make the
+	// total wander by ULPs from run to run.
+	for _, rc := range breakdown {
+		total += rc.CostBillions
+	}
 	return total, breakdown
 }
 

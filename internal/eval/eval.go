@@ -24,18 +24,21 @@ package eval
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/agent"
 	"repro/internal/autogpt"
 	"repro/internal/corpus"
+	"repro/internal/evalcache"
 	"repro/internal/index"
 	"repro/internal/llm"
 	"repro/internal/memory"
+	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/quiz"
 	"repro/internal/websim"
-	"repro/internal/world"
 )
 
 // Setup fixes the world, web and agent configuration for an experiment.
@@ -44,6 +47,14 @@ type Setup struct {
 	WebOptions  websim.Options
 	AgentConfig agent.Config
 	MemoryW     memory.Weights
+	// Workers bounds how many investigations the fan-out experiments
+	// (E1, E2, E5, E6, A1, A2) and the E7 seed sweep run concurrently.
+	// 0 means GOMAXPROCS; 1 forces the serial path. Results are
+	// byte-identical either way: every fanned-out task runs on an
+	// independent clone of the trained agent — its own memory snapshot
+	// and its own websim fork — so goroutine scheduling cannot leak
+	// between investigations.
+	Workers int
 }
 
 // DefaultSetup is the standard configuration all experiments start from.
@@ -51,21 +62,130 @@ func DefaultSetup() Setup {
 	return Setup{Seed: 42}
 }
 
-// NewBob builds the simulated web and a fresh (untrained) agent Bob.
+// workers resolves the effective fan-out width.
+func (s Setup) workers() int {
+	if s.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Workers
+}
+
+// NewBob builds the simulated web and a fresh (untrained) agent Bob. The
+// web is a copy-on-write fork of the process-wide cached engine for
+// (Seed, EnableSocial), so repeated calls share one generated corpus and
+// one built index instead of regenerating both.
 func NewBob(s Setup) (*agent.Agent, *websim.Engine) {
-	eng := websim.NewEngine(corpus.Generate(world.Default(), s.Seed), s.WebOptions)
+	eng := evalcache.Engine(s.Seed, s.WebOptions)
 	store := memory.NewStore(s.MemoryW)
 	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, store, s.AgentConfig)
 	return bob, eng
 }
 
-// TrainedBob builds and trains Bob.
-func TrainedBob(ctx context.Context, s Setup) (*agent.Agent, *websim.Engine, error) {
-	bob, eng := NewBob(s)
-	if _, err := bob.Train(ctx); err != nil {
-		return nil, nil, fmt.Errorf("eval: train: %w", err)
+// trained is one cached post-training knowledge state.
+type trained struct {
+	store  *memory.Store
+	report agent.TrainReport
+}
+
+var (
+	trainedMu    sync.Mutex
+	trainedCache = map[Setup]*trained{}
+)
+
+// trainedKey normalizes away the Setup fields that cannot affect
+// training. Train runs the Auto-GPT loop over the role goals, which
+// reads only the web options, the memory weights and the Runner config —
+// the investigation-phase knobs (threshold, rounds, knowledge window,
+// learn results) and the parallelism setting are irrelevant to it, so
+// setups differing only in those share one cached training run.
+func trainedKey(s Setup) Setup {
+	s.Workers = 0
+	s.AgentConfig.ConfidenceThreshold = 0
+	s.AgentConfig.MaxRounds = 0
+	s.AgentConfig.KnowledgeItems = 0
+	s.AgentConfig.LearnResults = 0
+	return s
+}
+
+// trainedState returns the memory store and training report a fresh
+// Train produces under s, computing each distinct configuration at most
+// once per process. The returned store is the shared cache entry: it
+// must not be mutated — clone it (TrainedBob does).
+func trainedState(ctx context.Context, s Setup) (*memory.Store, agent.TrainReport, error) {
+	key := trainedKey(s)
+	trainedMu.Lock()
+	if t, ok := trainedCache[key]; ok {
+		trainedMu.Unlock()
+		return t.store, t.report, nil
 	}
+	trainedMu.Unlock()
+	bob, _ := NewBob(s)
+	report, err := bob.Train(ctx)
+	if err != nil {
+		return nil, agent.TrainReport{}, fmt.Errorf("eval: train: %w", err)
+	}
+	trainedMu.Lock()
+	defer trainedMu.Unlock()
+	if t, ok := trainedCache[key]; ok {
+		// Another goroutine trained the same configuration concurrently;
+		// both results are identical (training is deterministic), keep
+		// the first so every caller shares one snapshot.
+		return t.store, t.report, nil
+	}
+	trainedCache[key] = &trained{store: bob.Memory, report: report}
+	return bob.Memory, report, nil
+}
+
+// TrainedBob builds and trains Bob. Training is deterministic per Setup,
+// so the post-training knowledge state is computed once per distinct
+// configuration and cloned for every caller; the returned agent owns its
+// snapshot and its own engine fork.
+func TrainedBob(ctx context.Context, s Setup) (*agent.Agent, *websim.Engine, error) {
+	st, _, err := trainedState(ctx, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := evalcache.Engine(s.Seed, s.WebOptions)
+	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, st.Clone(), s.AgentConfig)
 	return bob, eng, nil
+}
+
+// investigateAll answers each conclusion with a full self-learning
+// investigation, fanned out over Setup.Workers. Every conclusion gets an
+// independent clone of the trained agent — its own memory snapshot and
+// websim fork — so each investigation starts from the same post-training
+// knowledge state regardless of order or scheduling, and the serial path
+// (Workers=1) is byte-identical to the parallel one. Results are
+// collected by conclusion index, not completion order.
+func investigateAll(ctx context.Context, s Setup, set []quiz.Conclusion) ([]agent.Investigation, error) {
+	proto, _, err := TrainedBob(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(ctx, s.workers(), set, func(ctx context.Context, _ int, c quiz.Conclusion) (agent.Investigation, error) {
+		bob := proto.Clone(evalcache.Engine(s.Seed, s.WebOptions))
+		inv, err := bob.Investigate(ctx, c.Question)
+		if err != nil {
+			return agent.Investigation{}, fmt.Errorf("eval: investigate q%d: %w", c.ID, err)
+		}
+		return inv, nil
+	})
+}
+
+// resultsOf grades one investigation per conclusion into quiz results.
+func resultsOf(set []quiz.Conclusion, invs []agent.Investigation) []quiz.Result {
+	out := make([]quiz.Result, len(set))
+	for i, c := range set {
+		out[i] = quiz.Result{
+			Conclusion: c,
+			Verdict:    invs[i].Final.Verdict,
+			Confidence: invs[i].Final.Confidence,
+			Rounds:     len(invs[i].Rounds),
+			Consistent: quiz.Consistent(c, invs[i].Final.Verdict),
+			Answer:     invs[i].Final.Text,
+		}
+	}
+	return out
 }
 
 // --- E1: conclusion consistency ---
@@ -91,21 +211,34 @@ type E1Result struct {
 }
 
 // RunE1 reproduces §4.2: the untrained baseline model versus trained Bob
-// with self-learning, graded on all eight conclusions.
+// with self-learning, graded on all eight conclusions. Both passes fan
+// out one independent agent clone per conclusion (see investigateAll).
 func RunE1(ctx context.Context, s Setup) (E1Result, error) {
+	conclusions := quiz.Conclusions()
 	baseline, _ := NewBob(s) // untrained: the vanilla-LLM baseline
-	baseRes, err := quiz.Run(ctx, quiz.AgentOneShot(baseline))
-	if err != nil {
-		return E1Result{}, fmt.Errorf("eval e1 baseline: %w", err)
-	}
-	bob, _, err := TrainedBob(ctx, s)
+	baseRes, err := parallel.Map(ctx, s.workers(), conclusions, func(ctx context.Context, _ int, c quiz.Conclusion) (quiz.Result, error) {
+		bob := baseline.Clone(evalcache.Engine(s.Seed, s.WebOptions))
+		ans, err := bob.Ask(ctx, c.Question)
+		if err != nil {
+			return quiz.Result{}, fmt.Errorf("eval e1 baseline q%d: %w", c.ID, err)
+		}
+		return quiz.Result{
+			Conclusion: c,
+			Verdict:    ans.Verdict,
+			Confidence: ans.Confidence,
+			Rounds:     1,
+			Consistent: quiz.Consistent(c, ans.Verdict),
+			Answer:     ans.Text,
+		}, nil
+	})
 	if err != nil {
 		return E1Result{}, err
 	}
-	agentRes, err := quiz.Run(ctx, quiz.AgentInvestigator(bob))
+	invs, err := investigateAll(ctx, s, conclusions)
 	if err != nil {
 		return E1Result{}, fmt.Errorf("eval e1 agent: %w", err)
 	}
+	agentRes := resultsOf(conclusions, invs)
 	var out E1Result
 	for i := range agentRes {
 		out.Rows = append(out.Rows, E1Row{
@@ -137,20 +270,19 @@ type E2Trajectory struct {
 	Saturated   bool     `json:"saturated"`
 }
 
-// RunE2 reproduces the §4.2 case-study dynamics: for each quiz question a
-// freshly trained agent is investigated so every trajectory starts from
-// the same post-training knowledge state.
+// RunE2 reproduces the §4.2 case-study dynamics: every trajectory starts
+// from the same post-training knowledge state — each question is
+// investigated by an independent clone of the trained agent, fanned out
+// over Setup.Workers with results collected in question order.
 func RunE2(ctx context.Context, s Setup) ([]E2Trajectory, error) {
-	var out []E2Trajectory
-	for _, c := range quiz.Conclusions() {
-		bob, _, err := TrainedBob(ctx, s)
-		if err != nil {
-			return nil, err
-		}
-		inv, err := bob.Investigate(ctx, c.Question)
-		if err != nil {
-			return nil, fmt.Errorf("eval e2 q%d: %w", c.ID, err)
-		}
+	conclusions := quiz.Conclusions()
+	invs, err := investigateAll(ctx, s, conclusions)
+	if err != nil {
+		return nil, fmt.Errorf("eval e2: %w", err)
+	}
+	out := make([]E2Trajectory, 0, len(conclusions))
+	for i, c := range conclusions {
+		inv := invs[i]
 		tr := E2Trajectory{QID: c.ID, Question: c.Question, Saturated: inv.Saturated}
 		for _, r := range inv.Rounds {
 			tr.Confidences = append(tr.Confidences, r.Confidence)
@@ -239,27 +371,51 @@ type E5Row struct {
 
 // RunE5 sweeps the confidence threshold, reproducing §3's claim that a
 // higher threshold buys answer quality with a longer self-learning
-// process.
+// process. The sweep is flattened into one (threshold, conclusion) task
+// list and fanned out over Setup.Workers: the trained knowledge state is
+// shared across thresholds (training never reads the threshold), so
+// every task is an independent clone investigating one question under
+// one threshold, and rows are reassembled in threshold order.
 func RunE5(ctx context.Context, s Setup, thresholds []int) ([]E5Row, error) {
 	if len(thresholds) == 0 {
 		thresholds = []int{3, 5, 7, 9}
 	}
-	var out []E5Row
-	for _, th := range thresholds {
+	conclusions := quiz.Conclusions()
+	protos := make([]*agent.Agent, len(thresholds))
+	for i, th := range thresholds {
 		cfg := s
 		cfg.AgentConfig.ConfidenceThreshold = th
-		bob, _, err := TrainedBob(ctx, cfg)
+		proto, _, err := TrainedBob(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
+		protos[i] = proto
+	}
+	type task struct{ ti, ci int }
+	tasks := make([]task, 0, len(thresholds)*len(conclusions))
+	for ti := range thresholds {
+		for ci := range conclusions {
+			tasks = append(tasks, task{ti, ci})
+		}
+	}
+	invs, err := parallel.Map(ctx, s.workers(), tasks, func(ctx context.Context, _ int, t task) (agent.Investigation, error) {
+		bob := protos[t.ti].Clone(evalcache.Engine(s.Seed, s.WebOptions))
+		inv, err := bob.Investigate(ctx, conclusions[t.ci].Question)
+		if err != nil {
+			return agent.Investigation{}, fmt.Errorf("eval e5 th=%d q%d: %w", thresholds[t.ti], conclusions[t.ci].ID, err)
+		}
+		return inv, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]E5Row, 0, len(thresholds))
+	for ti, th := range thresholds {
 		row := E5Row{Threshold: th}
 		var roundSum, confSum int
-		results := make([]quiz.Result, 0, 8)
-		for _, c := range quiz.Conclusions() {
-			inv, err := bob.Investigate(ctx, c.Question)
-			if err != nil {
-				return nil, fmt.Errorf("eval e5 th=%d q%d: %w", th, c.ID, err)
-			}
+		results := make([]quiz.Result, 0, len(conclusions))
+		for ci, c := range conclusions {
+			inv := invs[ti*len(conclusions)+ci]
 			roundSum += len(inv.Rounds)
 			confSum += inv.Final.Confidence
 			for _, r := range inv.Rounds {
@@ -311,34 +467,29 @@ func RunE6(ctx context.Context, s Setup) ([]E6Row, error) {
 	var out []E6Row
 	for _, cfg := range configs {
 		setup := cfg.mod(s)
-		bob, _, err := TrainedBob(ctx, setup)
+		invs, err := investigateAll(ctx, setup, quiz.Conclusions())
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("eval e6 %s: %w", cfg.name, err)
 		}
 		row := E6Row{Config: cfg.name}
 		roundSum := 0
-		results := make([]quiz.Result, 0, 8)
-		for _, c := range quiz.Conclusions() {
-			inv, err := bob.Investigate(ctx, c.Question)
-			if err != nil {
-				return nil, fmt.Errorf("eval e6 %s q%d: %w", cfg.name, c.ID, err)
-			}
+		for _, inv := range invs {
 			roundSum += len(inv.Rounds)
-			results = append(results, quiz.Result{
-				Conclusion: c,
-				Verdict:    inv.Final.Verdict,
-				Consistent: quiz.Consistent(c, inv.Final.Verdict),
-			})
 		}
 		row.MeanRounds = float64(roundSum) / 8
-		row.Consistent, row.Total = quiz.Score(results)
-		// Every configuration studies planning with the same queries;
-		// only the crawler-enabled web can actually reach the social
-		// material that carries the remaining plan elements.
-		if _, err := bob.SelfLearn(ctx, planStudyQueries()); err != nil {
+		row.Consistent, row.Total = quiz.Score(resultsOf(quiz.Conclusions(), invs))
+		// Every configuration studies planning with the same queries from
+		// the same post-training state; only the crawler-enabled web can
+		// actually reach the social material that carries the remaining
+		// plan elements.
+		planner, _, err := TrainedBob(ctx, setup)
+		if err != nil {
 			return nil, err
 		}
-		items, err := bob.Plan(ctx)
+		if _, err := planner.SelfLearn(ctx, planStudyQueries()); err != nil {
+			return nil, err
+		}
+		items, err := planner.Plan(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -381,27 +532,17 @@ func RunA1(ctx context.Context, s Setup) ([]A1Row, error) {
 	for _, v := range variants {
 		setup := s
 		setup.MemoryW = v.w
-		bob, _, err := TrainedBob(ctx, setup)
+		invs, err := investigateAll(ctx, setup, quiz.Conclusions())
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("eval a1 %s: %w", v.name, err)
 		}
 		row := A1Row{Weights: v.name}
 		roundSum := 0
-		results := make([]quiz.Result, 0, 8)
-		for _, c := range quiz.Conclusions() {
-			inv, err := bob.Investigate(ctx, c.Question)
-			if err != nil {
-				return nil, fmt.Errorf("eval a1 %s q%d: %w", v.name, c.ID, err)
-			}
+		for _, inv := range invs {
 			roundSum += len(inv.Rounds)
-			results = append(results, quiz.Result{
-				Conclusion: c,
-				Verdict:    inv.Final.Verdict,
-				Consistent: quiz.Consistent(c, inv.Final.Verdict),
-			})
 		}
 		row.MeanRounds = float64(roundSum) / 8
-		row.Consistent, row.Total = quiz.Score(results)
+		row.Consistent, row.Total = quiz.Score(resultsOf(quiz.Conclusions(), invs))
 		out = append(out, row)
 	}
 	return out, nil
@@ -422,26 +563,24 @@ type A2Row struct {
 // decomposition. The web is constrained to one result per query — the
 // regime the paper describes CoT for, where a single search step is too
 // ambiguous/thin to carry a goal and must be decomposed into subplans.
+// The two training runs are independent, so they fan out in parallel.
 func RunA2(ctx context.Context, s Setup) ([]A2Row, error) {
-	var out []A2Row
-	for _, cot := range []bool{false, true} {
+	return parallel.Map(ctx, s.workers(), []bool{false, true}, func(ctx context.Context, _ int, cot bool) (A2Row, error) {
 		setup := s
 		setup.WebOptions.MaxResults = 1
 		setup.AgentConfig.Runner = autogpt.Config{ChainOfThought: cot}
-		bob, _ := NewBob(setup)
-		report, err := bob.Train(ctx)
+		store, report, err := trainedState(ctx, setup)
 		if err != nil {
-			return nil, err
+			return A2Row{}, err
 		}
-		row := A2Row{CoT: cot, MemoryItems: bob.Memory.Len()}
+		row := A2Row{CoT: cot, MemoryItems: store.Len()}
 		for _, g := range report.Goals {
 			row.Searches += g.Searches
 			row.PagesRead += g.PagesRead
 			row.FactsSaved += g.FactsSaved
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // --- A3: search-ranking ablation ---
@@ -507,9 +646,11 @@ func seoSpamDocs() []corpus.Document {
 }
 
 // RunA3 compares BM25 against the naive term-frequency baseline on the
-// judged query set, in the presence of keyword-stuffed spam.
+// judged query set, in the presence of keyword-stuffed spam. Each
+// ranking gets a copy-on-write fork of the cached engine: publishing the
+// spam into a fork clones the shared index, so the pollution never leaks
+// into the base corpus the agent experiments share.
 func RunA3(s Setup) []A3Row {
-	c := corpus.Generate(world.Default(), s.Seed)
 	judge := A3Judgments()
 	rows := make([]A3Row, 0, 2)
 	for _, r := range []struct {
@@ -518,7 +659,7 @@ func RunA3(s Setup) []A3Row {
 	}{{"bm25", index.RankBM25}, {"tf", index.RankTF}} {
 		opts := s.WebOptions
 		opts.Ranking = r.ranking
-		eng := websim.NewEngine(c, opts)
+		eng := evalcache.Engine(s.Seed, opts)
 		for _, spam := range seoSpamDocs() {
 			eng.Publish(spam)
 		}

@@ -3,6 +3,7 @@ package eval
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -219,6 +220,51 @@ func TestRunA2Shape(t *testing.T) {
 	PrintA2(&buf, rows)
 	if buf.Len() == 0 {
 		t.Error("A2 print broken")
+	}
+}
+
+// TestWorkersDeterminism is the acceptance bar of the parallel engine:
+// the same Setup.Seed must produce byte-identical results whether the
+// per-conclusion fan-out runs serial or on a pool.
+func TestWorkersDeterminism(t *testing.T) {
+	ctx := context.Background()
+	asJSON := func(v any, err error) string {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	serial := DefaultSetup()
+	serial.Workers = 1
+	par := DefaultSetup()
+	par.Workers = 4
+
+	if a, b := asJSON(RunE1(ctx, serial)), asJSON(RunE1(ctx, par)); a != b {
+		t.Errorf("E1 serial != parallel:\n%s\n%s", a, b)
+	}
+	if a, b := asJSON(RunE2(ctx, serial)), asJSON(RunE2(ctx, par)); a != b {
+		t.Errorf("E2 serial != parallel:\n%s\n%s", a, b)
+	}
+	if a, b := asJSON(RunE5(ctx, serial, []int{5, 8})), asJSON(RunE5(ctx, par, []int{5, 8})); a != b {
+		t.Errorf("E5 serial != parallel:\n%s\n%s", a, b)
+	}
+	if a, b := asJSON(RunE6(ctx, serial)), asJSON(RunE6(ctx, par)); a != b {
+		t.Errorf("E6 serial != parallel:\n%s\n%s", a, b)
+	}
+	if a, b := asJSON(RunE7(ctx, serial, 4)), asJSON(RunE7(ctx, par, 4)); a != b {
+		t.Errorf("E7 serial != parallel:\n%s\n%s", a, b)
+	}
+	if a, b := asJSON(RunA1(ctx, serial)), asJSON(RunA1(ctx, par)); a != b {
+		t.Errorf("A1 serial != parallel:\n%s\n%s", a, b)
+	}
+	if a, b := asJSON(RunA2(ctx, serial)), asJSON(RunA2(ctx, par)); a != b {
+		t.Errorf("A2 serial != parallel:\n%s\n%s", a, b)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/facts"
 	"repro/internal/llm"
+	"repro/internal/parallel"
 	"repro/internal/quiz"
 	"repro/internal/solar"
 	"repro/internal/stormsim"
@@ -83,16 +84,32 @@ func RunE7(ctx context.Context, s Setup, seeds int) ([]E7Row, error) {
 		{"agent (with crawler)", crawler},
 		{"human reference", reference},
 	}
+	seedList := make([]uint64, seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
 	var out []E7Row
 	for _, p := range plans {
 		row := E7Row{Plan: p.name, Actions: len(p.actions)}
-		for seed := 1; seed <= seeds; seed++ {
-			o := stormsim.Simulate(w, storm, p.actions, stormsim.Config{Seed: uint64(seed)})
-			row.MeanDamage += o.DamageScore
-			row.MeanCapLossPct += o.CapacityLossPct
-			row.MeanRecoveryHrs += o.RecoveryHours
+		// The per-seed simulations are independent and pure, so they fan
+		// out over Setup.Workers; outcomes are collected by seed index and
+		// reduced in seed order, keeping the floating-point sums identical
+		// to the serial path.
+		type outcome struct{ damage, capLoss, recovery, costB float64 }
+		actions := p.actions
+		outcomes, err := parallel.Map(ctx, s.workers(), seedList, func(_ context.Context, _ int, seed uint64) (outcome, error) {
+			o := stormsim.Simulate(w, storm, actions, stormsim.Config{Seed: seed})
 			costB, _ := stormsim.EconomicImpact(w, o)
-			row.MeanCostB += costB
+			return outcome{o.DamageScore, o.CapacityLossPct, o.RecoveryHours, costB}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval e7 %s: %w", p.name, err)
+		}
+		for _, o := range outcomes {
+			row.MeanDamage += o.damage
+			row.MeanCapLossPct += o.capLoss
+			row.MeanRecoveryHrs += o.recovery
+			row.MeanCostB += o.costB
 		}
 		n := float64(seeds)
 		row.MeanDamage /= n

@@ -1,0 +1,76 @@
+// Package evalcache memoizes the expensive immutable inputs of the eval
+// and benchmark stack. Every experiment of the reproduction starts from
+// the same deterministic world build — corpus.Generate over
+// world.Default plus a full websim index — yet the seed harness rebuilt
+// it from scratch for every one of the 15 Run* experiments and every
+// benchmark iteration. This package builds each distinct world exactly
+// once per process and hands out cheap views:
+//
+//   - Corpus(seed) returns the generated default-world corpus for a
+//     seed, built at most once. The returned corpus is shared and MUST
+//     be treated as immutable.
+//   - Engine(seed, opts) returns a copy-on-write fork of the cached
+//     base engine for (seed, opts.EnableSocial). Forks share the built
+//     search indexes but have independent traffic counters, failure
+//     sequences and serve-time options, and Publish on a fork is
+//     invisible to the base and to sibling forks — so experiments that
+//     mutate the web (drift, spam injection) still get isolation
+//     without paying for a rebuild.
+//
+// Both caches key on the seed only because eval experiments all run over
+// world.Default; callers with bespoke worlds should build directly via
+// corpus.Generate and websim.NewEngine.
+package evalcache
+
+import (
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+type baseKey struct {
+	seed   uint64
+	social bool
+}
+
+var (
+	mu      sync.Mutex
+	corpora = map[uint64]*corpus.Corpus{}
+	bases   = map[baseKey]*websim.Engine{}
+)
+
+// Corpus returns the default-world corpus for seed, generating it at
+// most once per process. The result is shared across all callers and
+// must not be mutated.
+func Corpus(seed uint64) *corpus.Corpus {
+	mu.Lock()
+	defer mu.Unlock()
+	return corpusLocked(seed)
+}
+
+func corpusLocked(seed uint64) *corpus.Corpus {
+	if c, ok := corpora[seed]; ok {
+		return c
+	}
+	c := corpus.Generate(world.Default(), seed)
+	corpora[seed] = c
+	return c
+}
+
+// Engine returns a copy-on-write fork of the cached base engine for
+// (seed, opts.EnableSocial), carrying the given serve-time options.
+// The base — corpus plus built indexes — is constructed at most once
+// per (seed, social) pair; every call pays only the fork cost.
+func Engine(seed uint64, opts websim.Options) *websim.Engine {
+	key := baseKey{seed: seed, social: opts.EnableSocial}
+	mu.Lock()
+	base, ok := bases[key]
+	if !ok {
+		base = websim.NewEngine(corpusLocked(seed), websim.Options{EnableSocial: opts.EnableSocial})
+		bases[key] = base
+	}
+	mu.Unlock()
+	return base.Fork(opts)
+}

@@ -1,0 +1,103 @@
+package evalcache
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/websim"
+)
+
+func TestCorpusMemoized(t *testing.T) {
+	a := Corpus(4242)
+	b := Corpus(4242)
+	if a != b {
+		t.Error("same seed should return the same corpus pointer")
+	}
+	if c := Corpus(4243); c == a {
+		t.Error("different seed should build a different corpus")
+	}
+}
+
+func TestEngineForksShareBaseContent(t *testing.T) {
+	ctx := context.Background()
+	a := Engine(4242, websim.Options{})
+	b := Engine(4242, websim.Options{})
+	if a == b {
+		t.Fatal("Engine should return a fresh fork per call")
+	}
+	ra, err := a.Search(ctx, "solar storm submarine cable", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Search(ctx, "solar storm submarine cable", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) == 0 || len(ra) != len(rb) {
+		t.Fatalf("fork results diverge: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].DocID != rb[i].DocID || ra[i].Score != rb[i].Score {
+			t.Errorf("result %d differs across forks: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestEngineForkPublishIsolated(t *testing.T) {
+	ctx := context.Background()
+	a := Engine(4242, websim.Options{})
+	b := Engine(4242, websim.Options{})
+	a.Publish(corpus.Document{
+		ID: "fork-local", URL: "https://example.org/fork-local",
+		Site: "example.org", Title: "Unique zanzibar quux event",
+		Body: "A zanzibar quux event occurred.", Source: corpus.SourceNews, Year: 2026,
+	})
+	hits, err := a.Search(ctx, "zanzibar quux", 3)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("publisher fork should see its own doc: %v %v", hits, err)
+	}
+	hits, err = b.Search(ctx, "zanzibar quux", 3)
+	if err != nil || len(hits) != 0 {
+		t.Errorf("sibling fork saw a fork-local doc: %v %v", hits, err)
+	}
+	c := Engine(4242, websim.Options{})
+	hits, err = c.Search(ctx, "zanzibar quux", 3)
+	if err != nil || len(hits) != 0 {
+		t.Errorf("later fork saw a fork-local doc: %v %v", hits, err)
+	}
+}
+
+func TestEngineSocialKeying(t *testing.T) {
+	ctx := context.Background()
+	plain := Engine(4242, websim.Options{})
+	social := Engine(4242, websim.Options{EnableSocial: true})
+	q := "thread about solar storm risk twitter"
+	pr, _ := plain.Search(ctx, q, 10)
+	sr, _ := social.Search(ctx, q, 10)
+	for _, r := range pr {
+		if r.Site == "twitter.com" || r.Site == "reddit.com" {
+			t.Errorf("social doc served from non-social base: %+v", r)
+		}
+	}
+	found := false
+	for _, r := range sr {
+		if r.Site == "twitter.com" || r.Site == "reddit.com" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("social base served no social docs")
+	}
+}
+
+func TestEngineForkCarriesServeOptions(t *testing.T) {
+	e := Engine(4242, websim.Options{MaxResults: 2})
+	hits, err := e.Search(context.Background(), "cable", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) > 2 {
+		t.Errorf("MaxResults=2 fork returned %d hits", len(hits))
+	}
+}

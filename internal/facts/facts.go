@@ -18,6 +18,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/textgen"
 )
@@ -296,12 +297,34 @@ func SplitSentences(text string) []string {
 	return out
 }
 
+// sentenceCache memoizes extractSentence. The corpus renders every fact
+// from a small fixed vocabulary, so the same sentences are re-extracted
+// constantly — by memory importance scoring and by every evidence build
+// of the simulated model — and the backtracking regexp matches dominate
+// the profile without a cache. Extraction is pure and cached Facts are
+// shared across callers; Fact values must therefore never be mutated
+// (they never are: facts are read-only records by design).
+var sentenceCache sync.Map // sentence string -> sentenceResult
+
+type sentenceResult struct {
+	fact Fact
+	ok   bool
+}
+
 // Extract recovers every canonical fact present in text. Sentences that
 // match no pattern are ignored: prose is allowed to surround facts.
 func Extract(text string) []Fact {
 	var out []Fact
 	for _, sent := range SplitSentences(text) {
-		if f, ok := extractSentence(sent); ok {
+		if cached, hit := sentenceCache.Load(sent); hit {
+			if r := cached.(sentenceResult); r.ok {
+				out = append(out, r.fact)
+			}
+			continue
+		}
+		f, ok := extractSentence(sent)
+		sentenceCache.Store(sent, sentenceResult{fact: f, ok: ok})
+		if ok {
 			out = append(out, f)
 		}
 	}

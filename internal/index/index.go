@@ -6,11 +6,17 @@
 //
 // The index is safe for concurrent use: lookups take a read lock and
 // additions a write lock, so a websim HTTP server can serve queries while
-// new documents are still being published.
+// new documents are still being published. Because one built index is the
+// shared, contended structure of the parallel eval engine, the query path
+// is kept allocation-light: per-term idf and per-document BM25 length
+// normalization are precomputed lazily after mutations (warmed on the
+// first search), and the per-query score map comes from a sync.Pool.
 package index
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -44,6 +50,19 @@ type Index struct {
 	postings map[string][]posting
 	docLen   map[string]int
 	totalLen int
+
+	// Derived BM25 state, rebuilt lazily on the first search after a
+	// mutation (see ensureWarm): per-term idf and the per-document
+	// length-normalization denominator component.
+	idf   map[string]float64
+	norm  map[string]float64
+	dirty bool
+}
+
+// scratchScores pools the per-query accumulator maps so concurrent
+// searches do not allocate a fresh map per call.
+var scratchScores = sync.Pool{
+	New: func() any { return make(map[string]float64, 64) },
 }
 
 // New returns an empty index.
@@ -52,6 +71,8 @@ func New() *Index {
 		docs:     map[string]Doc{},
 		postings: map[string][]posting{},
 		docLen:   map[string]int{},
+		idf:      map[string]float64{},
+		norm:     map[string]float64{},
 	}
 }
 
@@ -80,6 +101,7 @@ func (ix *Index) Add(doc Doc) {
 	ix.docs[doc.ID] = doc
 	ix.docLen[doc.ID] = len(terms)
 	ix.totalLen += len(terms)
+	ix.dirty = true
 }
 
 // removeLocked deletes a document's postings. Caller holds the write lock.
@@ -100,6 +122,29 @@ func (ix *Index) removeLocked(id string) {
 	ix.totalLen -= ix.docLen[id]
 	delete(ix.docLen, id)
 	delete(ix.docs, id)
+	ix.dirty = true
+}
+
+// Clone returns an independent deep copy of the index. The clone and the
+// receiver can both be mutated afterwards without affecting each other —
+// this is what backs the copy-on-write fork of the websim engine and the
+// snapshotting of a trained agent's memory store.
+func (ix *Index) Clone() *Index {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	c := &Index{
+		docs:     maps.Clone(ix.docs),
+		postings: make(map[string][]posting, len(ix.postings)),
+		docLen:   maps.Clone(ix.docLen),
+		totalLen: ix.totalLen,
+		idf:      maps.Clone(ix.idf),
+		norm:     maps.Clone(ix.norm),
+		dirty:    ix.dirty,
+	}
+	for t, ps := range ix.postings {
+		c.postings[t] = slices.Clone(ps)
+	}
+	return c
 }
 
 // Len returns the number of indexed documents.
@@ -147,44 +192,89 @@ const (
 
 // Search returns the top-k documents for the query under BM25.
 func (ix *Index) Search(query string, k int) []Hit {
-	return ix.SearchRanked(query, k, RankBM25)
+	return ix.search(query, k, RankBM25, true)
+}
+
+// SearchScores is Search without snippet extraction: hits carry only ID,
+// title and score. Memory retrieval ranks every stored item on each
+// query and never reads snippets, so skipping them there removes the
+// dominant cost of the retrieval path.
+func (ix *Index) SearchScores(query string, k int) []Hit {
+	return ix.search(query, k, RankBM25, false)
+}
+
+// ensureWarm rebuilds the derived BM25 state (idf, length norms) if any
+// mutation happened since the last search. The float expressions repeat
+// the exact operation order of the previous inline computation, so warmed
+// scores are bit-identical to cold ones.
+func (ix *Index) ensureWarm() {
+	ix.mu.RLock()
+	dirty := ix.dirty
+	ix.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.dirty {
+		return
+	}
+	n := float64(len(ix.docs))
+	ix.idf = make(map[string]float64, len(ix.postings))
+	for t, ps := range ix.postings {
+		df := float64(len(ps))
+		ix.idf[t] = math.Log(1 + (n-df+0.5)/(df+0.5))
+	}
+	avgLen := 1.0
+	if n > 0 {
+		avgLen = float64(ix.totalLen) / n
+	}
+	ix.norm = make(map[string]float64, len(ix.docLen))
+	for id, dl := range ix.docLen {
+		ix.norm[id] = bm25K1 * (1 - bm25B + bm25B*float64(dl)/avgLen)
+	}
+	ix.dirty = false
 }
 
 // SearchRanked returns the top-k documents under the chosen ranking.
 func (ix *Index) SearchRanked(query string, k int, ranking Ranking) []Hit {
+	return ix.search(query, k, ranking, true)
+}
+
+func (ix *Index) search(query string, k int, ranking Ranking, snippets bool) []Hit {
 	terms := Tokenize(query)
 	if len(terms) == 0 || k <= 0 {
 		return nil
 	}
+	ix.ensureWarm()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	n := len(ix.docs)
-	if n == 0 {
+	if len(ix.docs) == 0 {
 		return nil
 	}
-	avgLen := float64(ix.totalLen) / float64(n)
-	scores := map[string]float64{}
-	seen := map[string]bool{}
-	for _, t := range terms {
-		if seen[t] {
+	scores := scratchScores.Get().(map[string]float64)
+	defer func() {
+		clear(scores)
+		scratchScores.Put(scores)
+	}()
+	for i, t := range terms {
+		if slices.Contains(terms[:i], t) {
 			continue // dedupe repeated query terms
 		}
-		seen[t] = true
 		ps := ix.postings[t]
 		if len(ps) == 0 {
 			continue
 		}
-		idf := math.Log(1 + (float64(n)-float64(len(ps))+0.5)/(float64(len(ps))+0.5))
-		for _, p := range ps {
-			switch ranking {
-			case RankTF:
+		if ranking == RankTF {
+			for _, p := range ps {
 				scores[p.doc] += float64(p.tf)
-			default:
-				tf := float64(p.tf)
-				dl := float64(ix.docLen[p.doc])
-				denom := tf + bm25K1*(1-bm25B+bm25B*dl/avgLen)
-				scores[p.doc] += idf * tf * (bm25K1 + 1) / denom
 			}
+			continue
+		}
+		idf := ix.idf[t]
+		for _, p := range ps {
+			tf := float64(p.tf)
+			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + ix.norm[p.doc])
 		}
 	}
 	hits := make([]Hit, 0, len(scores))
@@ -201,8 +291,10 @@ func (ix *Index) SearchRanked(query string, k int, ranking Ranking) []Hit {
 	if len(hits) > k {
 		hits = hits[:k]
 	}
-	for i := range hits {
-		hits[i].Snippet = Snippet(ix.docs[hits[i].ID].Body, terms, 30)
+	if snippets {
+		for i := range hits {
+			hits[i].Snippet = Snippet(ix.docs[hits[i].ID].Body, terms, 30)
+		}
 	}
 	return hits
 }

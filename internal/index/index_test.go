@@ -226,6 +226,52 @@ func TestSearchDeterministic(t *testing.T) {
 	}
 }
 
+func TestCloneIndependence(t *testing.T) {
+	ix := newTestIndex()
+	cl := ix.Clone()
+
+	// Before divergence the clone ranks identically.
+	a := ix.Search("cable europe latitude", 4)
+	b := cl.Search("cable europe latitude", 4)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("clone ranks differently: %v vs %v", a, b)
+	}
+
+	// Writes to the clone must not leak into the original, and vice versa.
+	cl.Add(Doc{ID: "clone-only", Title: "xylophone quarks", Body: "xylophone quarks everywhere"})
+	if hits := ix.Search("xylophone quarks", 3); len(hits) != 0 {
+		t.Errorf("original sees clone-only doc: %v", hits)
+	}
+	ix.Add(Doc{ID: "orig-only", Title: "bassoon gluons", Body: "bassoon gluons everywhere"})
+	if hits := cl.Search("bassoon gluons", 3); len(hits) != 0 {
+		t.Errorf("clone sees original-only doc: %v", hits)
+	}
+	if ix.Len() != 5 || cl.Len() != 5 {
+		t.Errorf("Len: orig=%d clone=%d, want 5 and 5", ix.Len(), cl.Len())
+	}
+}
+
+func TestWarmedScoresMatchFreshIndex(t *testing.T) {
+	// Searching warms the derived idf/length-norm tables; adding a doc
+	// afterwards must invalidate them so later searches score exactly as a
+	// fresh index built with every doc from the start.
+	warmed := newTestIndex()
+	warmed.Search("cable storm", 4) // warm on the 4-doc corpus
+	extra := Doc{ID: "d5", Title: "Cable landing stations", Body: "Landing stations power submarine cable repeaters from the local grid."}
+	warmed.Add(extra)
+
+	fresh := newTestIndex()
+	fresh.Add(extra)
+
+	for _, q := range []string{"cable europe latitude", "solar storm grid", "submarine cable repeaters power"} {
+		w := warmed.Search(q, 5)
+		f := fresh.Search(q, 5)
+		if fmt.Sprint(w) != fmt.Sprint(f) {
+			t.Errorf("query %q: warmed %v != fresh %v", q, w, f)
+		}
+	}
+}
+
 func TestOverlapBounds(t *testing.T) {
 	f := func(a, b string) bool {
 		v := Overlap(a, b)

@@ -308,9 +308,15 @@ func resolveCableEndpoints(subject string, ev *Evidence) resolution {
 			}
 		}
 		if best == "" {
-			name := matched[0].Cable
-			res.Name = name
-			res.Missing = append(res.Missing, latitudeNeed(ev, name))
+			// No matched cable has a known latitude yet. Ask for the
+			// profile of every matched candidate rather than fixating on
+			// the first: a single candidate can be a dead end (a route
+			// whose latitude is published only as an image the text
+			// agent cannot read), which would strand the investigation.
+			res.Name = matched[0].Cable
+			for _, r := range matched {
+				res.Missing = append(res.Missing, latitudeNeed(ev, r.Cable))
+			}
 		} else {
 			res.Name = best
 			res.WeightFound += weightQuant

@@ -13,7 +13,9 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"maps"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -62,6 +64,24 @@ func NewStore(w Weights) *Store {
 		w = DefaultWeights
 	}
 	return &Store{byHash: map[string]bool{}, idx: index.New(), weights: w}
+}
+
+// Clone returns an independent snapshot of the store: same items, dedup
+// state, sequence counter and weights, with its own retrieval index.
+// Snapshots are how a trained knowledge state is shared across parallel
+// investigations — concurrent agents that *write* must never share one
+// Store (their insertion sequences would interleave nondeterministically),
+// so each gets a clone and the original stays pristine.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return &Store{
+		items:   slices.Clone(s.items),
+		byHash:  maps.Clone(s.byHash),
+		idx:     s.idx.Clone(),
+		seq:     s.seq,
+		weights: s.weights,
+	}
 }
 
 // Len returns the number of items.
@@ -129,7 +149,7 @@ func (s *Store) Retrieve(query string, k int) []Item {
 	if k <= 0 || len(s.items) == 0 {
 		return nil
 	}
-	hits := s.idx.Search(query, len(s.items))
+	hits := s.idx.SearchScores(query, len(s.items))
 	rel := map[string]float64{}
 	var maxScore float64
 	for _, h := range hits {

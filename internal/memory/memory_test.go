@@ -206,3 +206,35 @@ func TestConcurrentAddRetrieve(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewStore(Weights{})
+	s.Add("The Grace Hopper cable reaches geomagnetic latitude 58 degrees.", "https://a.example/1", "cables")
+	s.Add("Submarine cables are more exposed than terrestrial fiber.", "https://a.example/2", "cables")
+	cl := s.Clone()
+
+	// Before divergence, retrieval is identical.
+	a := s.Retrieve("geomagnetic latitude cable", 2)
+	b := cl.Retrieve("geomagnetic latitude cable", 2)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("clone retrieves differently: %v vs %v", a, b)
+	}
+
+	// Writes to the clone stay in the clone — including dedup state and
+	// the sequence counter.
+	if _, added := cl.Add("The Nordic grid spans long transmission lines.", "https://a.example/3", "grids"); !added {
+		t.Fatal("clone add failed")
+	}
+	if s.Len() != 2 || cl.Len() != 3 {
+		t.Errorf("Len: orig=%d clone=%d, want 2 and 3", s.Len(), cl.Len())
+	}
+	// The original must still accept the same text (its dedup set is its own)
+	// and number it from its own sequence.
+	it, added := s.Add("The Nordic grid spans long transmission lines.", "https://a.example/3", "grids")
+	if !added || it.Seq != 3 {
+		t.Errorf("original add after clone: added=%v seq=%d, want seq 3", added, it.Seq)
+	}
+	if hits := s.idx.Search("Nordic grid", 3); len(hits) != 1 {
+		t.Errorf("original index out of sync after clone: %v", hits)
+	}
+}

@@ -1,0 +1,86 @@
+// Package parallel is the bounded fan-out engine of the eval stack: a
+// stdlib-only worker pool that runs independent tasks concurrently while
+// preserving deterministic result ordering. Results are collected by item
+// index, never by completion order, so callers get byte-identical output
+// whether the pool runs one worker or GOMAXPROCS workers — the property
+// the experiment harness relies on ("determinism is the acceptance bar,
+// speed is the payoff").
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map applies f to every element of items on up to workers goroutines
+// and returns the results in item order. workers <= 0 means
+// runtime.GOMAXPROCS(0); workers == 1 degenerates to a plain serial
+// loop on the calling goroutine (no pool overhead, same results).
+//
+// The first error cancels the shared context and stops the pool; the
+// error returned is the one that triggered cancellation, and remaining
+// items are left unprocessed. f receives the item's index so it can
+// label work without closing over loop variables.
+func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers == 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := f(ctx, i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		failOnce sync.Once
+		failErr  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				r, err := f(ctx, i, items[i])
+				if err != nil {
+					failOnce.Do(func() {
+						failErr = err
+						cancel()
+					})
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+	return out, ctx.Err()
+}

@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 200} {
+		out, err := Map(context.Background(), workers, items, func(_ context.Context, i int, item int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, item), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, got := range out {
+			if want := fmt.Sprintf("%d:%d", i, i); got != want {
+				t.Fatalf("workers=%d out[%d] = %q, want %q", workers, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMapSerialParallelIdentical(t *testing.T) {
+	items := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	f := func(_ context.Context, i int, item int) (int, error) { return item*item + i, nil }
+	serial, err := Map(context.Background(), 1, items, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(context.Background(), 4, items, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(serial) != fmt.Sprint(par) {
+		t.Errorf("serial %v != parallel %v", serial, par)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, nil, func(_ context.Context, _ int, _ int) (int, error) {
+		t.Error("f called on empty input")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Errorf("empty input: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	items := make([]int, 50)
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 4, items, func(ctx context.Context, i int, _ int) (int, error) {
+		calls.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Cancellation should have stopped the pool well short of all items.
+	if n := calls.Load(); n == 50 {
+		t.Log("all items ran despite error (legal but suggests cancellation is inert)")
+	}
+}
+
+func TestMapSerialErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	_, err := Map(context.Background(), 1, []int{0, 1, 2, 3}, func(_ context.Context, i int, _ int) (int, error) {
+		calls++
+		if i == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || calls != 2 {
+		t.Errorf("err=%v calls=%d, want boom after 2 calls", err, calls)
+	}
+}
+
+func TestMapContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, []int{1, 2, 3}, func(ctx context.Context, _ int, item int) (int, error) {
+		return item, ctx.Err()
+	})
+	if err == nil {
+		t.Error("cancelled context should surface an error")
+	}
+	_, err = Map(ctx, 1, []int{1, 2, 3}, func(_ context.Context, _ int, item int) (int, error) {
+		return item, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("serial path: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	out, err := Map(context.Background(), 0, []int{1, 2, 3}, func(_ context.Context, _ int, item int) (int, error) {
+		return item * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out) != "[2 4 6]" {
+		t.Errorf("out = %v", out)
+	}
+}

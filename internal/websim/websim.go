@@ -4,12 +4,31 @@
 // the source research paper never served). The engine can be used
 // in-process or served over real HTTP (see http.go), in which case the
 // agent exercises an actual network client.
+//
+// # Concurrency contract
+//
+// A single Engine is safe for concurrent Search/Fetch/Publish: the
+// traffic counters are atomic and the document tables and indexes are
+// lock-protected. Two caveats matter when agents run in parallel:
+//
+//   - The failure-injection sequence (Options.FailureRate) and the Stats
+//     counters are per-engine. Agents sharing one engine interleave both,
+//     so which request fails — and each agent's apparent traffic — then
+//     depends on goroutine scheduling. Parallel experiments that need
+//     deterministic, per-agent behaviour must give each agent its own
+//     Fork: forks share the built indexes (copy-on-write) but carry
+//     independent counters and failure sequences.
+//   - Publish on a shared engine is visible to every agent using it. A
+//     Fork isolates mutation too: publishing into a fork clones the
+//     shared state first, so the base engine and sibling forks never see
+//     the change.
 package websim
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,12 +107,18 @@ type Stats struct {
 
 // Engine is the in-process simulated web.
 type Engine struct {
-	opts   Options
+	opts Options
+
+	// mu guards the index pointers, the document tables, and the shared
+	// flag. The indexes and maps themselves are copy-on-write: while
+	// shared is true they may be referenced by other forks and must not
+	// be mutated — Publish clones them first (see unshareLocked).
+	mu     sync.RWMutex
 	main   *index.Index
 	social *index.Index
-	mu     sync.RWMutex
 	byURL  map[string]corpus.Document
 	byID   map[string]corpus.Document
+	shared bool
 
 	queries  atomic.Int64
 	fetches  atomic.Int64
@@ -133,6 +158,51 @@ func NewEngine(c *corpus.Corpus, opts Options) *Engine {
 		e.indexDoc(d)
 	}
 	return e
+}
+
+// Fork returns a copy-on-write view of the engine: it shares the built
+// indexes and document tables with the receiver until either side
+// publishes, but carries its own serve-time options and its own traffic
+// and failure-injection counters. Forking is how the eval stack shares
+// one expensively built world across experiments and parallel agents —
+// a fork costs two map-header copies, not a corpus re-index.
+//
+// Only the serve-time options (MaxResults, Latency, Ranking,
+// FailureRate) may differ between a fork and its base: EnableSocial
+// changes which index each document lives in, so changing it requires
+// building a fresh engine. Fork panics on a mismatch to surface the
+// programming error immediately.
+func (e *Engine) Fork(opts Options) *Engine {
+	if opts.MaxResults <= 0 {
+		opts.MaxResults = 8
+	}
+	if opts.EnableSocial != e.opts.EnableSocial {
+		panic("websim: Fork cannot change EnableSocial; build a new engine instead")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.shared = true
+	return &Engine{
+		opts:   opts,
+		main:   e.main,
+		social: e.social,
+		byURL:  e.byURL,
+		byID:   e.byID,
+		shared: true,
+	}
+}
+
+// unshareLocked clones the shared indexes and document tables so the
+// engine exclusively owns its state. Caller holds the write lock.
+func (e *Engine) unshareLocked() {
+	if !e.shared {
+		return
+	}
+	e.byURL = maps.Clone(e.byURL)
+	e.byID = maps.Clone(e.byID)
+	e.main = e.main.Clone()
+	e.social = e.social.Clone()
+	e.shared = false
 }
 
 // indexDoc routes a document to the right index. Social documents join
@@ -197,7 +267,12 @@ func (e *Engine) Search(ctx context.Context, query string, k int) ([]Result, err
 	if k <= 0 || k > e.opts.MaxResults {
 		k = e.opts.MaxResults
 	}
-	hits := e.main.SearchRanked(query, k, e.opts.Ranking)
+	// Snapshot the index pointer under the lock: a concurrent Publish on
+	// this fork may swap it for a private clone (copy-on-write).
+	e.mu.RLock()
+	main := e.main
+	e.mu.RUnlock()
+	hits := main.SearchRanked(query, k, e.opts.Ranking)
 	out := make([]Result, 0, len(hits))
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -243,12 +318,15 @@ func (e *Engine) Fetch(ctx context.Context, url string) (Page, error) {
 	return Page{URL: d.URL, Title: d.Title, Body: d.Body, Site: d.Site}, nil
 }
 
-// Publish adds a new document to the live engine (used by failure-
-// injection tests and long-running scenarios).
+// Publish adds a new document to the live engine (used by the drift and
+// spam scenarios, failure-injection tests and long-running servers). On
+// a forked engine the first Publish triggers the copy-on-write clone, so
+// the mutation is never visible to the base engine or to sibling forks.
 func (e *Engine) Publish(d corpus.Document) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.unshareLocked()
 	e.byURL[d.URL] = d
 	e.byID[d.ID] = d
-	e.mu.Unlock()
 	e.indexDoc(d)
 }

@@ -301,6 +301,123 @@ func TestHTTPTransientMapping(t *testing.T) {
 	}
 }
 
+func TestForkPublishIsolation(t *testing.T) {
+	base := testEngine(t, Options{})
+	f1 := base.Fork(Options{})
+	f2 := base.Fork(Options{})
+	ctx := context.Background()
+
+	doc := func(id, word string) corpus.Document {
+		return corpus.Document{
+			ID: id, URL: "https://netnews.example.org/" + id,
+			Site: "netnews.example.org", Title: "Report on " + word,
+			Body: "A " + word + " situation developed overnight.", Source: corpus.SourceNews, Year: 2026,
+		}
+	}
+	count := func(e *Engine, q string) int {
+		hits, err := e.Search(ctx, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(hits)
+	}
+
+	// A publish on one fork is invisible to the base and to siblings.
+	f1.Publish(doc("fork1-news", "glorbnik"))
+	if n := count(f1, "glorbnik"); n != 1 {
+		t.Errorf("publisher fork: %d hits, want 1", n)
+	}
+	if n := count(base, "glorbnik"); n != 0 {
+		t.Errorf("base sees fork-local doc: %d hits", n)
+	}
+	if n := count(f2, "glorbnik"); n != 0 {
+		t.Errorf("sibling sees fork-local doc: %d hits", n)
+	}
+
+	// A publish on the forked base stays local to the base too.
+	base.Publish(doc("base-news", "skrellup"))
+	if n := count(base, "skrellup"); n != 1 {
+		t.Errorf("base after publish: %d hits, want 1", n)
+	}
+	if n := count(f2, "skrellup"); n != 0 {
+		t.Errorf("fork sees base doc published after forking: %d hits", n)
+	}
+
+	// Fetch follows the same isolation.
+	if _, err := f1.Fetch(ctx, "https://netnews.example.org/fork1-news"); err != nil {
+		t.Errorf("publisher fork cannot fetch its own doc: %v", err)
+	}
+	if _, err := f2.Fetch(ctx, "https://netnews.example.org/fork1-news"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("sibling fetch of fork-local doc: %v, want ErrNotFound", err)
+	}
+}
+
+func TestForkConcurrent(t *testing.T) {
+	base := testEngine(t, Options{})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := base.Fork(Options{})
+			for j := 0; j < 10; j++ {
+				f.Publish(corpus.Document{
+					ID:  "priv", // same ID on every fork: isolation keeps them from clashing
+					URL: "https://netnews.example.org/priv", Site: "netnews.example.org",
+					Title: "wumpus event", Body: "wumpus wumpus wumpus",
+					Source: corpus.SourceNews, Year: 2026,
+				})
+				if _, err := f.Search(ctx, "solar storm cable", 3); err != nil {
+					t.Errorf("fork search: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := base.Search(ctx, "geomagnetic latitude", 3); err != nil {
+					t.Errorf("base search: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits, _ := base.Search(ctx, "wumpus", 3); len(hits) != 0 {
+		t.Errorf("base saw fork-local publishes: %v", hits)
+	}
+}
+
+func TestForkIndependentStats(t *testing.T) {
+	base := testEngine(t, Options{})
+	f := base.Fork(Options{})
+	ctx := context.Background()
+	if _, err := f.Search(ctx, "cable", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Stats().Queries; got != 0 {
+		t.Errorf("base queries = %d, want 0 (fork traffic must not count)", got)
+	}
+	if got := f.Stats().Queries; got != 1 {
+		t.Errorf("fork queries = %d, want 1", got)
+	}
+}
+
+func TestForkSocialMismatchPanics(t *testing.T) {
+	base := testEngine(t, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Fork with mismatched EnableSocial should panic")
+		}
+	}()
+	base.Fork(Options{EnableSocial: true})
+}
+
 func TestEngineImplementsWeb(t *testing.T) {
 	var _ Web = (*Engine)(nil)
 	var _ Web = (*Client)(nil)

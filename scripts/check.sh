@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full local verification: everything CI would run, in dependency order.
+# Tier-1 is `go build ./... && go test ./...` (see ROADMAP.md); this adds
+# vet, the race detector, and a 1-iteration pass over every benchmark so
+# the bench harness itself cannot rot unnoticed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
+go test -run='^$' -bench=. -benchtime=1x .
