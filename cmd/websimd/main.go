@@ -1,11 +1,30 @@
-// Command websimd serves the simulated Internet over HTTP, so agents
-// (and curl) can search and fetch against a long-running instance:
+// Command websimd serves the simulated Internet AND a multi-user agent
+// service over HTTP: curl (or any client) can search and fetch the
+// simulated web, and create long-lived research-agent sessions that
+// train, answer, self-learn, plan and report on demand.
 //
 //	websimd [-addr :8080] [-seed N] [-social] [-latency 0ms]
+//	        [-capacity 64] [-snapshots DIR] [-timeout 30s]
+//
+// Simulated-web API:
 //
 //	GET /search?q=solar+storms&k=5
 //	GET /fetch?url=https://...
 //	GET /healthz
+//
+// Agent session API (see internal/session):
+//
+//	POST   /sessions                  create (optionally train) a session
+//	GET    /sessions                  list sessions
+//	GET    /sessions/{id}             session status
+//	DELETE /sessions/{id}             close and discard a session
+//	POST   /sessions/{id}/train      run role-goal training
+//	POST   /sessions/{id}/ask        answer from current knowledge
+//	POST   /sessions/{id}/learn      self-learning investigation
+//	POST   /sessions/{id}/plan       propose a response plan
+//	POST   /sessions/{id}/report     investigate + markdown report
+//	POST   /sessions/{id}/snapshot   persist session state to disk
+//	GET    /sessions/{id}/trace      the audit trace
 package main
 
 import (
@@ -15,9 +34,9 @@ import (
 	"net/http"
 	"time"
 
-	"repro/internal/corpus"
+	"repro/internal/evalcache"
+	"repro/internal/session"
 	"repro/internal/websim"
-	"repro/internal/world"
 )
 
 func main() {
@@ -25,17 +44,34 @@ func main() {
 	seed := flag.Uint64("seed", 42, "corpus seed")
 	social := flag.Bool("social", false, "enable the social-media crawler extension")
 	latency := flag.Duration("latency", 0, "simulated per-request latency")
+	capacity := flag.Int("capacity", 64, "max live agent sessions (LRU eviction past it)")
+	snapshots := flag.String("snapshots", "", "directory for session snapshots (enables restore)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout for agent calls")
 	flag.Parse()
 
-	eng := websim.NewEngine(corpus.Generate(world.Default(), *seed), websim.Options{
-		EnableSocial: *social,
-		Latency:      *latency,
+	opts := websim.Options{EnableSocial: *social, Latency: *latency}
+	eng := evalcache.Engine(*seed, opts)
+	mgr := session.NewManager(session.ManagerConfig{
+		Capacity:       *capacity,
+		SnapshotDir:    *snapshots,
+		RequestTimeout: *timeout,
+		Defaults: session.Config{
+			Seed:       *seed,
+			WebOptions: websim.Options{EnableSocial: *social},
+		},
 	})
+
+	agents := session.Handler(mgr)
+	mux := http.NewServeMux()
+	mux.Handle("/sessions", agents)
+	mux.Handle("/sessions/", agents)
+	mux.Handle("/", websim.Handler(eng))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           websim.Handler(eng),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("websimd: serving the simulated Internet on %s (social=%v)\n", *addr, *social)
+	fmt.Printf("websimd: serving the simulated Internet and agent sessions on %s (social=%v, capacity=%d)\n",
+		*addr, *social, *capacity)
 	log.Fatal(srv.ListenAndServe())
 }

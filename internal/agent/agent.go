@@ -219,6 +219,12 @@ func (a *Agent) SelfLearn(ctx context.Context, queries []string) (int, error) {
 	cfg := a.Config.withDefaults()
 	added := 0
 	for _, q := range queries {
+		// A cancelled context stops the whole learning pass promptly;
+		// otherwise every remaining query would fail one by one and be
+		// logged as transient errors.
+		if err := ctx.Err(); err != nil {
+			return added, fmt.Errorf("agent: self-learn: %w", err)
+		}
 		results, err := a.Web.Search(ctx, q, cfg.LearnResults)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -233,6 +239,9 @@ func (a *Agent) SelfLearn(ctx context.Context, queries []string) (int, error) {
 		for _, res := range results {
 			page, err := a.Web.Fetch(ctx, res.URL)
 			if err != nil {
+				if ctx.Err() != nil {
+					return added, fmt.Errorf("agent: self-learn fetch %s: %w", res.URL, err)
+				}
 				// Access-gated pages (social without crawler, restricted
 				// papers) are an expected dead end, not a failure.
 				a.Trace.Add(trace.KindError, "self-learn fetch %s: %v", res.URL, err)

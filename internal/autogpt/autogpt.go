@@ -102,6 +102,13 @@ func (r *Runner) RunGoal(ctx context.Context, role, goal string) (GoalReport, er
 			report.Completed = true
 			return report, nil
 		}
+		// A cancelled context must stop the loop here, not after more
+		// steps: command failures caused by cancellation are recorded as
+		// history errors above, so without this check the loop would keep
+		// burning model calls until the step budget ran out.
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
 	}
 	return report, nil
 }
@@ -117,6 +124,9 @@ func (r *Runner) execute(ctx context.Context, cmd prompt.Command, goal string, c
 		// decompose the query and search the sub-queries too.
 		if cfg.ChainOfThought && report.Searches > 0 && len(lines) == 1 && thinResults(lines[0]) {
 			for _, sub := range decompose(cmd.Arg) {
+				if ctx.Err() != nil {
+					break
+				}
 				r.Trace.Add(trace.KindNote, "CoT subquery %q", sub)
 				lines = append(lines, r.google(ctx, sub, cfg, report)...)
 			}

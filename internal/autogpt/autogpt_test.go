@@ -229,3 +229,46 @@ func TestDecompose(t *testing.T) {
 		t.Errorf("chunks lost content: %v", got)
 	}
 }
+
+// cancellingModel cancels the context after a fixed number of model
+// calls — simulating an operator hitting ^C mid-goal.
+type cancellingModel struct {
+	inner  llm.Model
+	after  int
+	calls  int
+	cancel context.CancelFunc
+}
+
+func (m *cancellingModel) Complete(ctx context.Context, p string) (string, error) {
+	m.calls++
+	if m.calls == m.after {
+		m.cancel()
+	}
+	return m.inner.Complete(ctx, p)
+}
+
+// TestRunGoalCancelledStopsPromptly asserts that a cancelled context
+// ends the step loop immediately: without the post-command check, every
+// web command after cancellation fails, gets recorded as a history
+// error, and the loop keeps calling the model until MaxSteps runs out.
+func TestRunGoalCancelledStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const after, maxSteps = 2, 12
+	r, _ := newRunner(t, Config{MaxSteps: maxSteps})
+	model := &cancellingModel{inner: r.Model, after: after, cancel: cancel}
+	r.Model = model
+	report, err := r.RunGoal(ctx, "Bob", solarGoal)
+	if err == nil {
+		t.Fatal("cancelled RunGoal returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if report.Steps > after {
+		t.Errorf("ran %d steps after cancellation at step %d", report.Steps, after)
+	}
+	if model.calls > after {
+		t.Errorf("model called %d times, want <= %d", model.calls, after)
+	}
+}

@@ -33,11 +33,11 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/evalcache"
 	"repro/internal/index"
-	"repro/internal/llm"
 	"repro/internal/memory"
 	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/quiz"
+	"repro/internal/session"
 	"repro/internal/websim"
 )
 
@@ -70,15 +70,25 @@ func (s Setup) workers() int {
 	return s.Workers
 }
 
-// NewBob builds the simulated web and a fresh (untrained) agent Bob. The
-// web is a copy-on-write fork of the process-wide cached engine for
-// (Seed, EnableSocial), so repeated calls share one generated corpus and
-// one built index instead of regenerating both.
+// sessionConfig maps a Setup onto the shared session factory's config.
+func (s Setup) sessionConfig() session.Config {
+	return session.Config{
+		Role:          agent.BobRole(),
+		Seed:          s.Seed,
+		WebOptions:    s.WebOptions,
+		AgentConfig:   s.AgentConfig,
+		MemoryWeights: s.MemoryW,
+	}
+}
+
+// NewBob builds the simulated web and a fresh (untrained) agent Bob
+// through the session factory — the same construction path the CLI, the
+// repl and the daemon use. The web is a copy-on-write fork of the
+// process-wide cached engine for (Seed, EnableSocial), so repeated calls
+// share one generated corpus and one built index instead of regenerating
+// both.
 func NewBob(s Setup) (*agent.Agent, *websim.Engine) {
-	eng := evalcache.Engine(s.Seed, s.WebOptions)
-	store := memory.NewStore(s.MemoryW)
-	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, store, s.AgentConfig)
-	return bob, eng
+	return session.NewAgent(s.sessionConfig())
 }
 
 // trained is one cached post-training knowledge state.
@@ -145,8 +155,8 @@ func TrainedBob(ctx context.Context, s Setup) (*agent.Agent, *websim.Engine, err
 	if err != nil {
 		return nil, nil, err
 	}
-	eng := evalcache.Engine(s.Seed, s.WebOptions)
-	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, st.Clone(), s.AgentConfig)
+	bob, eng := session.NewAgent(s.sessionConfig())
+	bob.Memory = st.Clone()
 	return bob, eng, nil
 }
 
@@ -163,7 +173,7 @@ func investigateAll(ctx context.Context, s Setup, set []quiz.Conclusion) ([]agen
 		return nil, err
 	}
 	return parallel.Map(ctx, s.workers(), set, func(ctx context.Context, _ int, c quiz.Conclusion) (agent.Investigation, error) {
-		bob := proto.Clone(evalcache.Engine(s.Seed, s.WebOptions))
+		bob := session.Fork(proto, s.Seed, s.WebOptions)
 		inv, err := bob.Investigate(ctx, c.Question)
 		if err != nil {
 			return agent.Investigation{}, fmt.Errorf("eval: investigate q%d: %w", c.ID, err)
@@ -217,7 +227,7 @@ func RunE1(ctx context.Context, s Setup) (E1Result, error) {
 	conclusions := quiz.Conclusions()
 	baseline, _ := NewBob(s) // untrained: the vanilla-LLM baseline
 	baseRes, err := parallel.Map(ctx, s.workers(), conclusions, func(ctx context.Context, _ int, c quiz.Conclusion) (quiz.Result, error) {
-		bob := baseline.Clone(evalcache.Engine(s.Seed, s.WebOptions))
+		bob := session.Fork(baseline, s.Seed, s.WebOptions)
 		ans, err := bob.Ask(ctx, c.Question)
 		if err != nil {
 			return quiz.Result{}, fmt.Errorf("eval e1 baseline q%d: %w", c.ID, err)
@@ -399,7 +409,7 @@ func RunE5(ctx context.Context, s Setup, thresholds []int) ([]E5Row, error) {
 		}
 	}
 	invs, err := parallel.Map(ctx, s.workers(), tasks, func(ctx context.Context, _ int, t task) (agent.Investigation, error) {
-		bob := protos[t.ti].Clone(evalcache.Engine(s.Seed, s.WebOptions))
+		bob := session.Fork(protos[t.ti], s.Seed, s.WebOptions)
 		inv, err := bob.Investigate(ctx, conclusions[t.ci].Question)
 		if err != nil {
 			return agent.Investigation{}, fmt.Errorf("eval e5 th=%d q%d: %w", thresholds[t.ti], conclusions[t.ci].ID, err)

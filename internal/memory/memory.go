@@ -283,13 +283,22 @@ func (s *Store) Load(path string) error {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return fmt.Errorf("memory: parse %s: %w", path, err)
 	}
+	s.ReplaceItems(f.Items)
+	return nil
+}
+
+// ReplaceItems replaces the store contents with the given items,
+// preserving their IDs, sequence numbers and importance — the restore
+// half of a session snapshot. Duplicate content is dropped exactly as
+// Load drops it.
+func (s *Store) ReplaceItems(items []Item) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.items = nil
 	s.byHash = map[string]bool{}
 	s.idx = index.New()
 	s.seq = 0
-	for _, it := range f.Items {
+	for _, it := range items {
 		h := contentHash(it.Text)
 		if s.byHash[h] {
 			continue
@@ -301,5 +310,4 @@ func (s *Store) Load(path string) error {
 		s.items = append(s.items, it)
 		s.idx.Add(index.Doc{ID: it.ID, Title: it.Topic, Body: it.Text})
 	}
-	return nil
 }

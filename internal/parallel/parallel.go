@@ -28,6 +28,10 @@ func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx conte
 	if n == 0 {
 		return nil, ctx.Err()
 	}
+	// An already-cancelled context must not start any work at all.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -117,3 +117,35 @@ func TestMapDefaultWorkers(t *testing.T) {
 		t.Errorf("out = %v", out)
 	}
 }
+
+// TestMapCancelledStopsPromptly cancels the context while the pool is
+// mid-flight and asserts the pool stops handing out work: only the tasks
+// already started may finish, everything else is skipped.
+func TestMapCancelledStopsPromptly(t *testing.T) {
+	const workers, n = 4, 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	started := make(chan struct{}, n)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, workers, make([]int, n), func(ctx context.Context, i int, _ int) (int, error) {
+			calls.Add(1)
+			started <- struct{}{}
+			<-ctx.Done() // hold the slot until cancellation
+			return 0, nil
+		})
+		done <- err
+	}()
+	// Wait until every worker is busy, then cancel.
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled Map returned nil error")
+	}
+	if got := calls.Load(); got > workers {
+		t.Errorf("pool kept scheduling after cancel: %d tasks ran, want <= %d", got, workers)
+	}
+}

@@ -3,6 +3,10 @@
 // the paper's title — the operator asks investigation questions, the
 // agent self-learns as needed and answers, and session commands expose
 // training, planning, question generation and report writing.
+//
+// The repl is a thin client of the session runtime: it holds a
+// *session.Session, so the same agent lifecycle that backs the HTTP
+// daemon serializes and executes every command here too.
 package repl
 
 import (
@@ -12,13 +16,12 @@ import (
 	"io"
 	"strings"
 
-	"repro/internal/agent"
-	"repro/internal/report"
+	"repro/internal/session"
 )
 
 // Session drives one interactive conversation.
 type Session struct {
-	Agent *agent.Agent
+	Sess *session.Session
 	// MemoryPath, when set, is saved after mutating commands.
 	MemoryPath string
 }
@@ -30,6 +33,7 @@ const commands = `commands:
   :questions [topic] generate research questions
   :report <question> investigate and print a markdown report
   :memory           show knowledge-memory statistics
+  :save [path]      save the knowledge memory now
   :help             this text
   :quit             end the session
 anything else is investigated as a question.`
@@ -39,7 +43,7 @@ anything else is investigated as a question.`
 // context cancellation or a write failure ends the session early.
 func (s *Session) Run(ctx context.Context, r io.Reader, w io.Writer) error {
 	fmt.Fprintf(w, "%s ready. %d knowledge items loaded. Type :help for commands.\n",
-		s.Agent.Role.Name, s.Agent.Memory.Len())
+		s.Sess.Role().Name, s.Sess.MemoryLen())
 	scanner := bufio.NewScanner(r)
 	for scanner.Scan() {
 		if err := ctx.Err(); err != nil {
@@ -72,7 +76,7 @@ func (s *Session) handle(ctx context.Context, line string, w io.Writer) error {
 		return nil
 
 	case ":train":
-		rep, err := s.Agent.Train(ctx)
+		rep, err := s.Sess.Train(ctx)
 		if err != nil {
 			return err
 		}
@@ -80,11 +84,11 @@ func (s *Session) handle(ctx context.Context, line string, w io.Writer) error {
 			fmt.Fprintf(w, "goal %-50.50q searches=%d pages=%d facts=%d\n",
 				g.Goal, g.Searches, g.PagesRead, g.FactsSaved)
 		}
-		fmt.Fprintf(w, "memory now holds %d items\n", s.Agent.Memory.Len())
-		return s.save()
+		fmt.Fprintf(w, "memory now holds %d items\n", s.Sess.MemoryLen())
+		return s.save(ctx)
 
 	case ":plan":
-		items, err := s.Agent.Plan(ctx)
+		items, err := s.Sess.Plan(ctx, "")
 		if err != nil {
 			return err
 		}
@@ -98,7 +102,7 @@ func (s *Session) handle(ctx context.Context, line string, w io.Writer) error {
 		return nil
 
 	case ":questions":
-		qs, err := s.Agent.GenerateQuestions(ctx, arg)
+		qs, err := s.Sess.GenerateQuestions(ctx, arg)
 		if err != nil {
 			return err
 		}
@@ -115,25 +119,39 @@ func (s *Session) handle(ctx context.Context, line string, w io.Writer) error {
 		if arg == "" {
 			return fmt.Errorf(":report needs a question")
 		}
-		inv, err := s.Agent.Investigate(ctx, arg)
+		rep, _, err := s.Sess.Report(ctx, arg)
 		if err != nil {
 			return err
 		}
-		if err := report.Build(s.Agent, inv).WriteMarkdown(w); err != nil {
+		if err := rep.WriteMarkdown(w); err != nil {
 			return err
 		}
-		return s.save()
+		return s.save(ctx)
 
 	case ":memory":
 		fmt.Fprintf(w, "%d knowledge items from %d sources\n",
-			s.Agent.Memory.Len(), len(s.Agent.Memory.Sources()))
+			s.Sess.MemoryLen(), len(s.Sess.Sources()))
+		return nil
+
+	case ":save":
+		path := arg
+		if path == "" {
+			path = s.MemoryPath
+		}
+		if path == "" {
+			return fmt.Errorf(":save needs a path (or start with -memory)")
+		}
+		if err := s.Sess.SaveMemory(ctx, path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "saved %d knowledge items to %s\n", s.Sess.MemoryLen(), path)
 		return nil
 
 	default:
 		if strings.HasPrefix(cmd, ":") {
 			return fmt.Errorf("unknown command %s (try :help)", cmd)
 		}
-		inv, err := s.Agent.Investigate(ctx, line)
+		inv, err := s.Sess.Investigate(ctx, line)
 		if err != nil {
 			return err
 		}
@@ -144,13 +162,13 @@ func (s *Session) handle(ctx context.Context, line string, w io.Writer) error {
 			}
 		}
 		fmt.Fprintf(w, "%s\n(confidence %d/10)\n", inv.Final.Text, inv.Final.Confidence)
-		return s.save()
+		return s.save(ctx)
 	}
 }
 
-func (s *Session) save() error {
+func (s *Session) save(ctx context.Context) error {
 	if s.MemoryPath == "" {
 		return nil
 	}
-	return s.Agent.Memory.Save(s.MemoryPath)
+	return s.Sess.SaveMemory(ctx, s.MemoryPath)
 }

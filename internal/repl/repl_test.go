@@ -3,22 +3,22 @@ package repl
 import (
 	"bytes"
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
-	"repro/internal/agent"
-	"repro/internal/corpus"
-	"repro/internal/llm"
-	"repro/internal/websim"
-	"repro/internal/world"
+	"repro/internal/session"
 )
 
 func newSession(t *testing.T) *Session {
 	t.Helper()
-	eng := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
-	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil, agent.Config{})
-	return &Session{Agent: bob}
+	mgr := session.NewManager(session.ManagerConfig{})
+	sess, err := mgr.Create("", session.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Session{Sess: sess}
 }
 
 func run(t *testing.T, s *Session, script string) string {
@@ -45,6 +45,9 @@ func TestSessionHelpAndUnknown(t *testing.T) {
 	if !strings.Contains(out, "commands:") {
 		t.Error("help missing")
 	}
+	if !strings.Contains(out, ":save") {
+		t.Error("help does not list :save")
+	}
 	if !strings.Contains(out, "unknown command :bogus") {
 		t.Error("unknown command not reported")
 	}
@@ -63,6 +66,54 @@ func TestSessionTrainAndInvestigate(t *testing.T) {
 	}
 	if !strings.Contains(out, "knowledge items from") {
 		t.Error(":memory output missing")
+	}
+}
+
+// TestSessionCommandScript exercises the session commands (:train,
+// :plan, :questions, :save) against one scripted input/output pair,
+// asserting the per-command output shapes in order.
+func TestSessionCommandScript(t *testing.T) {
+	s := newSession(t)
+	savePath := filepath.Join(t.TempDir(), "scripted.json")
+	script := ":train\n:plan\n:questions solar\n:save " + savePath + "\n:quit\n"
+	out := run(t, s, script)
+
+	// :train reports each role goal and the resulting memory size.
+	if !strings.Contains(out, `goal "Understand solar superstorms`) {
+		t.Errorf(":train goal lines missing:\n%s", out)
+	}
+	if !strings.Contains(out, "memory now holds") {
+		t.Errorf(":train summary missing:\n%s", out)
+	}
+	// :plan either proposes grounded items or reports explicit emptiness.
+	if !strings.Contains(out, "no response-planning knowledge yet") &&
+		!strings.Contains(out, "- predictive shutdown") {
+		t.Errorf(":plan output unexpected:\n%s", out)
+	}
+	// :questions emits "? " bullet lines for the topic.
+	if !strings.Contains(out, "? ") {
+		t.Errorf(":questions produced nothing:\n%s", out)
+	}
+	// :save confirms the write and the file must reload with every item.
+	if !strings.Contains(out, "saved") || !strings.Contains(out, savePath) {
+		t.Errorf(":save confirmation missing:\n%s", out)
+	}
+	if _, err := os.Stat(savePath); err != nil {
+		t.Fatalf(":save left no file: %v", err)
+	}
+	other := newSession(t)
+	if err := other.Sess.LoadMemory(context.Background(), savePath); err != nil {
+		t.Fatalf("saved memory unreadable: %v", err)
+	}
+	if other.Sess.MemoryLen() != s.Sess.MemoryLen() {
+		t.Errorf("reloaded %d items, want %d", other.Sess.MemoryLen(), s.Sess.MemoryLen())
+	}
+}
+
+func TestSessionSaveNeedsPath(t *testing.T) {
+	out := run(t, newSession(t), ":save\n:quit\n")
+	if !strings.Contains(out, "error: :save needs a path") {
+		t.Errorf("missing path not reported: %q", out)
 	}
 }
 
@@ -103,16 +154,16 @@ func TestSessionPersistsMemory(t *testing.T) {
 	s := newSession(t)
 	s.MemoryPath = filepath.Join(t.TempDir(), "knowledge.json")
 	run(t, s, ":train\n:quit\n")
-	if s.Agent.Memory.Len() == 0 {
+	if s.Sess.MemoryLen() == 0 {
 		t.Fatal("nothing memorized")
 	}
 	// The file must exist and reload.
 	other := newSession(t)
-	if err := other.Agent.Memory.Load(s.MemoryPath); err != nil {
+	if err := other.Sess.LoadMemory(context.Background(), s.MemoryPath); err != nil {
 		t.Fatalf("saved memory unreadable: %v", err)
 	}
-	if other.Agent.Memory.Len() != s.Agent.Memory.Len() {
-		t.Errorf("reloaded %d items, want %d", other.Agent.Memory.Len(), s.Agent.Memory.Len())
+	if other.Sess.MemoryLen() != s.Sess.MemoryLen() {
+		t.Errorf("reloaded %d items, want %d", other.Sess.MemoryLen(), s.Sess.MemoryLen())
 	}
 }
 

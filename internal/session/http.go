@@ -1,0 +1,299 @@
+package session
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/trace"
+)
+
+// CreateRequest is the body of POST /sessions. Unset pointer fields fall
+// back to the manager's default Config; a non-empty Incident selects the
+// incident-analyst role instead of Bob.
+type CreateRequest struct {
+	ID        string  `json:"id,omitempty"`
+	Seed      *uint64 `json:"seed,omitempty"`
+	Social    *bool   `json:"social,omitempty"`
+	Threshold int     `json:"threshold,omitempty"`
+	MaxRounds int     `json:"max_rounds,omitempty"`
+	Incident  string  `json:"incident,omitempty"`
+	// Train runs initial goal training before the response is sent.
+	Train bool `json:"train,omitempty"`
+}
+
+// CreateResponse is the reply to POST /sessions.
+type CreateResponse struct {
+	Status
+	Train *agent.TrainReport `json:"train,omitempty"`
+}
+
+// QuestionRequest is the body of ask/learn/report calls.
+type QuestionRequest struct {
+	Question string `json:"question"`
+}
+
+// PlanRequest is the body of POST /sessions/{id}/plan.
+type PlanRequest struct {
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// PlanResponse is the reply to POST /sessions/{id}/plan.
+type PlanResponse struct {
+	Items []agent.PlanItem `json:"items"`
+}
+
+// ReportResponse is the reply to POST /sessions/{id}/report.
+type ReportResponse struct {
+	Markdown      string              `json:"markdown"`
+	Investigation agent.Investigation `json:"investigation"`
+}
+
+// SnapshotResponse is the reply to POST /sessions/{id}/snapshot.
+type SnapshotResponse struct {
+	Path string `json:"path"`
+}
+
+// SessionsResponse is the reply to GET /sessions.
+type SessionsResponse struct {
+	Sessions []Status `json:"sessions"`
+}
+
+// TraceResponse is the reply to GET /sessions/{id}/trace.
+type TraceResponse struct {
+	Events []trace.Event `json:"events"`
+}
+
+// Handler exposes the manager as an HTTP JSON API — the agent-serving
+// side of websimd:
+//
+//	POST   /sessions                     create (optionally train) a session
+//	GET    /sessions                     list sessions
+//	GET    /sessions/{id}                session status
+//	DELETE /sessions/{id}                close and discard a session
+//	POST   /sessions/{id}/train          run role-goal training
+//	POST   /sessions/{id}/ask            answer from current knowledge
+//	POST   /sessions/{id}/learn          full self-learning investigation
+//	POST   /sessions/{id}/plan           propose a response plan
+//	POST   /sessions/{id}/report         investigate + markdown report
+//	POST   /sessions/{id}/snapshot       persist memory+trace+config to disk
+//	GET    /sessions/{id}/trace          the audit trace
+//
+// Every request runs under the manager's per-request timeout; a request
+// queued behind a busy session gives up when the timeout fires (504).
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := m.requestCtx(r)
+		defer cancel()
+		var req CreateRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		cfg := m.cfg.Defaults
+		if req.Seed != nil {
+			cfg.Seed = *req.Seed
+		}
+		if req.Social != nil {
+			cfg.WebOptions.EnableSocial = *req.Social
+		}
+		if req.Threshold > 0 {
+			cfg.AgentConfig.ConfidenceThreshold = req.Threshold
+		}
+		if req.MaxRounds > 0 {
+			cfg.AgentConfig.MaxRounds = req.MaxRounds
+		}
+		if req.Incident != "" {
+			cfg.Role = agent.IncidentAnalystRole(req.Incident)
+		}
+		s, err := m.Create(req.ID, cfg)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := CreateResponse{}
+		if req.Train {
+			rep, err := s.Train(ctx)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			resp.Train = &rep
+		}
+		resp.Status = s.Status()
+		writeJSON(w, http.StatusCreated, resp)
+	})
+
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, SessionsResponse{Sessions: m.List()})
+	})
+
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := m.requestCtx(r)
+		defer cancel()
+		if err := m.Close(ctx, r.PathValue("id"), true); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"closed": r.PathValue("id")})
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/train", func(w http.ResponseWriter, r *http.Request) {
+		withSession(m, w, r, func(ctx context.Context, s *Session) (any, error) {
+			return s.Train(ctx)
+		})
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/ask", func(w http.ResponseWriter, r *http.Request) {
+		withQuestion(m, w, r, func(ctx context.Context, s *Session, q string) (any, error) {
+			return s.Ask(ctx, q)
+		})
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/learn", func(w http.ResponseWriter, r *http.Request) {
+		withQuestion(m, w, r, func(ctx context.Context, s *Session, q string) (any, error) {
+			return s.Investigate(ctx, q)
+		})
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/plan", func(w http.ResponseWriter, r *http.Request) {
+		var req PlanRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		withSession(m, w, r, func(ctx context.Context, s *Session) (any, error) {
+			items, err := s.Plan(ctx, req.Scenario)
+			if err != nil {
+				return nil, err
+			}
+			return PlanResponse{Items: items}, nil
+		})
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		withQuestion(m, w, r, func(ctx context.Context, s *Session, q string) (any, error) {
+			rep, inv, err := s.Report(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			if err := rep.WriteMarkdown(&b); err != nil {
+				return nil, err
+			}
+			return ReportResponse{Markdown: b.String(), Investigation: inv}, nil
+		})
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := m.requestCtx(r)
+		defer cancel()
+		path, err := m.Snapshot(ctx, r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{Path: path})
+	})
+
+	mux.HandleFunc("GET /sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, TraceResponse{Events: s.TraceEvents()})
+	})
+
+	return mux
+}
+
+// requestCtx derives the per-request context with the manager's timeout.
+func (m *Manager) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), m.cfg.RequestTimeout)
+}
+
+// withSession resolves the {id} session and runs op under the request
+// timeout, writing the JSON result or the mapped error.
+func withSession(m *Manager, w http.ResponseWriter, r *http.Request, op func(context.Context, *Session) (any, error)) {
+	ctx, cancel := m.requestCtx(r)
+	defer cancel()
+	s, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := op(ctx, s)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// withQuestion is withSession plus a required question body field.
+func withQuestion(m *Manager, w http.ResponseWriter, r *http.Request, op func(context.Context, *Session, string) (any, error)) {
+	var req QuestionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		httpError(w, http.StatusBadRequest, "missing question")
+		return
+	}
+	withSession(m, w, r, func(ctx context.Context, s *Session) (any, error) {
+		return op(ctx, s, req.Question)
+	})
+}
+
+// decodeJSON parses the request body into v. An empty body decodes to
+// the zero value so simple POSTs need no payload.
+func decodeJSON(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("bad json body: %v", err)
+	}
+	return nil
+}
+
+// writeError maps runtime errors to HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrExists), errors.Is(err, ErrClosed):
+		httpError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrBusy):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,315 @@
+package session
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// ManagerConfig configures a Manager.
+type ManagerConfig struct {
+	// Capacity bounds live sessions (default 64). Creating or restoring
+	// past it evicts the least-recently-used idle session — snapshotted
+	// to disk first when SnapshotDir is set, so it can be restored
+	// transparently on the next Get.
+	Capacity int
+	// SnapshotDir, when set, enables snapshot/restore: Snapshot writes
+	// <dir>/<id>.json, evictions persist state there, and Get lazily
+	// restores evicted or previously snapshotted sessions from it.
+	SnapshotDir string
+	// Defaults seeds the per-session Config where a creation request
+	// leaves fields unset (used by the HTTP layer).
+	Defaults Config
+	// RequestTimeout bounds each HTTP request served by Handler
+	// (default 30s).
+	RequestTimeout time.Duration
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Manager owns named, long-lived agent sessions: the runtime every
+// front-end (CLI, repl, HTTP daemon, eval harness) builds on.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int
+
+	use atomic.Int64
+	now func() time.Time
+}
+
+// NewManager returns an empty manager.
+func NewManager(cfg ManagerConfig) *Manager {
+	return &Manager{
+		cfg:      cfg.withDefaults(),
+		sessions: map[string]*Session{},
+		now:      time.Now,
+	}
+}
+
+// Config returns the manager's effective configuration.
+func (m *Manager) Config() ManagerConfig { return m.cfg }
+
+// validID reports whether id is safe as a session name (and snapshot
+// file stem): 1-64 letters, digits, '-' or '_'.
+func validID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Create builds a new session under the given ID (empty means a
+// generated one) and registers it, evicting the least-recently-used idle
+// session if the manager is at capacity.
+func (m *Manager) Create(id string, cfg Config) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("s%04d", m.seq)
+	} else if !validID(id) {
+		return nil, fmt.Errorf("session: invalid id %q (want 1-64 of [A-Za-z0-9_-])", id)
+	}
+	if _, ok := m.sessions[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	if err := m.ensureCapacityLocked(); err != nil {
+		return nil, err
+	}
+	s := newSession(id, cfg, &m.use, m.now)
+	m.sessions[id] = s
+	return s, nil
+}
+
+// Get returns the live session with the given ID. When the manager has a
+// snapshot directory and the session is not live (evicted or from an
+// earlier process), it is transparently restored from disk.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.sessions[id]; ok {
+		return s, nil
+	}
+	if m.cfg.SnapshotDir == "" || !validID(id) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	snap, err := readSnapshot(m.snapshotPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	if err := m.ensureCapacityLocked(); err != nil {
+		return nil, err
+	}
+	s := snap.restore(&m.use, m.now)
+	m.sessions[id] = s
+	return s, nil
+}
+
+// List returns a status per live session, ordered by ID.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Snapshot persists the session's memory, trace and config to
+// <SnapshotDir>/<id>.json and returns the path. It waits for the session
+// to go idle (honoring ctx) so the snapshot is consistent.
+func (m *Manager) Snapshot(ctx context.Context, id string) (string, error) {
+	if m.cfg.SnapshotDir == "" {
+		return "", fmt.Errorf("session: manager has no snapshot directory")
+	}
+	s, err := m.Get(id)
+	if err != nil {
+		return "", err
+	}
+	if err := s.acquire(ctx); err != nil {
+		return "", err
+	}
+	defer s.release()
+	return m.writeSnapshot(s)
+}
+
+// Close ends the session's life. With discard, its snapshot file (if
+// any) is removed too; otherwise, when the manager has a snapshot
+// directory, the final state is persisted first so the session can be
+// restored later.
+func (m *Manager) Close(ctx context.Context, id string, discard bool) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		if m.cfg.SnapshotDir != "" && validID(id) {
+			path := m.snapshotPath(id)
+			if _, err := os.Stat(path); err == nil {
+				if discard {
+					return os.Remove(path)
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	if !discard && m.cfg.SnapshotDir != "" {
+		if _, err := m.writeSnapshot(s); err != nil {
+			s.release()
+			return err
+		}
+	}
+	s.markClosed()
+	s.release()
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if discard && m.cfg.SnapshotDir != "" {
+		if err := os.Remove(m.snapshotPath(id)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureCapacityLocked makes room for one more session, evicting
+// least-recently-used idle sessions. Callers hold m.mu.
+func (m *Manager) ensureCapacityLocked() error {
+	for len(m.sessions) >= m.cfg.Capacity {
+		victims := make([]*Session, 0, len(m.sessions))
+		for _, s := range m.sessions {
+			victims = append(victims, s)
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i].lru() < victims[j].lru() })
+		evicted := false
+		for _, v := range victims {
+			if !v.tryAcquire() {
+				continue // mid-operation: not evictable
+			}
+			if m.cfg.SnapshotDir != "" {
+				if _, err := m.writeSnapshot(v); err != nil {
+					v.release()
+					return err
+				}
+			}
+			v.markClosed()
+			v.release()
+			delete(m.sessions, v.id)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return ErrBusy
+		}
+	}
+	return nil
+}
+
+func (m *Manager) snapshotPath(id string) string {
+	return filepath.Join(m.cfg.SnapshotDir, id+".json")
+}
+
+// writeSnapshot persists s atomically (tmp file + rename). The caller
+// holds the session's operation lock.
+func (m *Manager) writeSnapshot(s *Session) (string, error) {
+	if err := os.MkdirAll(m.cfg.SnapshotDir, 0o755); err != nil {
+		return "", fmt.Errorf("session: snapshot dir: %w", err)
+	}
+	snap := s.snapshotLocked()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("session: marshal snapshot: %w", err)
+	}
+	path := m.snapshotPath(s.id)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("session: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("session: finalize snapshot: %w", err)
+	}
+	return path, nil
+}
+
+// Snapshot is the on-disk form of a session: everything needed to
+// rebuild an identical agent — its configuration, knowledge memory,
+// audit trace and lifecycle state.
+type Snapshot struct {
+	ID      string        `json:"id"`
+	Config  Config        `json:"config"`
+	Trained bool          `json:"trained"`
+	Created time.Time     `json:"created"`
+	Saved   time.Time     `json:"saved"`
+	Memory  []memory.Item `json:"memory"`
+	Trace   []trace.Event `json:"trace"`
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("session: parse snapshot %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// restore rebuilds a live session from a snapshot: the agent stack is
+// reconstructed through the factory, then the memory and trace are
+// replaced with the persisted state.
+func (snap Snapshot) restore(use *atomic.Int64, now func() time.Time) *Session {
+	s := newSession(snap.ID, snap.Config, use, now)
+	s.agent.Memory.ReplaceItems(snap.Memory)
+	s.agent.Trace = trace.FromEvents(snap.Trace)
+	s.created = snap.Created
+	s.trained = snap.Trained
+	return s
+}

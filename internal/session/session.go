@@ -1,0 +1,296 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/websim"
+)
+
+// Runtime errors.
+var (
+	// ErrNotFound is returned for unknown session IDs.
+	ErrNotFound = errors.New("session: not found")
+	// ErrExists is returned when creating a session whose ID is taken.
+	ErrExists = errors.New("session: already exists")
+	// ErrClosed is returned for operations on a closed session.
+	ErrClosed = errors.New("session: closed")
+	// ErrBusy is returned when the manager is at capacity and every
+	// session is mid-operation, so none can be evicted.
+	ErrBusy = errors.New("session: manager at capacity and all sessions busy")
+)
+
+// Session is one named, long-lived agent. Operations are serialized per
+// session — two concurrent Asks on the same session run one after the
+// other, never interleaved — and waiting for a busy session honors
+// context cancellation, so an HTTP request queued behind a long Train
+// can still time out. Metadata reads (Status, MemoryLen, ...) never
+// block on a running operation.
+type Session struct {
+	id      string
+	cfg     Config
+	agent   *agent.Agent
+	engine  *websim.Engine
+	created time.Time
+
+	// ops is the capacity-1 operation lock. Acquiring through a channel
+	// (rather than a mutex) lets waiters give up when their context is
+	// cancelled and lets the manager probe idleness without blocking.
+	ops chan struct{}
+
+	// st guards the mutable metadata below.
+	st       sync.Mutex
+	trained  bool
+	closed   bool
+	lastUsed time.Time
+	useSeq   int64
+
+	use *atomic.Int64
+	now func() time.Time
+}
+
+// Status is a point-in-time view of a session.
+type Status struct {
+	ID          string    `json:"id"`
+	Role        string    `json:"role"`
+	Seed        uint64    `json:"seed"`
+	Trained     bool      `json:"trained"`
+	Busy        bool      `json:"busy"`
+	MemoryItems int       `json:"memory_items"`
+	TraceEvents int       `json:"trace_events"`
+	Created     time.Time `json:"created"`
+	LastUsed    time.Time `json:"last_used"`
+}
+
+func newSession(id string, cfg Config, use *atomic.Int64, now func() time.Time) *Session {
+	cfg = cfg.withDefaults()
+	a, eng := NewAgent(cfg)
+	t := now()
+	return &Session{
+		id:       id,
+		cfg:      cfg,
+		agent:    a,
+		engine:   eng,
+		created:  t,
+		ops:      make(chan struct{}, 1),
+		lastUsed: t,
+		useSeq:   use.Add(1), // creation counts as a use for LRU order
+		use:      use,
+		now:      now,
+	}
+}
+
+// acquire takes the operation lock, waiting until the session is free or
+// ctx is done. It fails on closed sessions.
+func (s *Session) acquire(ctx context.Context) error {
+	select {
+	case s.ops <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.st.Lock()
+	closed := s.closed
+	s.st.Unlock()
+	if closed {
+		<-s.ops
+		return fmt.Errorf("%w: %s", ErrClosed, s.id)
+	}
+	return nil
+}
+
+// tryAcquire takes the operation lock only if the session is idle.
+func (s *Session) tryAcquire() bool {
+	select {
+	case s.ops <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns the operation lock, stamping last-use for LRU order.
+func (s *Session) release() {
+	s.st.Lock()
+	s.lastUsed = s.now()
+	s.useSeq = s.use.Add(1)
+	s.st.Unlock()
+	<-s.ops
+}
+
+// ID returns the session's name.
+func (s *Session) ID() string { return s.id }
+
+// Role returns the agent's role definition.
+func (s *Session) Role() agent.Role { return s.cfg.Role }
+
+// Config returns the configuration the session was built from.
+func (s *Session) Config() Config { return s.cfg }
+
+// MemoryLen returns the current knowledge-memory size.
+func (s *Session) MemoryLen() int { return s.agent.Memory.Len() }
+
+// Sources returns the distinct knowledge sources, sorted.
+func (s *Session) Sources() []string { return s.agent.Memory.Sources() }
+
+// TraceString renders the agent's trace transcript.
+func (s *Session) TraceString() string { return s.agent.Trace.String() }
+
+// TraceEvents returns a copy of the agent's trace.
+func (s *Session) TraceEvents() []trace.Event { return s.agent.Trace.Events() }
+
+// Status reports the session's current state without blocking on a
+// running operation.
+func (s *Session) Status() Status {
+	s.st.Lock()
+	defer s.st.Unlock()
+	return Status{
+		ID:          s.id,
+		Role:        s.cfg.Role.Name,
+		Seed:        s.cfg.Seed,
+		Trained:     s.trained,
+		Busy:        len(s.ops) == 1,
+		MemoryItems: s.agent.Memory.Len(),
+		TraceEvents: s.agent.Trace.Len(),
+		Created:     s.created,
+		LastUsed:    s.lastUsed,
+	}
+}
+
+// Train runs the role goals through the autonomous loop (§3.2 steps
+// 1-3), populating the knowledge memory.
+func (s *Session) Train(ctx context.Context) (agent.TrainReport, error) {
+	if err := s.acquire(ctx); err != nil {
+		return agent.TrainReport{}, err
+	}
+	defer s.release()
+	rep, err := s.agent.Train(ctx)
+	if err != nil {
+		return rep, err
+	}
+	s.st.Lock()
+	s.trained = true
+	s.st.Unlock()
+	return rep, nil
+}
+
+// Ask answers a question from current knowledge only (no self-learning).
+func (s *Session) Ask(ctx context.Context, question string) (agent.Answer, error) {
+	if err := s.acquire(ctx); err != nil {
+		return agent.Answer{}, err
+	}
+	defer s.release()
+	return s.agent.Ask(ctx, question)
+}
+
+// Investigate runs the knowledge testing + self-learning loop (§3.2 step
+// 4) on the question.
+func (s *Session) Investigate(ctx context.Context, question string) (agent.Investigation, error) {
+	if err := s.acquire(ctx); err != nil {
+		return agent.Investigation{}, err
+	}
+	defer s.release()
+	return s.agent.Investigate(ctx, question)
+}
+
+// SelfLearn runs the given queries against the web and memorizes what it
+// finds, returning the number of new memory items.
+func (s *Session) SelfLearn(ctx context.Context, queries []string) (int, error) {
+	if err := s.acquire(ctx); err != nil {
+		return 0, err
+	}
+	defer s.release()
+	return s.agent.SelfLearn(ctx, queries)
+}
+
+// Plan asks the agent for a response plan from current knowledge. A
+// non-empty scenario focuses knowledge retrieval.
+func (s *Session) Plan(ctx context.Context, scenario string) ([]agent.PlanItem, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if scenario == "" {
+		return s.agent.Plan(ctx)
+	}
+	return s.agent.PlanFor(ctx, scenario)
+}
+
+// GenerateQuestions asks the agent to propose research questions,
+// optionally filtered by topic.
+func (s *Session) GenerateQuestions(ctx context.Context, topic string) ([]string, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return s.agent.GenerateQuestions(ctx, topic)
+}
+
+// Report investigates the question and builds the written report.
+func (s *Session) Report(ctx context.Context, question string) (report.Report, agent.Investigation, error) {
+	if err := s.acquire(ctx); err != nil {
+		return report.Report{}, agent.Investigation{}, err
+	}
+	defer s.release()
+	inv, err := s.agent.Investigate(ctx, question)
+	if err != nil {
+		return report.Report{}, inv, err
+	}
+	return report.Build(s.agent, inv), inv, nil
+}
+
+// LoadMemory replaces the knowledge memory from a knowledge.json file.
+func (s *Session) LoadMemory(ctx context.Context, path string) error {
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+	return s.agent.Memory.Load(path)
+}
+
+// SaveMemory writes the knowledge memory to a knowledge.json file.
+func (s *Session) SaveMemory(ctx context.Context, path string) error {
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+	return s.agent.Memory.Save(path)
+}
+
+// snapshotLocked captures the session's full restorable state. The
+// caller must hold the operation lock.
+func (s *Session) snapshotLocked() Snapshot {
+	s.st.Lock()
+	trained := s.trained
+	s.st.Unlock()
+	return Snapshot{
+		ID:      s.id,
+		Config:  s.cfg,
+		Trained: trained,
+		Created: s.created,
+		Saved:   s.now(),
+		Memory:  s.agent.Memory.All(),
+		Trace:   s.agent.Trace.Events(),
+	}
+}
+
+// markClosed flips the session to closed; in-flight operations finish,
+// later acquires fail with ErrClosed.
+func (s *Session) markClosed() {
+	s.st.Lock()
+	s.closed = true
+	s.st.Unlock()
+}
+
+// lru returns the session's last-use sequence number for eviction order.
+func (s *Session) lru() int64 {
+	s.st.Lock()
+	defer s.st.Unlock()
+	return s.useSeq
+}

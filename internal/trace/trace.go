@@ -47,6 +47,19 @@ type Log struct {
 // New returns an empty log.
 func New() *Log { return &Log{} }
 
+// FromEvents rebuilds a log from previously recorded events — the
+// restore half of a session snapshot. The sequence counter resumes after
+// the highest restored sequence number, so appends continue the series.
+func FromEvents(events []Event) *Log {
+	l := &Log{events: append([]Event(nil), events...)}
+	for _, e := range l.events {
+		if e.Seq > l.seq {
+			l.seq = e.Seq
+		}
+	}
+	return l
+}
+
 // Add appends an event. Safe on a nil receiver.
 func (l *Log) Add(kind Kind, format string, args ...any) {
 	if l == nil {

@@ -106,3 +106,67 @@ func TestConcurrentAdd(t *testing.T) {
 		seen[e.Seq] = true
 	}
 }
+
+func TestFromEvents(t *testing.T) {
+	orig := New()
+	orig.Add(KindSearch, "a")
+	orig.Add(KindFetch, "b")
+	restored := FromEvents(orig.Events())
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d events, want 2", restored.Len())
+	}
+	// Appends must continue the sequence, not restart it.
+	restored.Add(KindNote, "c")
+	evs := restored.Events()
+	if evs[2].Seq != 3 {
+		t.Errorf("post-restore seq = %d, want 3", evs[2].Seq)
+	}
+	// The restored log owns its slice: mutating it must not reach the
+	// source events.
+	if &evs[0] == &orig.events[0] {
+		t.Error("restored log aliases the input slice")
+	}
+}
+
+func TestFromEventsEmpty(t *testing.T) {
+	l := FromEvents(nil)
+	l.Add(KindNote, "first")
+	if evs := l.Events(); len(evs) != 1 || evs[0].Seq != 1 {
+		t.Errorf("events = %+v, want one event with seq 1", evs)
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers the log with simultaneous
+// appends and every read path; run under -race this is the proof the
+// log is safe to share once sessions serve concurrent requests.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Add(KindNote, "w")
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = l.Events()
+				_ = l.Len()
+				_ = l.CountKind(KindNote)
+				_ = l.String()
+				var buf bytes.Buffer
+				_ = l.WriteJSONL(&buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("Len = %d, want 800", l.Len())
+	}
+}

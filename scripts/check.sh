@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
 # Full local verification: everything CI would run, in dependency order.
 # Tier-1 is `go build ./... && go test ./...` (see ROADMAP.md); this adds
-# vet, the race detector, and a 1-iteration pass over every benchmark so
-# the bench harness itself cannot rot unnoticed.
+# formatting enforcement, vet, the race detector, and a 1-iteration pass
+# over every benchmark so the bench harness itself cannot rot unnoticed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
 
 go build ./...
 go vet ./...
