@@ -4,7 +4,7 @@
 // train, answer, self-learn, plan and report on demand.
 //
 //	websimd [-addr :8080] [-seed N] [-social] [-latency 0ms]
-//	        [-capacity 64] [-snapshots DIR] [-timeout 30s]
+//	        [-capacity 64] [-shards 0] [-snapshots DIR] [-timeout 30s]
 //
 // Simulated-web API:
 //
@@ -45,6 +45,7 @@ func main() {
 	social := flag.Bool("social", false, "enable the social-media crawler extension")
 	latency := flag.Duration("latency", 0, "simulated per-request latency")
 	capacity := flag.Int("capacity", 64, "max live agent sessions (LRU eviction past it)")
+	shards := flag.Int("shards", 0, "session-manager lock shards (0 = min(GOMAXPROCS, 16))")
 	snapshots := flag.String("snapshots", "", "directory for session snapshots (enables restore)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout for agent calls")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 	eng := evalcache.Engine(*seed, opts)
 	mgr := session.NewManager(session.ManagerConfig{
 		Capacity:       *capacity,
+		Shards:         *shards,
 		SnapshotDir:    *snapshots,
 		RequestTimeout: *timeout,
 		Defaults: session.Config{
@@ -71,7 +73,7 @@ func main() {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("websimd: serving the simulated Internet and agent sessions on %s (social=%v, capacity=%d)\n",
-		*addr, *social, *capacity)
+	fmt.Printf("websimd: serving the simulated Internet and agent sessions on %s (social=%v, capacity=%d, shards=%d)\n",
+		*addr, *social, *capacity, mgr.Config().Shards)
 	log.Fatal(srv.ListenAndServe())
 }

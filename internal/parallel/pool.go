@@ -1,0 +1,95 @@
+package parallel
+
+import "sync"
+
+// Pool is a bounded background worker pool for fire-and-forget tasks
+// whose completion still matters: submission never blocks (TrySubmit
+// reports saturation instead, so callers can fall back to doing the
+// work inline), while Flush and Close give tests and shutdown a
+// deterministic barrier. The session runtime uses it to move eviction
+// snapshot writes off the serving path.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	limit   int
+	active  int
+	closed  bool
+	workers sync.WaitGroup
+}
+
+// NewPool starts workers goroutines draining a queue bounded at depth
+// tasks. workers and depth are clamped to at least 1.
+func NewPool(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{limit: depth}
+	p.cond = sync.NewCond(&p.mu)
+	p.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+// TrySubmit enqueues f for background execution. It returns false —
+// without running f — when the queue is full or the pool is closed;
+// the caller decides whether to run f inline instead.
+func (p *Pool) TrySubmit(f func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.queue) >= p.limit {
+		return false
+	}
+	p.queue = append(p.queue, f)
+	p.cond.Broadcast()
+	return true
+}
+
+// Flush blocks until every task submitted before the call has finished.
+func (p *Pool) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) > 0 || p.active > 0 {
+		p.cond.Wait()
+	}
+}
+
+// Close drains the remaining queue, stops the workers and waits for
+// them to exit. Further TrySubmit calls return false. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.workers.Wait()
+}
+
+func (p *Pool) work() {
+	defer p.workers.Done()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			return
+		}
+		f := p.queue[0]
+		p.queue = p.queue[1:]
+		p.active++
+		p.mu.Unlock()
+		f()
+		p.mu.Lock()
+		p.active--
+		p.cond.Broadcast()
+	}
+}

@@ -1,0 +1,64 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverythingBeforeFlushReturns(t *testing.T) {
+	p := NewPool(2, 64)
+	defer p.Close()
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("submit %d rejected with empty queue headroom", i)
+		}
+	}
+	p.Flush()
+	if got := ran.Load(); got != 50 {
+		t.Errorf("after Flush ran = %d, want 50", got)
+	}
+}
+
+func TestPoolSaturationRejectsWithoutRunning(t *testing.T) {
+	p := NewPool(1, 2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// One task occupies the worker, two fill the queue.
+	p.TrySubmit(func() { close(started); <-block })
+	<-started
+	for p.TrySubmit(func() {}) {
+	}
+	var leaked atomic.Bool
+	if p.TrySubmit(func() { leaked.Store(true) }) {
+		t.Error("submit accepted past queue depth")
+	}
+	close(block)
+	p.Flush()
+	if leaked.Load() {
+		t.Error("rejected task was executed anyway")
+	}
+	p.Close()
+}
+
+func TestPoolCloseDrainsAndStops(t *testing.T) {
+	p := NewPool(2, 16)
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		p.TrySubmit(func() { ran.Add(1) })
+	}
+	p.Close()
+	if got := ran.Load(); got != 10 {
+		t.Errorf("Close drained %d tasks, want 10", got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Error("submit accepted after Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolFlushOnIdlePoolReturns(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	p.Flush()
+}

@@ -1,13 +1,16 @@
 package session
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/agent"
 	"repro/internal/trace"
@@ -288,10 +291,29 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 }
 
+// respBufPool recycles response-encode buffers across requests; encoding
+// to a buffer first also lets responses carry Content-Length instead of
+// chunked framing. Oversized buffers are dropped rather than pinned.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledResp = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledResp {
+			respBufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

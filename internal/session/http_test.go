@@ -26,6 +26,7 @@ func newTestServer(t *testing.T, cfg ManagerConfig) (*httptest.Server, *Manager)
 		cfg.Defaults.Seed = 42
 	}
 	m := NewManager(cfg)
+	t.Cleanup(m.Shutdown)
 	agents := Handler(m)
 	mux := http.NewServeMux()
 	mux.Handle("/sessions", agents)

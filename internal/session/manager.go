@@ -1,27 +1,34 @@
 package session
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/memory"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
 // ManagerConfig configures a Manager.
 type ManagerConfig struct {
-	// Capacity bounds live sessions (default 64). Creating or restoring
-	// past it evicts the least-recently-used idle session — snapshotted
-	// to disk first when SnapshotDir is set, so it can be restored
-	// transparently on the next Get.
+	// Capacity bounds live sessions across all shards (default 64).
+	// Creating or restoring past it evicts the least-recently-used idle
+	// session — snapshotted to disk first when SnapshotDir is set, so it
+	// can be restored transparently on the next Get.
 	Capacity int
+	// Shards is the number of independent lock domains session IDs are
+	// hashed over (FNV-1a). More shards means create/get/evict on
+	// unrelated sessions contend less. Default min(GOMAXPROCS, 16).
+	Shards int
 	// SnapshotDir, when set, enables snapshot/restore: Snapshot writes
 	// <dir>/<id>.json, evictions persist state there, and Get lazily
 	// restores evicted or previously snapshotted sessions from it.
@@ -38,36 +45,189 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.Capacity <= 0 {
 		c.Capacity = 64
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 16 {
+			c.Shards = 16
+		}
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
 	return c
 }
 
+// entry is one slot in a shard's session table. A just-published slot is
+// pending (s == nil, ready open) while its owner builds or restores the
+// agent stack outside the shard lock; concurrent lookups of the same ID
+// wait on ready instead of repeating the work (singleflight). The owner
+// either commits a live session or aborts with an error that every
+// waiter shares.
+type entry struct {
+	s     *Session
+	err   error
+	ready chan struct{}
+}
+
+// shard is one lock domain: a mutex and the session table it guards.
+// Nothing that blocks — disk I/O, JSON codec work, agent construction —
+// ever runs while a shard mutex is held.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// pendingSnap is an eviction snapshot that has not reached disk yet. It
+// lives in Manager.pending so the session stays restorable (from memory,
+// with no disk read) during the write-behind window, and so a newer
+// eviction of the same ID supersedes an older queued write.
+type pendingSnap struct {
+	snap Snapshot
+}
+
+// flushSettle is the write-behind window: an eviction snapshot sits in
+// memory this long before the sweeper hands it to the writer pool. A
+// session restored within the window cancels its write entirely — the
+// dominant case under hot churn, where a working set cycles through a
+// too-small capacity. Explicit Snapshot and Close writes stay
+// synchronous; at most this window of eviction state is lost if the
+// process dies.
+const flushSettle = 5 * time.Millisecond
+
+// maxDirty bounds the write-behind set. An eviction that would grow it
+// past this count flushes its own snapshot immediately instead of
+// waiting for the sweeper, so RAM held by pending snapshots stays
+// bounded even under one-way eviction storms that never restore.
+const maxDirty = 256
+
+// ManagerStats counts runtime events, mostly for tests and capacity
+// planning.
+type ManagerStats struct {
+	Live           int   // committed live sessions
+	Restores       int64 // sessions rebuilt from a snapshot (memory or disk)
+	DiskRestores   int64 // restores that had to read + decode a snapshot file
+	Evictions      int64 // sessions evicted to make room
+	AsyncWrites    int64 // eviction snapshots queued to the writer pool
+	SyncWriteFalls int64 // eviction snapshots written inline (pool saturated)
+	WriteErrors    int64 // background snapshot writes that failed
+}
+
 // Manager owns named, long-lived agent sessions: the runtime every
-// front-end (CLI, repl, HTTP daemon, eval harness) builds on.
+// front-end (CLI, repl, HTTP daemon, eval harness) builds on. Session
+// IDs are hashed over independent shards so hot multi-tenant traffic
+// does not serialize on one lock, capacity is accounted globally, and
+// all blocking work (snapshot I/O, agent construction) runs off the
+// shard locks.
 type Manager struct {
-	cfg ManagerConfig
+	cfg    ManagerConfig
+	shards []*shard
 
-	mu       sync.Mutex
-	sessions map[string]*Session
-	seq      int
+	seq  atomic.Int64 // generated-ID sequence
+	live atomic.Int64 // committed sessions + in-flight reservations
+	use  atomic.Int64 // global LRU clock
+	now  func() time.Time
 
-	use atomic.Int64
-	now func() time.Time
+	// writer drains eviction snapshots in the background; flushMu
+	// serializes disk writes per ID stripe so a superseded write can
+	// never land after a fresher one. pending is the write-behind set,
+	// swept into the pool every flushSettle; dirty counts its entries
+	// and sweepStop ends the sweeper goroutine.
+	writer    *parallel.Pool
+	flushMu   []sync.Mutex
+	pending   sync.Map // id -> *pendingSnap
+	dirty     atomic.Int64
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	stopOnce  sync.Once
+	mkdirOnce sync.Once
+	mkdirErr  error
+
+	stats struct {
+		restores, diskRestores, evictions   atomic.Int64
+		asyncWrites, syncFalls, writeErrors atomic.Int64
+	}
+
+	// testRestoreStall, when set by tests, runs mid-restore (off every
+	// lock) so tests can park one session's restore and prove unrelated
+	// sessions stay reachable.
+	testRestoreStall func(id string)
 }
 
 // NewManager returns an empty manager.
 func NewManager(cfg ManagerConfig) *Manager {
-	return &Manager{
-		cfg:      cfg.withDefaults(),
-		sessions: map[string]*Session{},
-		now:      time.Now,
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Shards),
+		flushMu: make([]sync.Mutex, cfg.Shards),
+		now:     time.Now,
 	}
+	for i := range m.shards {
+		m.shards[i] = &shard{entries: map[string]*entry{}}
+	}
+	if cfg.SnapshotDir != "" {
+		m.writer = parallel.NewPool(2, 4*cfg.Shards)
+		m.sweepStop = make(chan struct{})
+		m.sweepDone = make(chan struct{})
+		go m.sweeper()
+	}
+	return m
+}
+
+// sweeper periodically drains the write-behind set into the writer
+// pool. It exits on Shutdown after one final sweep.
+func (m *Manager) sweeper() {
+	defer close(m.sweepDone)
+	t := time.NewTicker(flushSettle)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.sweep()
+		case <-m.sweepStop:
+			m.sweep()
+			return
+		}
+	}
+}
+
+// sweep queues every pending snapshot for writing.
+func (m *Manager) sweep() {
+	m.pending.Range(func(k, _ any) bool {
+		m.queueWrite(k.(string))
+		return true
+	})
 }
 
 // Config returns the manager's effective configuration.
 func (m *Manager) Config() ManagerConfig { return m.cfg }
+
+// Stats returns a point-in-time event-count snapshot.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		Live:           m.Len(),
+		Restores:       m.stats.restores.Load(),
+		DiskRestores:   m.stats.diskRestores.Load(),
+		Evictions:      m.stats.evictions.Load(),
+		AsyncWrites:    m.stats.asyncWrites.Load(),
+		SyncWriteFalls: m.stats.syncFalls.Load(),
+		WriteErrors:    m.stats.writeErrors.Load(),
+	}
+}
+
+// shard hashes id with FNV-1a onto its lock domain.
+func (m *Manager) shard(id string) *shard {
+	return m.shards[m.stripe(id)]
+}
+
+func (m *Manager) stripe(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h % uint32(len(m.shards))
+}
 
 // validID reports whether id is safe as a session name (and snapshot
 // file stem): 1-64 letters, digits, '-' or '_'.
@@ -87,62 +247,295 @@ func validID(id string) bool {
 
 // Create builds a new session under the given ID (empty means a
 // generated one) and registers it, evicting the least-recently-used idle
-// session if the manager is at capacity.
+// session if the manager is at capacity. The (potentially expensive)
+// agent-stack construction runs outside every lock; a placeholder entry
+// reserves the ID so concurrent creates and gets see it immediately.
 func (m *Manager) Create(id string, cfg Config) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	var (
+		sh *shard
+		e  = &entry{ready: make(chan struct{})}
+	)
 	if id == "" {
-		m.seq++
-		id = fmt.Sprintf("s%04d", m.seq)
-	} else if !validID(id) {
-		return nil, fmt.Errorf("session: invalid id %q (want 1-64 of [A-Za-z0-9_-])", id)
+		// Claim the next free generated ID, skipping any the user took.
+		for {
+			id = fmt.Sprintf("s%04d", m.seq.Add(1))
+			sh = m.shard(id)
+			sh.mu.Lock()
+			if _, taken := sh.entries[id]; !taken {
+				sh.entries[id] = e
+				sh.mu.Unlock()
+				break
+			}
+			sh.mu.Unlock()
+		}
+	} else {
+		if !validID(id) {
+			return nil, fmt.Errorf("session: invalid id %q (want 1-64 of [A-Za-z0-9_-])", id)
+		}
+		sh = m.shard(id)
+		sh.mu.Lock()
+		if _, taken := sh.entries[id]; taken {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrExists, id)
+		}
+		sh.entries[id] = e
+		sh.mu.Unlock()
 	}
-	if _, ok := m.sessions[id]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrExists, id)
-	}
-	if err := m.ensureCapacityLocked(); err != nil {
+	if err := m.reserve(); err != nil {
+		m.abort(sh, id, e, err)
 		return nil, err
 	}
 	s := newSession(id, cfg, &m.use, m.now)
-	m.sessions[id] = s
+	m.commit(sh, e, s)
 	return s, nil
 }
 
 // Get returns the live session with the given ID. When the manager has a
 // snapshot directory and the session is not live (evicted or from an
-// earlier process), it is transparently restored from disk.
+// earlier process), it is transparently restored — from the in-memory
+// pending snapshot if its eviction write has not landed yet, otherwise
+// from disk. Concurrent Gets of the same evicted ID share one restore;
+// Gets of other IDs never wait on it.
 func (m *Manager) Get(id string) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if s, ok := m.sessions[id]; ok {
-		return s, nil
+	sh := m.shard(id)
+	sh.mu.Lock()
+	if e, ok := sh.entries[id]; ok {
+		// Committed entries resolve under the lock we already hold —
+		// no channel hop on the hot lookup path.
+		if s := e.s; s != nil {
+			sh.mu.Unlock()
+			return s, nil
+		}
+		sh.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.s, nil
 	}
 	if m.cfg.SnapshotDir == "" || !validID(id) {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	snap, err := readSnapshot(m.snapshotPath(id))
+	e := &entry{ready: make(chan struct{})}
+	sh.entries[id] = e
+	sh.mu.Unlock()
+
+	s, err := m.restore(id)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
-		}
+		m.abort(sh, id, e, err)
 		return nil, err
 	}
-	if err := m.ensureCapacityLocked(); err != nil {
-		return nil, err
-	}
-	s := snap.restore(&m.use, m.now)
-	m.sessions[id] = s
+	m.commit(sh, e, s)
 	return s, nil
 }
 
-// List returns a status per live session, ordered by ID.
-func (m *Manager) List() []Status {
-	m.mu.Lock()
-	sessions := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		sessions = append(sessions, s)
+// restore rebuilds the session from its pending or on-disk snapshot.
+// Runs with a placeholder published but no lock held.
+func (m *Manager) restore(id string) (*Session, error) {
+	var snap Snapshot
+	if v, ok := m.pending.LoadAndDelete(id); ok {
+		// Evicted, write still pending: restore straight from memory and
+		// cancel the write — removing the entry hands ownership of the
+		// state back to the live session, and a sweep that already
+		// grabbed the ID finds nothing to flush.
+		m.dirty.Add(-1)
+		snap = v.(*pendingSnap).snap
+	} else {
+		var err error
+		snap, err = readSnapshot(m.snapshotPath(id))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+			}
+			return nil, err
+		}
+		m.stats.diskRestores.Add(1)
 	}
-	m.mu.Unlock()
+	if m.testRestoreStall != nil {
+		m.testRestoreStall(id)
+	}
+	if err := m.reserve(); err != nil {
+		return nil, err
+	}
+	m.stats.restores.Add(1)
+	return snap.restore(&m.use, m.now), nil
+}
+
+// commit publishes a built session under its placeholder entry.
+func (m *Manager) commit(sh *shard, e *entry, s *Session) {
+	sh.mu.Lock()
+	e.s = s
+	close(e.ready)
+	sh.mu.Unlock()
+}
+
+// abort withdraws a placeholder entry, sharing err with every waiter.
+func (m *Manager) abort(sh *shard, id string, e *entry, err error) {
+	sh.mu.Lock()
+	delete(sh.entries, id)
+	e.err = err
+	close(e.ready)
+	sh.mu.Unlock()
+}
+
+// reserve claims one slot of global capacity, evicting the globally
+// least-recently-used idle session when the manager is full. The caller
+// owns the reservation: commit converts it into a live session, failure
+// paths must release it via unreserve.
+func (m *Manager) reserve() error {
+	if m.live.Add(1) <= int64(m.cfg.Capacity) {
+		return nil
+	}
+	if err := m.evictOne(); err != nil {
+		m.unreserve()
+		return err
+	}
+	return nil
+}
+
+func (m *Manager) unreserve() { m.live.Add(-1) }
+
+// evictOne removes the least-recently-used idle session across all
+// shards, capturing its snapshot for asynchronous persistence. It fails
+// with ErrBusy when every live session is mid-operation.
+func (m *Manager) evictOne() error {
+	for {
+		// A concurrent Close may already have freed the slot we need.
+		if m.live.Load() <= int64(m.cfg.Capacity) {
+			return nil
+		}
+		// Collect candidates shard by shard — no stop-the-world.
+		var cands []*Session
+		for _, sh := range m.shards {
+			sh.mu.Lock()
+			for _, e := range sh.entries {
+				if e.s != nil {
+					cands = append(cands, e.s)
+				}
+			}
+			sh.mu.Unlock()
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].lru() < cands[j].lru() })
+		stolen := false
+		for _, v := range cands {
+			sh := m.shard(v.id)
+			sh.mu.Lock()
+			e, ok := sh.entries[v.id]
+			if !ok || e.s != v {
+				sh.mu.Unlock()
+				stolen = true
+				continue // claimed by a racing evictor or closer
+			}
+			if !v.tryAcquire() {
+				sh.mu.Unlock()
+				continue // mid-operation: not evictable
+			}
+			// Capture state and stage it as pending *before* unpublishing,
+			// so no Get can ever observe the session as missing: it is
+			// either live in the shard table or restorable from pending.
+			if m.cfg.SnapshotDir != "" {
+				if prev, _ := m.pending.Swap(v.id, &pendingSnap{snap: v.snapshotLocked()}); prev == nil {
+					m.dirty.Add(1)
+				}
+			}
+			delete(sh.entries, v.id)
+			sh.mu.Unlock()
+			v.markClosed()
+			v.release()
+			m.unreserve()
+			m.stats.evictions.Add(1)
+			// The write itself is deferred: the sweeper drains the
+			// pending set after flushSettle, and a restore inside that
+			// window cancels it entirely. Only when the set outgrows its
+			// RAM bound does the evictor flush its own snapshot now.
+			if m.cfg.SnapshotDir != "" && m.dirty.Load() > maxDirty {
+				m.queueWrite(v.id)
+			}
+			return nil
+		}
+		if !stolen {
+			return ErrBusy
+		}
+		// Every candidate we saw was taken by a concurrent evictor —
+		// other creates are committing, so rescan for their sessions.
+	}
+}
+
+// queueWrite hands the pending snapshot for id to the background writer
+// pool, falling back to an inline write when the pool is saturated.
+func (m *Manager) queueWrite(id string) {
+	if m.writer != nil && m.writer.TrySubmit(func() { m.flushPending(id) }) {
+		m.stats.asyncWrites.Add(1)
+		return
+	}
+	m.stats.syncFalls.Add(1)
+	m.flushPending(id)
+}
+
+// flushPending writes id's pending snapshot (if it still has one) to
+// disk. The per-stripe flush lock serializes writers of the same ID so a
+// superseded snapshot can never overwrite a fresher one; on a write
+// error the pending entry is kept, so the state stays restorable from
+// memory.
+func (m *Manager) flushPending(id string) {
+	mu := &m.flushMu[m.stripe(id)]
+	mu.Lock()
+	defer mu.Unlock()
+	v, ok := m.pending.Load(id)
+	if !ok {
+		return // restored, discarded, or already flushed
+	}
+	ps := v.(*pendingSnap)
+	if _, err := m.writeSnapshotData(id, ps.snap); err != nil {
+		m.stats.writeErrors.Add(1)
+		return
+	}
+	if m.pending.CompareAndDelete(id, ps) {
+		m.dirty.Add(-1)
+	}
+}
+
+// Flush blocks until every staged eviction snapshot has reached disk
+// (or recorded a write error) — the deterministic barrier tests and
+// shutdown use. It sweeps the write-behind set immediately rather than
+// waiting out the settle window, then drains the writer pool.
+func (m *Manager) Flush() {
+	if m.writer == nil {
+		return
+	}
+	m.sweep()
+	m.writer.Flush()
+}
+
+// Shutdown stops the sweeper, flushes every staged eviction snapshot,
+// and drains the background writer. The manager remains usable for
+// in-memory operations; further eviction snapshots are written inline.
+func (m *Manager) Shutdown() {
+	if m.writer == nil {
+		return
+	}
+	m.stopOnce.Do(func() {
+		close(m.sweepStop)
+		<-m.sweepDone
+	})
+	m.sweep()
+	m.writer.Close()
+}
+
+// List returns a status per live session, ordered by ID. Shards are
+// visited one at a time — a listing never freezes the whole runtime.
+func (m *Manager) List() []Status {
+	var sessions []*Session
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.s != nil {
+				sessions = append(sessions, e.s)
+			}
+		}
+		sh.mu.Unlock()
+	}
 	out := make([]Status, len(sessions))
 	for i, s := range sessions {
 		out[i] = s.Status()
@@ -153,27 +546,59 @@ func (m *Manager) List() []Status {
 
 // Len returns the number of live sessions.
 func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.sessions)
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.s != nil {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Snapshot persists the session's memory, trace and config to
-// <SnapshotDir>/<id>.json and returns the path. It waits for the session
-// to go idle (honoring ctx) so the snapshot is consistent.
+// <SnapshotDir>/<id>.json and returns the path. For a live session it
+// waits for the session to go idle (honoring ctx) so the snapshot is
+// consistent; for an evicted one it flushes the pending write (or finds
+// the file already on disk) without restoring the session into the live
+// set.
 func (m *Manager) Snapshot(ctx context.Context, id string) (string, error) {
 	if m.cfg.SnapshotDir == "" {
 		return "", fmt.Errorf("session: manager has no snapshot directory")
 	}
-	s, err := m.Get(id)
-	if err != nil {
+	if !validID(id) {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	sh := m.shard(id)
+	sh.mu.Lock()
+	e, live := sh.entries[id]
+	sh.mu.Unlock()
+	if live {
+		<-e.ready
+		if e.err == nil {
+			s := e.s
+			if err := s.acquire(ctx); err != nil {
+				return "", err
+			}
+			defer s.release()
+			return m.writeSnapshot(s)
+		}
+		// The pending create/restore failed; fall through to disk.
+	}
+	// Not live: the snapshot already exists (pending or on disk) — do
+	// not restore a whole agent stack just to re-write it.
+	m.flushPending(id)
+	path := m.snapshotPath(id)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return "", fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
 		return "", err
 	}
-	if err := s.acquire(ctx); err != nil {
-		return "", err
-	}
-	defer s.release()
-	return m.writeSnapshot(s)
+	return path, nil
 }
 
 // Close ends the session's life. With discard, its snapshot file (if
@@ -181,21 +606,17 @@ func (m *Manager) Snapshot(ctx context.Context, id string) (string, error) {
 // directory, the final state is persisted first so the session can be
 // restored later.
 func (m *Manager) Close(ctx context.Context, id string, discard bool) error {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
-	m.mu.Unlock()
-	if !ok {
-		if m.cfg.SnapshotDir != "" && validID(id) {
-			path := m.snapshotPath(id)
-			if _, err := os.Stat(path); err == nil {
-				if discard {
-					return os.Remove(path)
-				}
-				return nil
-			}
-		}
-		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	sh := m.shard(id)
+	sh.mu.Lock()
+	e, ok := sh.entries[id]
+	sh.mu.Unlock()
+	if ok {
+		<-e.ready
 	}
+	if !ok || e.err != nil {
+		return m.closeNotLive(id, discard)
+	}
+	s := e.s
 	if err := s.acquire(ctx); err != nil {
 		return err
 	}
@@ -207,46 +628,57 @@ func (m *Manager) Close(ctx context.Context, id string, discard bool) error {
 	}
 	s.markClosed()
 	s.release()
-	m.mu.Lock()
-	delete(m.sessions, id)
-	m.mu.Unlock()
+	sh.mu.Lock()
+	if cur, still := sh.entries[id]; still && cur == e {
+		delete(sh.entries, id)
+	}
+	sh.mu.Unlock()
+	m.unreserve()
 	if discard && m.cfg.SnapshotDir != "" {
-		if err := os.Remove(m.snapshotPath(id)); err != nil && !os.IsNotExist(err) {
-			return err
-		}
+		m.discardSnapshot(id)
 	}
 	return nil
 }
 
-// ensureCapacityLocked makes room for one more session, evicting
-// least-recently-used idle sessions. Callers hold m.mu.
-func (m *Manager) ensureCapacityLocked() error {
-	for len(m.sessions) >= m.cfg.Capacity {
-		victims := make([]*Session, 0, len(m.sessions))
-		for _, s := range m.sessions {
-			victims = append(victims, s)
+// closeNotLive handles Close for a session that only exists as a
+// snapshot (pending or on disk).
+func (m *Manager) closeNotLive(id string, discard bool) error {
+	if m.cfg.SnapshotDir == "" || !validID(id) {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !discard {
+		m.flushPending(id)
+		if _, err := os.Stat(m.snapshotPath(id)); err == nil {
+			return nil
 		}
-		sort.Slice(victims, func(i, j int) bool { return victims[i].lru() < victims[j].lru() })
-		evicted := false
-		for _, v := range victims {
-			if !v.tryAcquire() {
-				continue // mid-operation: not evictable
-			}
-			if m.cfg.SnapshotDir != "" {
-				if _, err := m.writeSnapshot(v); err != nil {
-					v.release()
-					return err
-				}
-			}
-			v.markClosed()
-			v.release()
-			delete(m.sessions, v.id)
-			evicted = true
-			break
-		}
-		if !evicted {
-			return ErrBusy
-		}
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	_, hadPending := m.pending.Load(id)
+	if err := m.discardSnapshot(id); err != nil {
+		return err
+	}
+	if hadPending {
+		return nil
+	}
+	// Report NotFound only when there was nothing to discard at all.
+	if _, err := os.Stat(m.snapshotPath(id)); os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return nil
+}
+
+// discardSnapshot drops id's persisted state: the in-memory pending
+// snapshot and the on-disk file, under the stripe flush lock so a
+// concurrent background write cannot resurrect either.
+func (m *Manager) discardSnapshot(id string) error {
+	mu := &m.flushMu[m.stripe(id)]
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := m.pending.LoadAndDelete(id); ok {
+		m.dirty.Add(-1)
+	}
+	if err := os.Remove(m.snapshotPath(id)); err != nil && !os.IsNotExist(err) {
+		return err
 	}
 	return nil
 }
@@ -255,20 +687,42 @@ func (m *Manager) snapshotPath(id string) string {
 	return filepath.Join(m.cfg.SnapshotDir, id+".json")
 }
 
-// writeSnapshot persists s atomically (tmp file + rename). The caller
-// holds the session's operation lock.
+// snapBufPool recycles snapshot encode buffers; oversized ones are
+// dropped rather than pinned.
+var snapBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+// writeSnapshot persists s atomically. The caller holds the session's
+// operation lock.
 func (m *Manager) writeSnapshot(s *Session) (string, error) {
-	if err := os.MkdirAll(m.cfg.SnapshotDir, 0o755); err != nil {
-		return "", fmt.Errorf("session: snapshot dir: %w", err)
+	mu := &m.flushMu[m.stripe(s.id)]
+	mu.Lock()
+	defer mu.Unlock()
+	return m.writeSnapshotData(s.id, s.snapshotLocked())
+}
+
+// writeSnapshotData encodes snap compactly through a pooled buffer and
+// writes it atomically (tmp file + rename). Callers hold the stripe
+// flush lock, which serializes same-ID writes.
+func (m *Manager) writeSnapshotData(id string, snap Snapshot) (string, error) {
+	m.mkdirOnce.Do(func() { m.mkdirErr = os.MkdirAll(m.cfg.SnapshotDir, 0o755) })
+	if m.mkdirErr != nil {
+		return "", fmt.Errorf("session: snapshot dir: %w", m.mkdirErr)
 	}
-	snap := s.snapshotLocked()
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
+	buf := snapBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			snapBufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(snap); err != nil {
 		return "", fmt.Errorf("session: marshal snapshot: %w", err)
 	}
-	path := m.snapshotPath(s.id)
+	path := m.snapshotPath(id)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
 		return "", fmt.Errorf("session: write snapshot: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -291,12 +745,13 @@ type Snapshot struct {
 }
 
 func readSnapshot(path string) (Snapshot, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return Snapshot{}, err
 	}
+	defer f.Close()
 	var snap Snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
 		return Snapshot{}, fmt.Errorf("session: parse snapshot %s: %w", path, err)
 	}
 	return snap, nil

@@ -20,7 +20,9 @@ const vulnQuestion = "Which is more vulnerable to solar activity? The fiber opti
 
 func newTestManager(t *testing.T, cfg ManagerConfig) *Manager {
 	t.Helper()
-	return NewManager(cfg)
+	m := NewManager(cfg)
+	t.Cleanup(m.Shutdown)
+	return m
 }
 
 func TestFactoryDefaultsToBob(t *testing.T) {

@@ -1,0 +1,370 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCreateGeneratedIDSkipsTaken is the regression test for the
+// generated-ID collision: creating "s0001" explicitly and then creating
+// with an empty ID must not return ErrExists — the sequence skips taken
+// IDs until it finds a free one.
+func TestCreateGeneratedIDSkipsTaken(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	if _, err := m.Create("s0001", Config{Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("s0003", Config{Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := m.Create("", Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("generated create collided: %v", err)
+	}
+	if gen.ID() != "s0002" {
+		t.Errorf("generated id = %q, want s0002", gen.ID())
+	}
+	// The next generated ID also hops over the second taken name.
+	gen2, err := m.Create("", Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2.ID() != "s0004" {
+		t.Errorf("second generated id = %q, want s0004", gen2.ID())
+	}
+}
+
+// TestSnapshotEvictedDoesNotRestore: snapshotting a session that is not
+// live but already persisted must return the existing snapshot path
+// without rebuilding an agent stack (and possibly evicting an innocent
+// session) just to re-write the same bytes.
+func TestSnapshotEvictedDoesNotRestore(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	m := newTestManager(t, ManagerConfig{Capacity: 1, SnapshotDir: dir})
+	if _, err := m.Create("a", Config{Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("b", Config{Seed: 42}); err != nil {
+		t.Fatal(err) // evicts a
+	}
+	path, err := m.Snapshot(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != filepath.Join(dir, "a.json") {
+		t.Errorf("path = %q", path)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+	if st := m.Stats(); st.Restores != 0 {
+		t.Errorf("Snapshot of an evicted session performed %d restores, want 0", st.Restores)
+	}
+	list := m.List()
+	if len(list) != 1 || list[0].ID != "b" {
+		t.Errorf("live sessions %+v, want exactly [b]", list)
+	}
+}
+
+// TestConcurrentRestoreSingleflight: two goroutines Get the same evicted
+// ID; exactly one disk read and one reconstruction must happen, both
+// callers must share the same session, and its answers must match the
+// pre-snapshot ones byte for byte.
+func TestConcurrentRestoreSingleflight(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	m := newTestManager(t, ManagerConfig{SnapshotDir: dir})
+	s, err := m.Create("x", Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Ask(ctx, vulnQuestion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(ctx, "x", false); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, ManagerConfig{SnapshotDir: dir})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	m2.testRestoreStall = func(id string) {
+		close(entered)
+		<-release
+	}
+	var (
+		got  [2]*Session
+		errs [2]error
+		wg   sync.WaitGroup
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		got[0], errs[0] = m2.Get("x")
+	}()
+	<-entered // first Get is mid-restore with its placeholder published
+	go func() {
+		defer wg.Done()
+		got[1], errs[1] = m2.Get("x")
+	}()
+	time.Sleep(20 * time.Millisecond) // let the second Get reach the wait
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	if got[0] != got[1] {
+		t.Error("concurrent Gets returned different sessions")
+	}
+	st := m2.Stats()
+	if st.DiskRestores != 1 || st.Restores != 1 {
+		t.Errorf("restores = %d (disk %d), want exactly 1", st.Restores, st.DiskRestores)
+	}
+	after, err := got[0].Ask(ctx, vulnQuestion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("restored answer differs:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+// TestUnrelatedGetNotBlockedBySlowRestore parks one session's restore
+// and proves that Gets and Creates of other sessions complete while it
+// is stuck — the head-of-line blocking the sharded runtime removes.
+func TestUnrelatedGetNotBlockedBySlowRestore(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	m := newTestManager(t, ManagerConfig{SnapshotDir: dir})
+	if _, err := m.Create("slow", Config{Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(ctx, "slow", false); err != nil {
+		t.Fatal(err)
+	}
+	others := []string{"o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8"}
+	for _, id := range others {
+		if _, err := m.Create(id, Config{Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	m.testRestoreStall = func(id string) {
+		if id == "slow" {
+			close(entered)
+			<-release
+		}
+	}
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := m.Get("slow")
+		slowDone <- err
+	}()
+	<-entered // restore of "slow" is parked off-lock
+
+	// Every unrelated operation must complete while "slow" is stuck.
+	done := make(chan error, 1)
+	go func() {
+		for _, id := range others {
+			if _, err := m.Get(id); err != nil {
+				done <- err
+				return
+			}
+		}
+		_, err := m.Create("fresh", Config{Seed: 42})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("unrelated op failed during parked restore: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unrelated Get/Create blocked behind a parked restore")
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("parked restore failed: %v", err)
+	}
+}
+
+// TestCrossShardCapacity fills a many-shard manager with IDs skewed onto
+// one shard and asserts that capacity is enforced globally, not per
+// shard, and that eviction still picks the global LRU among idle
+// sessions.
+func TestCrossShardCapacity(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, ManagerConfig{Capacity: 4, Shards: 8, SnapshotDir: dir})
+
+	// IDs that all hash onto shard 0 — the worst skew possible.
+	var skewed []string
+	for i := 0; len(skewed) < 30; i++ {
+		id := fmt.Sprintf("skew-%04d", i)
+		if m.stripe(id) == 0 {
+			skewed = append(skewed, id)
+		}
+	}
+
+	// Deterministic part: global LRU order decides the victim even when
+	// sessions live on different shards.
+	spread := []string{"a", "b", "c", "d"}
+	for _, id := range spread {
+		if _, err := m.Create(id, Config{Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := m.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	a.release() // bump a's LRU clock: b is now the global LRU
+	if _, err := m.Create(skewed[0], Config{Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{}
+	for _, st := range m.List() {
+		ids = append(ids, st.ID)
+	}
+	want := fmt.Sprintf("[a c d %s]", skewed[0])
+	if fmt.Sprint(ids) != want {
+		t.Errorf("live after skewed create = %v, want %s", ids, want)
+	}
+
+	// Concurrent part: hammer creates of same-shard IDs from several
+	// goroutines; the live count must never exceed the global capacity.
+	var wg sync.WaitGroup
+	var violated error
+	var mu sync.Mutex
+	per := (len(skewed) - 1) / 3
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(ids []string) {
+			defer wg.Done()
+			for _, id := range ids {
+				if _, err := m.Create(id, Config{Seed: 42}); err != nil && !errors.Is(err, ErrBusy) {
+					mu.Lock()
+					violated = err
+					mu.Unlock()
+					return
+				}
+				if n := m.Len(); n > 4 {
+					mu.Lock()
+					violated = fmt.Errorf("live sessions = %d, capacity 4", n)
+					mu.Unlock()
+					return
+				}
+			}
+		}(skewed[1+g*per : 1+(g+1)*per])
+	}
+	wg.Wait()
+	if violated != nil {
+		t.Fatal(violated)
+	}
+	if n := m.Len(); n > 4 {
+		t.Errorf("final live sessions = %d, capacity 4", n)
+	}
+	// Every evicted session stayed restorable: flush the writer and
+	// check each non-live ID has its snapshot on disk.
+	m.Flush()
+	live := map[string]bool{}
+	for _, st := range m.List() {
+		live[st.ID] = true
+	}
+	for _, id := range append(spread, skewed[0]) {
+		if live[id] {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".json")); err != nil {
+			t.Errorf("evicted %s has no snapshot: %v", id, err)
+		}
+	}
+}
+
+// TestFlushBarrierLandsEvictionWrites: eviction returns before its
+// snapshot write hits disk; Flush is the deterministic barrier after
+// which the file must exist.
+func TestFlushBarrierLandsEvictionWrites(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, ManagerConfig{Capacity: 1, SnapshotDir: dir})
+	if _, err := m.Create("first", Config{Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("second", Config{Seed: 42}); err != nil {
+		t.Fatal(err) // evicts first, write queued
+	}
+	m.Flush()
+	if _, err := os.Stat(filepath.Join(dir, "first.json")); err != nil {
+		t.Fatalf("after Flush, eviction snapshot missing: %v", err)
+	}
+	st := m.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.AsyncWrites+st.SyncWriteFalls != 1 {
+		t.Errorf("writes = %d async + %d sync, want 1 total", st.AsyncWrites, st.SyncWriteFalls)
+	}
+}
+
+// TestRestoreFromPendingSkipsDisk: a Get racing the async eviction write
+// restores from the in-memory pending snapshot — zero disk reads — and
+// still sees identical state.
+func TestRestoreFromPendingSkipsDisk(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	m := newTestManager(t, ManagerConfig{Capacity: 1, SnapshotDir: dir})
+	s, err := m.Create("first", Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wantItems := s.MemoryLen()
+	if _, err := m.Create("second", Config{Seed: 42}); err != nil {
+		t.Fatal(err) // evicts first
+	}
+	restored, err := m.Get("first") // evicts second, may beat the async write
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.MemoryLen() != wantItems {
+		t.Errorf("restored memory %d items, want %d", restored.MemoryLen(), wantItems)
+	}
+	if st := restored.Status(); !st.Trained {
+		t.Error("restored session lost trained state")
+	}
+	if st := m.Stats(); st.Restores != 1 {
+		t.Errorf("restores = %d, want 1", st.Restores)
+	}
+}
+
+// TestShardDefaults pins the shard-count defaulting rule.
+func TestShardDefaults(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	if got := m.Config().Shards; got < 1 || got > 16 {
+		t.Errorf("default shards = %d, want within [1,16]", got)
+	}
+	m2 := newTestManager(t, ManagerConfig{Shards: 3})
+	if got := m2.Config().Shards; got != 3 {
+		t.Errorf("explicit shards = %d, want 3", got)
+	}
+}

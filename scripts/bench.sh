@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Session-runtime benchmark sweep: runs the three manager/HTTP benchmarks
+# at -cpu 8 and records the results as BENCH_sessions.json in the repo
+# root. Opt-in and separate from check.sh, whose 1-iteration sweep only
+# guards the harness against rot — this script takes real measurements.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-2s}"
+out=BENCH_sessions.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' \
+  -bench='BenchmarkManagerChurn|BenchmarkManagerGetHot|BenchmarkHTTPAskParallel' \
+  -benchmem -cpu 8 -benchtime "$benchtime" . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    res[name] = sprintf("{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+                        name, $2, $3, $5, $7)
+    order[n++] = name
+  }
+  /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+  END {
+    printf "{\n  \"suite\": \"sessions\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": 8,\n  \"benchtime\": \"%s\",\n  \"results\": [\n", cpu, benchtime
+    for (i = 0; i < n; i++) printf "    %s%s\n", res[order[i]], (i < n - 1 ? "," : "")
+    print "  ]\n}"
+  }
+' "$raw" > "$out"
+
+echo "wrote $out"

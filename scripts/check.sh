@@ -17,3 +17,5 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x .
+
+# Real measurements (and BENCH_sessions.json) are opt-in: scripts/bench.sh
