@@ -71,7 +71,10 @@ type entry struct {
 
 // shard is one lock domain: a mutex and the session table it guards.
 // Nothing that blocks — disk I/O, JSON codec work, agent construction —
-// ever runs while a shard mutex is held.
+// ever runs while a shard mutex is held, with one deliberate exception:
+// evictOne deep-copies the victim's state (snapshotLocked, no codec or
+// I/O) under the lock so the session is staged as pending before it is
+// unpublished and can never be observed as missing.
 type shard struct {
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -80,9 +83,13 @@ type shard struct {
 // pendingSnap is an eviction snapshot that has not reached disk yet. It
 // lives in Manager.pending so the session stays restorable (from memory,
 // with no disk read) during the write-behind window, and so a newer
-// eviction of the same ID supersedes an older queued write.
+// eviction of the same ID supersedes an older queued write. queued is
+// set while a write task for this snapshot is queued or in flight so
+// each sweep tick does not hand the pool a duplicate; it is cleared
+// when the task completes, which re-arms the retry after a write error.
 type pendingSnap struct {
-	snap Snapshot
+	snap   Snapshot
+	queued atomic.Bool
 }
 
 // flushSettle is the write-behind window: an eviction snapshot sits in
@@ -138,6 +145,7 @@ type Manager struct {
 	dirty     atomic.Int64
 	sweepStop chan struct{}
 	sweepDone chan struct{}
+	stopped   atomic.Bool // Shutdown ran: no sweeper, evictions flush inline
 	stopOnce  sync.Once
 	mkdirOnce sync.Once
 	mkdirErr  error
@@ -191,10 +199,13 @@ func (m *Manager) sweeper() {
 	}
 }
 
-// sweep queues every pending snapshot for writing.
+// sweep queues every pending snapshot for writing. Snapshots whose
+// write is already queued or in flight are skipped (queueWrite's CAS),
+// so a slow disk cannot fill the pool queue with duplicates of the
+// same IDs and push the sweeper into inline fallback writes.
 func (m *Manager) sweep() {
-	m.pending.Range(func(k, _ any) bool {
-		m.queueWrite(k.(string))
+	m.pending.Range(func(k, v any) bool {
+		m.queueWrite(k.(string), v.(*pendingSnap))
 		return true
 	})
 }
@@ -334,13 +345,15 @@ func (m *Manager) Get(id string) (*Session, error) {
 // Runs with a placeholder published but no lock held.
 func (m *Manager) restore(id string) (*Session, error) {
 	var snap Snapshot
+	var staged *pendingSnap
 	if v, ok := m.pending.LoadAndDelete(id); ok {
 		// Evicted, write still pending: restore straight from memory and
 		// cancel the write — removing the entry hands ownership of the
 		// state back to the live session, and a sweep that already
 		// grabbed the ID finds nothing to flush.
 		m.dirty.Add(-1)
-		snap = v.(*pendingSnap).snap
+		staged = v.(*pendingSnap)
+		snap = staged.snap
 	} else {
 		var err error
 		snap, err = readSnapshot(m.snapshotPath(id))
@@ -356,6 +369,15 @@ func (m *Manager) restore(id string) (*Session, error) {
 		m.testRestoreStall(id)
 	}
 	if err := m.reserve(); err != nil {
+		// The pending snapshot we consumed is the only copy of the state
+		// (its write was cancelled above). Re-stage it so the session
+		// stays restorable and the sweeper eventually lands it on disk —
+		// dropping it here would lose the state forever.
+		if staged != nil {
+			if prev, _ := m.pending.Swap(id, staged); prev == nil {
+				m.dirty.Add(1)
+			}
+		}
 		return nil, err
 	}
 	m.stats.restores.Add(1)
@@ -434,8 +456,15 @@ func (m *Manager) evictOne() error {
 			// Capture state and stage it as pending *before* unpublishing,
 			// so no Get can ever observe the session as missing: it is
 			// either live in the shard table or restorable from pending.
+			// The deep copy in snapshotLocked is the one deliberate
+			// exception to the no-heavy-work-under-shard-locks rule:
+			// staging after unpublishing would open a window where the
+			// session is in neither place and a racing Get reads a stale
+			// disk file.
+			var ps *pendingSnap
 			if m.cfg.SnapshotDir != "" {
-				if prev, _ := m.pending.Swap(v.id, &pendingSnap{snap: v.snapshotLocked()}); prev == nil {
+				ps = &pendingSnap{snap: v.snapshotLocked()}
+				if prev, _ := m.pending.Swap(v.id, ps); prev == nil {
 					m.dirty.Add(1)
 				}
 			}
@@ -447,10 +476,11 @@ func (m *Manager) evictOne() error {
 			m.stats.evictions.Add(1)
 			// The write itself is deferred: the sweeper drains the
 			// pending set after flushSettle, and a restore inside that
-			// window cancels it entirely. Only when the set outgrows its
-			// RAM bound does the evictor flush its own snapshot now.
-			if m.cfg.SnapshotDir != "" && m.dirty.Load() > maxDirty {
-				m.queueWrite(v.id)
+			// window cancels it entirely. The evictor flushes its own
+			// snapshot now only when the set outgrows its RAM bound, or
+			// after Shutdown, when there is no sweeper left to drain it.
+			if ps != nil && (m.dirty.Load() > maxDirty || m.stopped.Load()) {
+				m.queueWrite(v.id, ps)
 			}
 			return nil
 		}
@@ -462,15 +492,24 @@ func (m *Manager) evictOne() error {
 	}
 }
 
-// queueWrite hands the pending snapshot for id to the background writer
-// pool, falling back to an inline write when the pool is saturated.
-func (m *Manager) queueWrite(id string) {
-	if m.writer != nil && m.writer.TrySubmit(func() { m.flushPending(id) }) {
+// queueWrite hands ps (the pending snapshot for id) to the background
+// writer pool, falling back to an inline write when the pool is
+// saturated. The CAS on ps.queued makes the handoff idempotent: repeat
+// calls while a write task is outstanding are no-ops.
+func (m *Manager) queueWrite(id string, ps *pendingSnap) {
+	if !ps.queued.CompareAndSwap(false, true) {
+		return // a write task for this snapshot is already outstanding
+	}
+	task := func() {
+		m.flushPending(id)
+		ps.queued.Store(false)
+	}
+	if m.writer != nil && m.writer.TrySubmit(task) {
 		m.stats.asyncWrites.Add(1)
 		return
 	}
 	m.stats.syncFalls.Add(1)
-	m.flushPending(id)
+	task()
 }
 
 // flushPending writes id's pending snapshot (if it still has one) to
@@ -505,6 +544,16 @@ func (m *Manager) Flush() {
 		return
 	}
 	m.sweep()
+	// sweep skips any entry whose write task is already outstanding,
+	// and that task may be running inline (pool-saturated fallback) in
+	// another goroutine where the pool barrier below cannot see it.
+	// Flushing every remaining entry here closes that gap: the stripe
+	// lock serializes us with any in-flight writer, and whichever side
+	// loses the race finds the pending entry gone and no-ops.
+	m.pending.Range(func(k, _ any) bool {
+		m.flushPending(k.(string))
+		return true
+	})
 	m.writer.Flush()
 }
 
@@ -515,6 +564,7 @@ func (m *Manager) Shutdown() {
 	if m.writer == nil {
 		return
 	}
+	m.stopped.Store(true)
 	m.stopOnce.Do(func() {
 		close(m.sweepStop)
 		<-m.sweepDone

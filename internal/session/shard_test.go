@@ -357,6 +357,73 @@ func TestRestoreFromPendingSkipsDisk(t *testing.T) {
 	}
 }
 
+// TestRestoreReserveFailureKeepsPendingSnapshot is the regression test
+// for the lost-state bug: restore consumes the pending eviction
+// snapshot (cancelling its write) before reserving capacity, so a
+// reserve failure — ErrBusy, every live session mid-operation — must
+// re-stage that snapshot. Dropping it would lose the session's only
+// copy forever: the write was cancelled, so there is no disk file.
+func TestRestoreReserveFailureKeepsPendingSnapshot(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	m := newTestManager(t, ManagerConfig{Capacity: 1, SnapshotDir: dir})
+	a, err := m.Create("a", Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wantItems := a.MemoryLen()
+	b, err := m.Create("b", Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err) // evicts a; its snapshot is staged, write deferred
+	}
+
+	// Park b mid-operation: restoring a now needs an eviction, but the
+	// only candidate is busy, so reserve fails with ErrBusy.
+	if err := b.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("a"); !errors.Is(err, ErrBusy) {
+		b.release()
+		t.Fatalf("Get(a) with all sessions busy = %v, want ErrBusy", err)
+	}
+	b.release()
+
+	// The failed restore must have left a restorable: same trained
+	// state and memory, whether it comes back from the re-staged
+	// pending snapshot or from its eventual disk write.
+	restored, err := m.Get("a")
+	if err != nil {
+		t.Fatalf("session a lost after failed restore: %v", err)
+	}
+	if restored.MemoryLen() != wantItems {
+		t.Errorf("restored memory %d items, want %d", restored.MemoryLen(), wantItems)
+	}
+	if st := restored.Status(); !st.Trained {
+		t.Error("restored session lost trained state")
+	}
+}
+
+// TestEvictionAfterShutdownWritesInline: Shutdown stops the sweeper, so
+// an eviction after it must not strand its snapshot in the pending set
+// — it is written out inline before the eviction returns.
+func TestEvictionAfterShutdownWritesInline(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, ManagerConfig{Capacity: 1, SnapshotDir: dir})
+	if _, err := m.Create("early", Config{Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	m.Shutdown()
+	if _, err := m.Create("late", Config{Seed: 42}); err != nil {
+		t.Fatal(err) // evicts early: no sweeper left, write must be inline
+	}
+	if _, err := os.Stat(filepath.Join(dir, "early.json")); err != nil {
+		t.Fatalf("post-Shutdown eviction snapshot not on disk: %v", err)
+	}
+}
+
 // TestShardDefaults pins the shard-count defaulting rule.
 func TestShardDefaults(t *testing.T) {
 	m := newTestManager(t, ManagerConfig{})
