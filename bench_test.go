@@ -21,12 +21,11 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/agent"
 	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/evalcache"
 	"repro/internal/index"
-	"repro/internal/llm"
+	"repro/internal/llm/backend"
 	"repro/internal/memory"
 	"repro/internal/prompt"
 	"repro/internal/quiz"
@@ -552,14 +551,18 @@ func BenchmarkCorpusCache(b *testing.B) {
 	})
 }
 
-// BenchmarkAgentTrain measures full goal-driven training of Bob.
+// BenchmarkAgentTrain measures full goal-driven training of Bob, built
+// through the session factory (the same path the daemon takes); each
+// iteration gets a fresh copy-on-write engine fork and memory store.
 func BenchmarkAgentTrain(b *testing.B) {
 	ctx := context.Background()
-	c := corpus.Generate(world.Default(), 42)
+	evalcache.Engine(42, websim.Options{}) // prime the shared base build
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := websim.NewEngine(c, websim.Options{})
-		bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil, agent.Config{})
+		bob, _, err := session.NewAgent(benchSessionConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := bob.Train(ctx); err != nil {
 			b.Fatal(err)
 		}
@@ -567,15 +570,18 @@ func BenchmarkAgentTrain(b *testing.B) {
 }
 
 // BenchmarkInvestigate measures one full self-learning investigation on a
-// trained agent (memory state is rebuilt each iteration).
+// trained agent (memory state is rebuilt each iteration through the
+// session factory).
 func BenchmarkInvestigate(b *testing.B) {
 	ctx := context.Background()
-	c := corpus.Generate(world.Default(), 42)
 	question := quiz.Conclusions()[0].Question
+	evalcache.Engine(42, websim.Options{}) // prime the shared base build
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := websim.NewEngine(c, websim.Options{})
-		bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil, agent.Config{})
+		bob, _, err := session.NewAgent(benchSessionConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := bob.Train(ctx); err != nil {
 			b.Fatal(err)
 		}
@@ -585,9 +591,13 @@ func BenchmarkInvestigate(b *testing.B) {
 	}
 }
 
-// BenchmarkLLMComplete measures one knowledge-conditioned completion.
+// BenchmarkLLMComplete measures one knowledge-conditioned completion of
+// the default sim backend, resolved by name through the registry.
 func BenchmarkLLMComplete(b *testing.B) {
-	m := llm.NewSim()
+	m, err := backend.New("sim")
+	if err != nil {
+		b.Fatal(err)
+	}
 	ctx := context.Background()
 	store := memory.NewStore(memory.DefaultWeights)
 	for _, d := range corpus.Generate(world.Default(), 42).Docs {

@@ -17,7 +17,9 @@
 //
 // bob is a thin client of the session runtime (internal/session): it
 // creates one managed session and drives its lifecycle, the same way an
-// HTTP client drives the websimd agent API.
+// HTTP client drives the websimd agent API. Every command accepts
+// -model to pick the LLM backend (sim, ensemble, remote; see
+// internal/llm/backend) — an unknown name is a usage error.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error. Errors go to
 // stderr; stdout carries only agent output.
@@ -32,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/agent"
+	"repro/internal/llm/backend"
 	"repro/internal/repl"
 	"repro/internal/session"
 	"repro/internal/websim"
@@ -78,6 +81,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 42, "world/corpus seed")
 	social := fs.Bool("social", false, "enable the social-media crawler extension")
 	threshold := fs.Int("threshold", 7, "confidence threshold for self-learning")
+	model := fs.String("model", "", "LLM backend: sim, ensemble, remote (empty = sim)")
 	showTrace := fs.Bool("trace", false, "print the agent trace afterwards")
 	if err := fs.Parse(args[1:]); err != nil {
 		return usageError{err.Error()}
@@ -86,10 +90,14 @@ func run(args []string) error {
 	mgr := session.NewManager(session.ManagerConfig{Capacity: 1})
 	sess, err := mgr.Create("bob", session.Config{
 		Seed:        *seed,
+		Model:       *model,
 		WebOptions:  websim.Options{EnableSocial: *social},
 		AgentConfig: agent.Config{ConfidenceThreshold: *threshold},
 	})
 	if err != nil {
+		if errors.Is(err, backend.ErrUnknown) {
+			return usageError{err.Error()}
+		}
 		return err
 	}
 	ctx := context.Background()

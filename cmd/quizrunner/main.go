@@ -4,10 +4,13 @@
 // Usage:
 //
 //	quizrunner [-exp all|e1|e2|e3|e4|e5|e6|a1|a2|a3] [-seed N] [-parallel N]
+//	           [-model sim|ensemble|remote]
 //
 // -parallel sizes the worker pool for the per-conclusion fan-out inside
 // each experiment: 0 (the default) uses GOMAXPROCS, 1 forces the serial
 // path. Results are byte-identical at any setting for the same seed.
+// -model selects the LLM backend the experiment agents are built with
+// (default sim, the deterministic simulated model).
 package main
 
 import (
@@ -18,17 +21,25 @@ import (
 	"strings"
 
 	"repro/internal/eval"
+	"repro/internal/llm/backend"
 )
 
 func main() {
 	expFlag := flag.String("exp", "all", "experiment to run: all, e1..e12, a1..a3")
 	seed := flag.Uint64("seed", 42, "world/corpus seed")
 	parallel := flag.Int("parallel", 0, "workers for per-conclusion fan-out: 0 = GOMAXPROCS, 1 = serial")
+	model := flag.String("model", "", "LLM backend for the experiment agents: sim, ensemble, remote (empty = sim)")
 	flag.Parse()
+
+	if !backend.Known(*model) {
+		fmt.Fprintf(os.Stderr, "quizrunner: unknown model %q (known: %s)\n", *model, strings.Join(backend.Names(), ", "))
+		os.Exit(2)
+	}
 
 	setup := eval.DefaultSetup()
 	setup.Seed = *seed
 	setup.Workers = *parallel
+	setup.Model = *model
 	ctx := context.Background()
 	out := os.Stdout
 

@@ -5,6 +5,7 @@
 //
 //	websimd [-addr :8080] [-seed N] [-social] [-latency 0ms]
 //	        [-capacity 64] [-shards 0] [-snapshots DIR] [-timeout 30s]
+//	        [-model sim|ensemble|remote]
 //
 // Simulated-web API:
 //
@@ -12,19 +13,25 @@
 //	GET /fetch?url=https://...
 //	GET /healthz
 //
-// Agent session API (see internal/session):
+// Agent session API (see internal/session; the unversioned paths stay
+// as deprecated aliases for one release):
 //
-//	POST   /sessions                  create (optionally train) a session
-//	GET    /sessions                  list sessions
-//	GET    /sessions/{id}             session status
-//	DELETE /sessions/{id}             close and discard a session
-//	POST   /sessions/{id}/train      run role-goal training
-//	POST   /sessions/{id}/ask        answer from current knowledge
-//	POST   /sessions/{id}/learn      self-learning investigation
-//	POST   /sessions/{id}/plan       propose a response plan
-//	POST   /sessions/{id}/report     investigate + markdown report
-//	POST   /sessions/{id}/snapshot   persist session state to disk
-//	GET    /sessions/{id}/trace      the audit trace
+//	POST   /v1/sessions                create (optionally train) a session
+//	GET    /v1/sessions                list sessions
+//	GET    /v1/sessions/{id}           session status
+//	DELETE /v1/sessions/{id}           close and discard a session
+//	POST   /v1/sessions/{id}/train     run role-goal training
+//	POST   /v1/sessions/{id}/ask       answer from current knowledge
+//	POST   /v1/sessions/{id}/learn     self-learning investigation
+//	POST   /v1/sessions/{id}/plan      propose a response plan
+//	POST   /v1/sessions/{id}/report    investigate + markdown report
+//	POST   /v1/sessions/{id}/snapshot  persist session state to disk
+//	GET    /v1/sessions/{id}/trace     the audit trace
+//	GET    /v1/stats                   manager + LLM-backend counters
+//
+// -model picks the default LLM backend for new sessions (a per-session
+// "model" field in POST /v1/sessions overrides it). The remote backend
+// reads REPRO_LLM_ENDPOINT / REPRO_LLM_API_KEY / REPRO_LLM_MODEL.
 package main
 
 import (
@@ -32,9 +39,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"strings"
 	"time"
 
 	"repro/internal/evalcache"
+	"repro/internal/llm/backend"
 	"repro/internal/session"
 	"repro/internal/websim"
 )
@@ -48,7 +58,13 @@ func main() {
 	shards := flag.Int("shards", 0, "session-manager lock shards (0 = min(GOMAXPROCS, 16))")
 	snapshots := flag.String("snapshots", "", "directory for session snapshots (enables restore)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout for agent calls")
+	model := flag.String("model", "", "default LLM backend for new sessions: sim, ensemble, remote (empty = sim)")
 	flag.Parse()
+
+	if !backend.Known(*model) {
+		fmt.Fprintf(os.Stderr, "websimd: unknown model %q (known: %s)\n", *model, strings.Join(backend.Names(), ", "))
+		os.Exit(2)
+	}
 
 	opts := websim.Options{EnableSocial: *social, Latency: *latency}
 	eng := evalcache.Engine(*seed, opts)
@@ -59,21 +75,31 @@ func main() {
 		RequestTimeout: *timeout,
 		Defaults: session.Config{
 			Seed:       *seed,
+			Model:      *model,
 			WebOptions: websim.Options{EnableSocial: *social},
 		},
 	})
 
 	agents := session.Handler(mgr)
 	mux := http.NewServeMux()
+	mux.Handle("/v1/", agents)
 	mux.Handle("/sessions", agents)
 	mux.Handle("/sessions/", agents)
+	mux.Handle("/stats", agents)
 	mux.Handle("/", websim.Handler(eng))
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("websimd: serving the simulated Internet and agent sessions on %s (social=%v, capacity=%d, shards=%d)\n",
-		*addr, *social, *capacity, mgr.Config().Shards)
+	fmt.Printf("websimd: serving the simulated Internet and agent sessions on %s (social=%v, capacity=%d, shards=%d, model=%s)\n",
+		*addr, *social, *capacity, mgr.Config().Shards, modelName(*model))
 	log.Fatal(srv.ListenAndServe())
+}
+
+func modelName(m string) string {
+	if m == "" {
+		return backend.DefaultName
+	}
+	return m
 }

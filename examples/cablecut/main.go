@@ -12,17 +12,16 @@ import (
 	"log"
 
 	"repro/internal/agent"
-	"repro/internal/corpus"
-	"repro/internal/llm"
-	"repro/internal/websim"
-	"repro/internal/world"
+	"repro/internal/session"
 )
 
 func main() {
 	ctx := context.Background()
-	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
 	role := agent.IncidentAnalystRole("2004 Indian Ocean earthquake and tsunami")
-	ada := agent.New(role, llm.NewSim(), web, nil, agent.Config{})
+	ada, _, err := session.NewAgent(session.Config{Role: role, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("=== training on the 2004 tsunami cable cuts ===")
 	if _, err := ada.Train(ctx); err != nil {

@@ -13,16 +13,18 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/bgpsim"
-	"repro/internal/corpus"
-	"repro/internal/llm"
-	"repro/internal/websim"
-	"repro/internal/world"
+	"repro/internal/session"
 )
 
 func main() {
 	ctx := context.Background()
-	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
-	ada := agent.New(agent.IncidentAnalystRole("2021 Facebook outage"), llm.NewSim(), web, nil, agent.Config{})
+	ada, _, err := session.NewAgent(session.Config{
+		Role: agent.IncidentAnalystRole("2021 Facebook outage"),
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("=== training agent Ada (role: incident analyst) ===")
 	report, err := ada.Train(ctx)

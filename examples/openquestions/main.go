@@ -11,20 +11,18 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/agent"
-	"repro/internal/corpus"
 	"repro/internal/eval"
-	"repro/internal/llm"
-	"repro/internal/websim"
-	"repro/internal/world"
+	"repro/internal/session"
 )
 
 func main() {
 	ctx := context.Background()
 
 	fmt.Println("=== generating research questions (§5, open question 1) ===")
-	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
-	bob := agent.New(agent.BobRole(), llm.NewSim(), web, nil, agent.Config{})
+	bob, _, err := session.NewAgent(session.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := bob.Train(ctx); err != nil {
 		log.Fatal(err)
 	}

@@ -9,22 +9,20 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/agent"
-	"repro/internal/corpus"
-	"repro/internal/llm"
-	"repro/internal/websim"
-	"repro/internal/world"
+	"repro/internal/session"
 )
 
 func main() {
 	ctx := context.Background()
 
-	// 1. The world: ground-truth infrastructure rendered into a
-	//    searchable synthetic web.
-	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
-
-	// 2. The agent: role definition + simulated LLM + web + fresh memory.
-	bob := agent.New(agent.BobRole(), llm.NewSim(), web, nil, agent.Config{})
+	// 1+2. The agent stack — world, simulated web, model backend and
+	//      fresh memory — built through the shared session factory, the
+	//      same construction path the CLI and the daemon use. The model
+	//      is picked by name; "" means the deterministic sim backend.
+	bob, _, err := session.NewAgent(session.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Train: the autonomous loop searches and memorizes knowledge for
 	//    each role goal.

@@ -11,19 +11,18 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/agent"
-	"repro/internal/corpus"
-	"repro/internal/llm"
 	"repro/internal/plan"
 	"repro/internal/quiz"
+	"repro/internal/session"
 	"repro/internal/websim"
-	"repro/internal/world"
 )
 
 func main() {
 	ctx := context.Background()
-	web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
-	bob := agent.New(agent.BobRole(), llm.NewSim(), web, nil, agent.Config{})
+	bob, _, err := session.NewAgent(session.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("=== training agent Bob (role: solar-superstorm researcher) ===")
 	report, err := bob.Train(ctx)
@@ -79,8 +78,13 @@ func main() {
 	// §5's proposed fix — an integrated crawler — is implemented as the
 	// EnableSocial option; with it the agent completes the plan.
 	fmt.Println("\n=== with the integrated crawler extension (§5) ===")
-	crawlWeb := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{EnableSocial: true})
-	bob2 := agent.New(agent.BobRole(), llm.NewSim(), crawlWeb, nil, agent.Config{})
+	bob2, _, err := session.NewAgent(session.Config{
+		Seed:       42,
+		WebOptions: websim.Options{EnableSocial: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := bob2.Train(ctx); err != nil {
 		log.Fatal(err)
 	}

@@ -11,10 +11,7 @@ import (
 	"log"
 
 	"repro/internal/agent"
-	"repro/internal/corpus"
-	"repro/internal/llm"
-	"repro/internal/websim"
-	"repro/internal/world"
+	"repro/internal/session"
 )
 
 const question = "Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?"
@@ -24,9 +21,13 @@ func main() {
 	fmt.Println("question:", question)
 	fmt.Println()
 	for _, th := range []int{3, 5, 7, 9} {
-		web := websim.NewEngine(corpus.Generate(world.Default(), 42), websim.Options{})
-		bob := agent.New(agent.BobRole(), llm.NewSim(), web, nil,
-			agent.Config{ConfidenceThreshold: th})
+		bob, _, err := session.NewAgent(session.Config{
+			Seed:        42,
+			AgentConfig: agent.Config{ConfidenceThreshold: th},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		if _, err := bob.Train(ctx); err != nil {
 			log.Fatal(err)
 		}

@@ -47,6 +47,9 @@ type Setup struct {
 	WebOptions  websim.Options
 	AgentConfig agent.Config
 	MemoryW     memory.Weights
+	// Model selects the LLM backend by registry name (empty = "sim"),
+	// resolved through session.Config exactly as the daemon does.
+	Model string
 	// Workers bounds how many investigations the fan-out experiments
 	// (E1, E2, E5, E6, A1, A2) and the E7 seed sweep run concurrently.
 	// 0 means GOMAXPROCS; 1 forces the serial path. Results are
@@ -75,6 +78,7 @@ func (s Setup) sessionConfig() session.Config {
 	return session.Config{
 		Role:          agent.BobRole(),
 		Seed:          s.Seed,
+		Model:         s.Model,
 		WebOptions:    s.WebOptions,
 		AgentConfig:   s.AgentConfig,
 		MemoryWeights: s.MemoryW,
@@ -87,7 +91,7 @@ func (s Setup) sessionConfig() session.Config {
 // process-wide cached engine for (Seed, EnableSocial), so repeated calls
 // share one generated corpus and one built index instead of regenerating
 // both.
-func NewBob(s Setup) (*agent.Agent, *websim.Engine) {
+func NewBob(s Setup) (*agent.Agent, *websim.Engine, error) {
 	return session.NewAgent(s.sessionConfig())
 }
 
@@ -129,7 +133,10 @@ func trainedState(ctx context.Context, s Setup) (*memory.Store, agent.TrainRepor
 		return t.store, t.report, nil
 	}
 	trainedMu.Unlock()
-	bob, _ := NewBob(s)
+	bob, _, err := NewBob(s)
+	if err != nil {
+		return nil, agent.TrainReport{}, err
+	}
 	report, err := bob.Train(ctx)
 	if err != nil {
 		return nil, agent.TrainReport{}, fmt.Errorf("eval: train: %w", err)
@@ -155,7 +162,10 @@ func TrainedBob(ctx context.Context, s Setup) (*agent.Agent, *websim.Engine, err
 	if err != nil {
 		return nil, nil, err
 	}
-	bob, eng := session.NewAgent(s.sessionConfig())
+	bob, eng, err := session.NewAgent(s.sessionConfig())
+	if err != nil {
+		return nil, nil, err
+	}
 	bob.Memory = st.Clone()
 	return bob, eng, nil
 }
@@ -225,7 +235,10 @@ type E1Result struct {
 // out one independent agent clone per conclusion (see investigateAll).
 func RunE1(ctx context.Context, s Setup) (E1Result, error) {
 	conclusions := quiz.Conclusions()
-	baseline, _ := NewBob(s) // untrained: the vanilla-LLM baseline
+	baseline, _, err := NewBob(s) // untrained: the vanilla-LLM baseline
+	if err != nil {
+		return E1Result{}, err
+	}
 	baseRes, err := parallel.Map(ctx, s.workers(), conclusions, func(ctx context.Context, _ int, c quiz.Conclusion) (quiz.Result, error) {
 		bob := session.Fork(baseline, s.Seed, s.WebOptions)
 		ans, err := bob.Ask(ctx, c.Question)
@@ -349,7 +362,10 @@ type E4Result struct {
 // RunE4 trains Bob, investigates the paper's flagship question, and
 // reports the traffic and memory the pipeline generated.
 func RunE4(ctx context.Context, s Setup) (E4Result, error) {
-	bob, eng := NewBob(s)
+	bob, eng, err := NewBob(s)
+	if err != nil {
+		return E4Result{}, err
+	}
 	train, err := bob.Train(ctx)
 	if err != nil {
 		return E4Result{}, err

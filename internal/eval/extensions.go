@@ -160,7 +160,10 @@ func RunE8(ctx context.Context, s Setup) ([]E8Row, error) {
 	}
 	var out []E8Row
 	for _, v := range variants {
-		bob, eng := NewBob(s)
+		bob, eng, err := NewBob(s)
+		if err != nil {
+			return nil, err
+		}
 		bob.Model = v.model
 		if _, err := bob.Train(ctx); err != nil {
 			return nil, err
@@ -216,7 +219,10 @@ func RunE9(ctx context.Context, s Setup) ([]E9Row, error) {
 	}
 	var out []E9Row
 	for _, m := range models {
-		bob, _ := NewBob(s)
+		bob, _, err := NewBob(s)
+		if err != nil {
+			return nil, err
+		}
 		if _, err := bob.Train(ctx); err != nil {
 			return nil, err
 		}

@@ -134,7 +134,10 @@ func RunE11(ctx context.Context, s Setup) ([]E11Row, error) {
 	}
 	var out []E11Row
 	for _, m := range models {
-		bob, _ := NewBob(s)
+		bob, _, err := NewBob(s)
+		if err != nil {
+			return nil, err
+		}
 		bob.Model = m.model
 		if _, err := bob.Train(ctx); err != nil {
 			return nil, err
@@ -188,7 +191,10 @@ func citedLat(answer string) int {
 func RunE12(ctx context.Context, s Setup) ([]E12Row, error) {
 	setup := s
 	setup.AgentConfig.LearnResults = 4
-	bob, eng := NewBob(setup)
+	bob, eng, err := NewBob(setup)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := bob.Train(ctx); err != nil {
 		return nil, err
 	}

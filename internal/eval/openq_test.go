@@ -157,7 +157,10 @@ func TestMultimodalModelMatchesTextOnRegularQuiz(t *testing.T) {
 	// the multimodal model behaves identically.
 	ctx := context.Background()
 	run := func(model llm.Model) int {
-		bob, _ := NewBob(DefaultSetup())
+		bob, _, err := NewBob(DefaultSetup())
+		if err != nil {
+			t.Fatal(err)
+		}
 		bob.Model = model
 		if _, err := bob.Train(ctx); err != nil {
 			t.Fatal(err)

@@ -42,8 +42,15 @@ anything else is investigated as a question.`
 // Every error is reported to the operator and the loop continues; only
 // context cancellation or a write failure ends the session early.
 func (s *Session) Run(ctx context.Context, r io.Reader, w io.Writer) error {
-	fmt.Fprintf(w, "%s ready. %d knowledge items loaded. Type :help for commands.\n",
-		s.Sess.Role().Name, s.Sess.MemoryLen())
+	// A non-default model backend is worth announcing; the default sim
+	// greeting stays byte-identical.
+	if m := s.Sess.Config().Model; m != "" && m != "sim" {
+		fmt.Fprintf(w, "%s ready (model %s). %d knowledge items loaded. Type :help for commands.\n",
+			s.Sess.Role().Name, m, s.Sess.MemoryLen())
+	} else {
+		fmt.Fprintf(w, "%s ready. %d knowledge items loaded. Type :help for commands.\n",
+			s.Sess.Role().Name, s.Sess.MemoryLen())
+	}
 	scanner := bufio.NewScanner(r)
 	for scanner.Scan() {
 		if err := ctx.Err(); err != nil {

@@ -25,20 +25,25 @@ package session
 import (
 	"repro/internal/agent"
 	"repro/internal/evalcache"
-	"repro/internal/llm"
+	"repro/internal/llm/backend"
 	"repro/internal/memory"
 	"repro/internal/websim"
 )
 
 // Config describes one agent stack: the world seed, the simulated-web
-// options, the agent tuning and the memory retrieval weights. It is the
-// unit of snapshot/restore, so everything needed to rebuild an identical
-// stack must live here.
+// options, the model backend, the agent tuning and the memory retrieval
+// weights. It is the unit of snapshot/restore, so everything needed to
+// rebuild an identical stack must live here.
 type Config struct {
 	// Role defines who the agent is. A zero Role means BobRole.
 	Role agent.Role `json:"role"`
 	// Seed selects the generated world/corpus.
 	Seed uint64 `json:"seed"`
+	// Model selects the LLM backend by registry name (see
+	// internal/llm/backend): "sim" (the default), "ensemble", or
+	// "remote". Empty means "sim", keeping old snapshots and callers
+	// byte-identical.
+	Model string `json:"model,omitempty"`
 	// WebOptions configures the simulated web the agent investigates.
 	WebOptions websim.Options `json:"web_options"`
 	// AgentConfig tunes the self-learning loop.
@@ -58,12 +63,18 @@ func (c Config) withDefaults() Config {
 // path shared by the CLI, the repl, the eval harness and the daemon. The
 // web is a copy-on-write fork of the process-wide cached engine for
 // (Seed, EnableSocial), so repeated construction shares one generated
-// corpus and one built index instead of regenerating both.
-func NewAgent(cfg Config) (*agent.Agent, *websim.Engine) {
+// corpus and one built index instead of regenerating both. The model is
+// resolved from the backend registry by cfg.Model; an unknown name
+// fails with backend.ErrUnknown (mapped to 400 by the HTTP layer).
+func NewAgent(cfg Config) (*agent.Agent, *websim.Engine, error) {
 	cfg = cfg.withDefaults()
+	model, err := backend.New(cfg.Model)
+	if err != nil {
+		return nil, nil, err
+	}
 	eng := evalcache.Engine(cfg.Seed, cfg.WebOptions)
 	store := memory.NewStore(cfg.MemoryWeights)
-	return agent.New(cfg.Role, llm.NewSim(), eng, store, cfg.AgentConfig), eng
+	return agent.New(cfg.Role, model, eng, store, cfg.AgentConfig), eng, nil
 }
 
 // Fork clones proto onto a fresh copy-on-write engine fork for (seed,

@@ -13,12 +13,15 @@ import (
 	"sync"
 
 	"repro/internal/agent"
+	"repro/internal/llm/backend"
 	"repro/internal/trace"
 )
 
-// CreateRequest is the body of POST /sessions. Unset pointer fields fall
-// back to the manager's default Config; a non-empty Incident selects the
-// incident-analyst role instead of Bob.
+// CreateRequest is the body of POST /v1/sessions. Unset pointer fields
+// fall back to the manager's default Config; a non-empty Incident
+// selects the incident-analyst role instead of Bob; Model selects the
+// LLM backend by name ("sim", "ensemble", "remote") — unknown names
+// fail with 400 (code "unknown_model").
 type CreateRequest struct {
 	ID        string  `json:"id,omitempty"`
 	Seed      *uint64 `json:"seed,omitempty"`
@@ -26,6 +29,7 @@ type CreateRequest struct {
 	Threshold int     `json:"threshold,omitempty"`
 	MaxRounds int     `json:"max_rounds,omitempty"`
 	Incident  string  `json:"incident,omitempty"`
+	Model     string  `json:"model,omitempty"`
 	// Train runs initial goal training before the response is sent.
 	Train bool `json:"train,omitempty"`
 }
@@ -72,27 +76,53 @@ type TraceResponse struct {
 	Events []trace.Event `json:"events"`
 }
 
+// ErrorInfo is the machine-readable error detail inside the envelope.
+type ErrorInfo struct {
+	// Code is a stable machine-readable identifier: bad_request,
+	// unknown_model, not_found, conflict, busy, timeout, internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the standardized JSON error envelope every handler
+// returns: {"error":{"code":"...","message":"..."}}.
+type ErrorResponse struct {
+	Error ErrorInfo `json:"error"`
+}
+
 // Handler exposes the manager as an HTTP JSON API — the agent-serving
-// side of websimd:
+// side of websimd. The stable, versioned contract lives under /v1; the
+// unversioned paths are deprecated aliases kept for one release:
 //
-//	POST   /sessions                     create (optionally train) a session
-//	GET    /sessions                     list sessions
-//	GET    /sessions/{id}                session status
-//	DELETE /sessions/{id}                close and discard a session
-//	POST   /sessions/{id}/train          run role-goal training
-//	POST   /sessions/{id}/ask            answer from current knowledge
-//	POST   /sessions/{id}/learn          full self-learning investigation
-//	POST   /sessions/{id}/plan           propose a response plan
-//	POST   /sessions/{id}/report         investigate + markdown report
-//	POST   /sessions/{id}/snapshot       persist memory+trace+config to disk
-//	GET    /sessions/{id}/trace          the audit trace
+//	POST   /v1/sessions                  create (optionally train) a session
+//	GET    /v1/sessions                  list sessions
+//	GET    /v1/sessions/{id}             session status
+//	DELETE /v1/sessions/{id}             close and discard a session
+//	POST   /v1/sessions/{id}/train       run role-goal training
+//	POST   /v1/sessions/{id}/ask         answer from current knowledge
+//	POST   /v1/sessions/{id}/learn       full self-learning investigation
+//	POST   /v1/sessions/{id}/plan        propose a response plan
+//	POST   /v1/sessions/{id}/report      investigate + markdown report
+//	POST   /v1/sessions/{id}/snapshot    persist memory+trace+config to disk
+//	GET    /v1/sessions/{id}/trace       the audit trace
+//	GET    /v1/stats                     manager + LLM-backend counters
 //
 // Every request runs under the manager's per-request timeout; a request
 // queued behind a busy session gives up when the timeout fires (504).
+// Errors are returned as the ErrorResponse envelope.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers h under the versioned /v1 path and the legacy
+	// unversioned alias.
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, h)
+	}
+
+	handle("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := m.requestCtx(r)
 		defer cancel()
 		var req CreateRequest
@@ -116,6 +146,9 @@ func Handler(m *Manager) http.Handler {
 		if req.Incident != "" {
 			cfg.Role = agent.IncidentAnalystRole(req.Incident)
 		}
+		if req.Model != "" {
+			cfg.Model = req.Model
+		}
 		s, err := m.Create(req.ID, cfg)
 		if err != nil {
 			writeError(w, err)
@@ -134,11 +167,11 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusCreated, resp)
 	})
 
-	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, SessionsResponse{Sessions: m.List()})
 	})
 
-	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		s, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
@@ -147,7 +180,7 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, s.Status())
 	})
 
-	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := m.requestCtx(r)
 		defer cancel()
 		if err := m.Close(ctx, r.PathValue("id"), true); err != nil {
@@ -157,25 +190,25 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"closed": r.PathValue("id")})
 	})
 
-	mux.HandleFunc("POST /sessions/{id}/train", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /sessions/{id}/train", func(w http.ResponseWriter, r *http.Request) {
 		withSession(m, w, r, func(ctx context.Context, s *Session) (any, error) {
 			return s.Train(ctx)
 		})
 	})
 
-	mux.HandleFunc("POST /sessions/{id}/ask", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /sessions/{id}/ask", func(w http.ResponseWriter, r *http.Request) {
 		withQuestion(m, w, r, func(ctx context.Context, s *Session, q string) (any, error) {
 			return s.Ask(ctx, q)
 		})
 	})
 
-	mux.HandleFunc("POST /sessions/{id}/learn", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /sessions/{id}/learn", func(w http.ResponseWriter, r *http.Request) {
 		withQuestion(m, w, r, func(ctx context.Context, s *Session, q string) (any, error) {
 			return s.Investigate(ctx, q)
 		})
 	})
 
-	mux.HandleFunc("POST /sessions/{id}/plan", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /sessions/{id}/plan", func(w http.ResponseWriter, r *http.Request) {
 		var req PlanRequest
 		if err := decodeJSON(r, &req); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
@@ -190,7 +223,7 @@ func Handler(m *Manager) http.Handler {
 		})
 	})
 
-	mux.HandleFunc("POST /sessions/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /sessions/{id}/report", func(w http.ResponseWriter, r *http.Request) {
 		withQuestion(m, w, r, func(ctx context.Context, s *Session, q string) (any, error) {
 			rep, inv, err := s.Report(ctx, q)
 			if err != nil {
@@ -204,7 +237,7 @@ func Handler(m *Manager) http.Handler {
 		})
 	})
 
-	mux.HandleFunc("POST /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := m.requestCtx(r)
 		defer cancel()
 		path, err := m.Snapshot(ctx, r.PathValue("id"))
@@ -215,13 +248,19 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, SnapshotResponse{Path: path})
 	})
 
-	mux.HandleFunc("GET /sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		s, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, TraceResponse{Events: s.TraceEvents()})
+	})
+
+	// The capacity-planning endpoint: session-lifecycle counters plus
+	// the process-wide LLM backend counters.
+	handle("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
 	})
 
 	return mux
@@ -275,19 +314,22 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// writeError maps runtime errors to HTTP statuses.
+// writeError maps runtime errors to HTTP statuses and stable envelope
+// codes.
 func writeError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, backend.ErrUnknown):
+		writeErrorCode(w, http.StatusBadRequest, "unknown_model", err.Error())
 	case errors.Is(err, ErrNotFound):
-		httpError(w, http.StatusNotFound, err.Error())
+		writeErrorCode(w, http.StatusNotFound, "not_found", err.Error())
 	case errors.Is(err, ErrExists), errors.Is(err, ErrClosed):
-		httpError(w, http.StatusConflict, err.Error())
+		writeErrorCode(w, http.StatusConflict, "conflict", err.Error())
 	case errors.Is(err, ErrBusy):
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		writeErrorCode(w, http.StatusServiceUnavailable, "busy", err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
-		httpError(w, http.StatusGatewayTimeout, err.Error())
+		writeErrorCode(w, http.StatusGatewayTimeout, "timeout", err.Error())
 	default:
-		httpError(w, http.StatusInternalServerError, err.Error())
+		writeErrorCode(w, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
 
@@ -316,6 +358,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// writeErrorCode writes the standardized error envelope.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorInfo{Code: code, Message: msg}})
+}
+
+// httpError is the bad-request shorthand for body-validation failures.
 func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	code := "bad_request"
+	if status != http.StatusBadRequest {
+		code = "internal"
+	}
+	writeErrorCode(w, status, code, msg)
 }

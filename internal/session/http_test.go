@@ -29,8 +29,10 @@ func newTestServer(t *testing.T, cfg ManagerConfig) (*httptest.Server, *Manager)
 	t.Cleanup(m.Shutdown)
 	agents := Handler(m)
 	mux := http.NewServeMux()
+	mux.Handle("/v1/", agents)
 	mux.Handle("/sessions", agents)
 	mux.Handle("/sessions/", agents)
+	mux.Handle("/stats", agents)
 	mux.Handle("/", websim.Handler(evalcache.Engine(cfg.Defaults.Seed, cfg.Defaults.WebOptions)))
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/llm/backend"
 	"repro/internal/memory"
 	"repro/internal/parallel"
 	"repro/internal/trace"
@@ -107,16 +108,19 @@ const flushSettle = 5 * time.Millisecond
 // bounded even under one-way eviction storms that never restore.
 const maxDirty = 256
 
-// ManagerStats counts runtime events, mostly for tests and capacity
-// planning.
+// ManagerStats counts runtime events for capacity planning; it is the
+// JSON body of GET /v1/stats. Backend aggregates the process-wide LLM
+// backend counters (remote requests, retries, breaker opens, cache
+// hits, fallback completions) next to the session-lifecycle counts.
 type ManagerStats struct {
-	Live           int   // committed live sessions
-	Restores       int64 // sessions rebuilt from a snapshot (memory or disk)
-	DiskRestores   int64 // restores that had to read + decode a snapshot file
-	Evictions      int64 // sessions evicted to make room
-	AsyncWrites    int64 // eviction snapshots queued to the writer pool
-	SyncWriteFalls int64 // eviction snapshots written inline (pool saturated)
-	WriteErrors    int64 // background snapshot writes that failed
+	Live           int           `json:"live"`             // committed live sessions
+	Restores       int64         `json:"restores"`         // sessions rebuilt from a snapshot (memory or disk)
+	DiskRestores   int64         `json:"disk_restores"`    // restores that had to read + decode a snapshot file
+	Evictions      int64         `json:"evictions"`        // sessions evicted to make room
+	AsyncWrites    int64         `json:"async_writes"`     // eviction snapshots queued to the writer pool
+	SyncWriteFalls int64         `json:"sync_write_falls"` // eviction snapshots written inline (pool saturated)
+	WriteErrors    int64         `json:"write_errors"`     // background snapshot writes that failed
+	Backend        backend.Stats `json:"backend"`          // process-wide LLM backend counters
 }
 
 // Manager owns named, long-lived agent sessions: the runtime every
@@ -223,6 +227,7 @@ func (m *Manager) Stats() ManagerStats {
 		AsyncWrites:    m.stats.asyncWrites.Load(),
 		SyncWriteFalls: m.stats.syncFalls.Load(),
 		WriteErrors:    m.stats.writeErrors.Load(),
+		Backend:        backend.Snapshot(),
 	}
 }
 
@@ -296,7 +301,12 @@ func (m *Manager) Create(id string, cfg Config) (*Session, error) {
 		m.abort(sh, id, e, err)
 		return nil, err
 	}
-	s := newSession(id, cfg, &m.use, m.now)
+	s, err := newSession(id, cfg, &m.use, m.now)
+	if err != nil {
+		m.unreserve()
+		m.abort(sh, id, e, err)
+		return nil, err
+	}
 	m.commit(sh, e, s)
 	return s, nil
 }
@@ -368,20 +378,30 @@ func (m *Manager) restore(id string) (*Session, error) {
 	if m.testRestoreStall != nil {
 		m.testRestoreStall(id)
 	}
-	if err := m.reserve(); err != nil {
-		// The pending snapshot we consumed is the only copy of the state
-		// (its write was cancelled above). Re-stage it so the session
-		// stays restorable and the sweeper eventually lands it on disk —
-		// dropping it here would lose the state forever.
+	// restage puts the consumed pending snapshot back on a failure path:
+	// it is the only copy of the state (its write was cancelled above),
+	// so dropping it would lose the session forever.
+	restage := func() {
 		if staged != nil {
 			if prev, _ := m.pending.Swap(id, staged); prev == nil {
 				m.dirty.Add(1)
 			}
 		}
+	}
+	if err := m.reserve(); err != nil {
+		restage()
+		return nil, err
+	}
+	s, err := snap.restore(&m.use, m.now)
+	if err != nil {
+		// A snapshot naming a model backend this process cannot build
+		// (e.g. a remote endpoint no longer configured) fails here.
+		m.unreserve()
+		restage()
 		return nil, err
 	}
 	m.stats.restores.Add(1)
-	return snap.restore(&m.use, m.now), nil
+	return s, nil
 }
 
 // commit publishes a built session under its placeholder entry.
@@ -810,11 +830,14 @@ func readSnapshot(path string) (Snapshot, error) {
 // restore rebuilds a live session from a snapshot: the agent stack is
 // reconstructed through the factory, then the memory and trace are
 // replaced with the persisted state.
-func (snap Snapshot) restore(use *atomic.Int64, now func() time.Time) *Session {
-	s := newSession(snap.ID, snap.Config, use, now)
+func (snap Snapshot) restore(use *atomic.Int64, now func() time.Time) (*Session, error) {
+	s, err := newSession(snap.ID, snap.Config, use, now)
+	if err != nil {
+		return nil, err
+	}
 	s.agent.Memory.ReplaceItems(snap.Memory)
 	s.agent.Trace = trace.FromEvents(snap.Trace)
 	s.created = snap.Created
 	s.trained = snap.Trained
-	return s
+	return s, nil
 }

@@ -69,9 +69,12 @@ type Status struct {
 	LastUsed    time.Time `json:"last_used"`
 }
 
-func newSession(id string, cfg Config, use *atomic.Int64, now func() time.Time) *Session {
+func newSession(id string, cfg Config, use *atomic.Int64, now func() time.Time) (*Session, error) {
 	cfg = cfg.withDefaults()
-	a, eng := NewAgent(cfg)
+	a, eng, err := NewAgent(cfg)
+	if err != nil {
+		return nil, err
+	}
 	t := now()
 	return &Session{
 		id:       id,
@@ -84,7 +87,7 @@ func newSession(id string, cfg Config, use *atomic.Int64, now func() time.Time) 
 		useSeq:   use.Add(1), // creation counts as a use for LRU order
 		use:      use,
 		now:      now,
-	}
+	}, nil
 }
 
 // acquire takes the operation lock, waiting until the session is free or

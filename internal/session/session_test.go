@@ -26,7 +26,10 @@ func newTestManager(t *testing.T, cfg ManagerConfig) *Manager {
 }
 
 func TestFactoryDefaultsToBob(t *testing.T) {
-	a, eng := NewAgent(Config{Seed: 42})
+	a, eng, err := NewAgent(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Role.Name != agent.BobRole().Name {
 		t.Errorf("zero role built %q, want Bob", a.Role.Name)
 	}
@@ -39,7 +42,10 @@ func TestFactoryDefaultsToBob(t *testing.T) {
 }
 
 func TestForkIsolatesMemory(t *testing.T) {
-	proto, _ := NewAgent(Config{Seed: 42})
+	proto, _, err := NewAgent(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := proto.Memory.Add("the original fact", "https://src", "topic"); !ok {
 		t.Fatal("seed fact not added")
 	}

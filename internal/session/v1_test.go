@@ -1,0 +1,237 @@
+package session
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+)
+
+// TestHTTPV1Routes drives the session lifecycle purely through the
+// versioned /v1 prefix, proving the stable contract stands on its own.
+func TestHTTPV1Routes(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{SnapshotDir: t.TempDir()})
+
+	code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "v1", Train: true})
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	if created := decode[CreateResponse](t, body); !created.Trained {
+		t.Fatalf("create response %+v", created)
+	}
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), `"v1"`) {
+		t.Errorf("list: %d %s", code, body)
+	}
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions/v1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/v1/ask", QuestionRequest{Question: vulnQuestion})
+	if code != http.StatusOK {
+		t.Fatalf("ask: %d %s", code, body)
+	}
+	if ans := decode[agent.Answer](t, body); ans.Text == "" {
+		t.Errorf("ask answer %+v", ans)
+	}
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/v1/plan", PlanRequest{Scenario: "solar storm response"})
+	if code != http.StatusOK {
+		t.Fatalf("plan: %d %s", code, body)
+	}
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/v1/snapshot", nil)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", code, body)
+	}
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions/v1/trace", nil)
+	if code != http.StatusOK {
+		t.Fatalf("trace: %d %s", code, body)
+	}
+	code, body = doJSON(t, "DELETE", srv.URL+"/v1/sessions/v1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	if code, _ = doJSON(t, "GET", srv.URL+"/v1/sessions/v1", nil); code != http.StatusNotFound {
+		t.Errorf("status after delete = %d, want 404", code)
+	}
+}
+
+// TestHTTPV1Aliases proves the deprecated unversioned paths answer
+// identically to their /v1 counterparts: a session created through one
+// prefix is visible and identical through the other.
+func TestHTTPV1Aliases(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{})
+
+	// Create via the legacy path, read via /v1 and vice versa.
+	if code, body := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{ID: "legacy", Train: true}); code != http.StatusCreated {
+		t.Fatalf("legacy create: %d %s", code, body)
+	}
+	codeV1, bodyV1 := doJSON(t, "GET", srv.URL+"/v1/sessions/legacy", nil)
+	codeOld, bodyOld := doJSON(t, "GET", srv.URL+"/sessions/legacy", nil)
+	if codeV1 != http.StatusOK || codeOld != http.StatusOK {
+		t.Fatalf("status: v1=%d legacy=%d", codeV1, codeOld)
+	}
+	stV1 := decode[Status](t, bodyV1)
+	stOld := decode[Status](t, bodyOld)
+	if !reflect.DeepEqual(stV1, stOld) {
+		t.Errorf("status diverged:\n v1     %+v\n legacy %+v", stV1, stOld)
+	}
+
+	// The same question answered through both prefixes is identical.
+	_, ansV1 := doJSON(t, "POST", srv.URL+"/v1/sessions/legacy/ask", QuestionRequest{Question: vulnQuestion})
+	_, ansOld := doJSON(t, "POST", srv.URL+"/sessions/legacy/ask", QuestionRequest{Question: vulnQuestion})
+	if !reflect.DeepEqual(decode[agent.Answer](t, ansV1), decode[agent.Answer](t, ansOld)) {
+		t.Errorf("answers diverged between prefixes:\n v1     %s\n legacy %s", ansV1, ansOld)
+	}
+
+	// Both list views see the session.
+	for _, path := range []string{"/v1/sessions", "/sessions"} {
+		if code, body := doJSON(t, "GET", srv.URL+path, nil); code != http.StatusOK || !strings.Contains(string(body), `"legacy"`) {
+			t.Errorf("list %s: %d %s", path, code, body)
+		}
+	}
+}
+
+// TestHTTPErrorEnvelope asserts every failure mode returns the
+// standardized {"error":{"code":...,"message":...}} envelope with its
+// stable code.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{})
+
+	envelope := func(code int, body []byte) ErrorInfo {
+		t.Helper()
+		resp := decode[ErrorResponse](t, body)
+		if resp.Error.Code == "" || resp.Error.Message == "" {
+			t.Fatalf("response %d is not an error envelope: %s", code, body)
+		}
+		return resp.Error
+	}
+
+	// Unknown session: 404 not_found.
+	code, body := doJSON(t, "GET", srv.URL+"/v1/sessions/ghost", nil)
+	if code != http.StatusNotFound || envelope(code, body).Code != "not_found" {
+		t.Errorf("unknown session: %d %s", code, body)
+	}
+
+	// Unknown model: 400 unknown_model, and nothing is created.
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "m", Model: "gpt-17"})
+	if code != http.StatusBadRequest || envelope(code, body).Code != "unknown_model" {
+		t.Errorf("unknown model: %d %s", code, body)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/sessions/m", nil); code != http.StatusNotFound {
+		t.Errorf("session created despite unknown model: %d", code)
+	}
+
+	// Duplicate create: 409 conflict.
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "dup"}); code != http.StatusCreated {
+		t.Fatal("create dup failed")
+	}
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "dup"})
+	if code != http.StatusConflict || envelope(code, body).Code != "conflict" {
+		t.Errorf("duplicate create: %d %s", code, body)
+	}
+
+	// Body validation failures: 400 bad_request.
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/dup/ask", QuestionRequest{})
+	if code != http.StatusBadRequest || envelope(code, body).Code != "bad_request" {
+		t.Errorf("empty question: %d %s", code, body)
+	}
+	resp, err := http.Post(srv.URL+"/v1/sessions/dup/ask", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("bad-json response not an envelope: %v", err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || er.Error.Code != "bad_request" {
+		t.Errorf("bad json: %d %+v", resp.StatusCode, er)
+	}
+
+	// The envelope is exactly {"error":{...}} — no stray top-level keys.
+	var top map[string]json.RawMessage
+	_, body = doJSON(t, "GET", srv.URL+"/v1/sessions/ghost", nil)
+	if err := json.Unmarshal(body, &top); err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 {
+		t.Errorf("envelope has extra top-level keys: %s", body)
+	}
+	if _, ok := top["error"]; !ok {
+		t.Errorf("envelope missing error key: %s", body)
+	}
+}
+
+// TestHTTPStats exercises GET /v1/stats (and its legacy alias): manager
+// lifecycle counters plus the LLM backend counter block.
+func TestHTTPStats(t *testing.T) {
+	srv, m := newTestServer(t, ManagerConfig{})
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "a"}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+
+	code, body := doJSON(t, "GET", srv.URL+"/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	st := decode[ManagerStats](t, body)
+	if st.Live != 1 {
+		t.Errorf("stats live = %d, want 1", st.Live)
+	}
+	if want := m.Stats().Live; st.Live != want {
+		t.Errorf("served live = %d, manager reports %d", st.Live, want)
+	}
+
+	// The wire shape carries the documented keys, including the nested
+	// backend counter block GET /v1/stats promises.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"live", "restores", "evictions", "backend"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("stats JSON missing %q: %s", key, body)
+		}
+	}
+	var be map[string]json.RawMessage
+	if err := json.Unmarshal(raw["backend"], &be); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"requests", "retries", "failures", "breaker_opens", "cache_hits", "fallback_completions"} {
+		if _, ok := be[key]; !ok {
+			t.Errorf("backend stats missing %q: %s", key, raw["backend"])
+		}
+	}
+
+	// The legacy alias serves the same document shape.
+	code, aliasBody := doJSON(t, "GET", srv.URL+"/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("legacy stats: %d %s", code, aliasBody)
+	}
+	if alias := decode[ManagerStats](t, aliasBody); alias.Live != st.Live {
+		t.Errorf("alias live = %d, want %d", alias.Live, st.Live)
+	}
+}
+
+// TestHTTPCreateWithModel picks a backend per session through the API.
+func TestHTTPCreateWithModel(t *testing.T) {
+	srv, m := newTestServer(t, ManagerConfig{})
+	code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "ens", Model: "ensemble"})
+	if code != http.StatusCreated {
+		t.Fatalf("create with model: %d %s", code, body)
+	}
+	s, err := m.Get("ens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().Model; got != "ensemble" {
+		t.Errorf("session model = %q, want ensemble", got)
+	}
+	// The ensemble-backed session still answers.
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions/ens/ask", QuestionRequest{Question: vulnQuestion}); code != http.StatusOK {
+		t.Errorf("ensemble ask: %d %s", code, body)
+	}
+}

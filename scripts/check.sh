@@ -18,4 +18,8 @@ go vet ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x .
 
+# End-to-end: websimd -model remote against the llmstub chat-completions
+# server, driven over real HTTP (curl) through the /v1 API.
+scripts/smoke.sh
+
 # Real measurements (and BENCH_sessions.json) are opt-in: scripts/bench.sh

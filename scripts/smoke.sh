@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the versioned session API over a real network hop:
+# llmstub serves OpenAI-compatible completions (with injected 429s),
+# websimd runs with -model remote pointed at it, and curl drives the /v1
+# routes — create, ask, list, legacy alias, error envelope, and the
+# stats counters that must show the injected failures were retried.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LLM_ADDR=127.0.0.1:18091
+API_ADDR=127.0.0.1:18080
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/llmstub" ./cmd/llmstub
+go build -o "$WORK/websimd" ./cmd/websimd
+
+"$WORK/llmstub" -addr "$LLM_ADDR" -fail 2 >"$WORK/llmstub.log" 2>&1 &
+PIDS+=($!)
+REPRO_LLM_ENDPOINT="http://$LLM_ADDR" \
+  "$WORK/websimd" -addr "$API_ADDR" -model remote >"$WORK/websimd.log" 2>&1 &
+PIDS+=($!)
+
+wait_up() {
+  for _ in $(seq 100); do
+    if curl -sf "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "smoke: $1 did not come up" >&2
+  return 1
+}
+wait_up "$LLM_ADDR"
+wait_up "$API_ADDR"
+
+# req METHOD PATH EXPECTED_STATUS [JSON_BODY]; body lands in $WORK/resp.
+req() {
+  local method=$1 path=$2 want=$3 body=${4:-}
+  local args=(-s -o "$WORK/resp" -w '%{http_code}' -X "$method")
+  if [[ -n "$body" ]]; then
+    args+=(-H 'Content-Type: application/json' -d "$body")
+  fi
+  local got
+  got=$(curl "${args[@]}" "http://$API_ADDR$path")
+  if [[ "$got" != "$want" ]]; then
+    echo "smoke: $method $path = $got, want $want:" >&2
+    cat "$WORK/resp" >&2
+    exit 1
+  fi
+}
+
+expect_body() {
+  if ! grep -q "$1" "$WORK/resp"; then
+    echo "smoke: response missing $1:" >&2
+    cat "$WORK/resp" >&2
+    exit 1
+  fi
+}
+
+# Create and drive a session through /v1.
+req POST /v1/sessions 201 '{"id":"smoke","train":true}'
+expect_body '"trained":true'
+req POST /v1/sessions/smoke/ask 200 '{"question":"Why are undersea cables vulnerable?"}'
+expect_body '"confidence"'
+req GET /v1/sessions 200
+expect_body '"smoke"'
+
+# The deprecated unversioned alias answers identically.
+req GET /sessions/smoke 200
+expect_body '"id":"smoke"'
+
+# Failures use the standardized error envelope with stable codes.
+req GET /v1/sessions/ghost 404
+expect_body '"code":"not_found"'
+req POST /v1/sessions 400 '{"id":"bad","model":"gpt-17"}'
+expect_body '"code":"unknown_model"'
+
+# The stats endpoint reports the backend counters; the two injected 429s
+# must show up as retries that the client absorbed.
+req GET /v1/stats 200
+expect_body '"live":1'
+expect_body '"backend"'
+python3 - "$WORK/resp" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+be = stats["backend"]
+assert be["requests"] > 0, stats
+assert be["retries"] >= 2, f"injected 429s not retried: {stats}"
+assert be["failures"] == 0, f"smoke traffic should fully recover: {stats}"
+EOF
+
+req DELETE /v1/sessions/smoke 200
+req GET /v1/sessions/smoke 404
+
+echo "smoke: ok (remote backend retried injected 429s and recovered)"
