@@ -1,0 +1,155 @@
+// Determinism suite for the ask hot path: the evidence cache, the
+// knowledge-text cache and the structured fast path are pure speedups —
+// with every cache disabled the agent must produce byte-identical
+// results through Train, Ask and Investigate. This is the contract that
+// lets the serving layer keep caches on unconditionally.
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/evalcache"
+	"repro/internal/llm"
+	"repro/internal/memory"
+	"repro/internal/quiz"
+	"repro/internal/session"
+	"repro/internal/websim"
+)
+
+// uncachedBob mirrors session.NewAgent's sim-backend stack with every
+// hot-path cache disabled: the Sim builds evidence on each completion
+// and the store renders knowledge text on each retrieval.
+func uncachedBob(seed uint64) *agent.Agent {
+	model := &llm.Sim{MaxBrowsesPerGoal: 3, NoCache: true}
+	store := memory.NewStore(memory.Weights{})
+	store.DisableCache()
+	return agent.New(agent.BobRole(), model, evalcache.Engine(seed, websim.Options{}), store, agent.Config{})
+}
+
+// cachedBob is the production construction path, caches on.
+func cachedBob(t *testing.T, seed uint64) *agent.Agent {
+	t.Helper()
+	bob, _, err := session.NewAgent(session.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bob
+}
+
+// mustJSON canonicalizes a result for byte comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAskPathCachedMatchesUncached walks the full lifecycle — Train,
+// every conclusion question twice (the second ask is a guaranteed cache
+// hit), then a full Investigate — on a cached and an uncached agent and
+// requires byte-identical results at every step.
+func TestAskPathCachedMatchesUncached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full train+investigate lifecycle")
+	}
+	ctx := context.Background()
+	cached := cachedBob(t, 42)
+	uncached := uncachedBob(42)
+
+	repC, err := cached.Train(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repU, err := uncached.Train(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, repC), mustJSON(t, repU); got != want {
+		t.Fatalf("train reports diverged:\ncached:   %s\nuncached: %s", got, want)
+	}
+
+	for _, c := range quiz.Conclusions() {
+		for pass := 0; pass < 2; pass++ {
+			ansC, err := cached.Ask(ctx, c.Question)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ansU, err := uncached.Ask(ctx, c.Question)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := mustJSON(t, ansC), mustJSON(t, ansU); got != want {
+				t.Fatalf("q%d pass %d: answers diverged:\ncached:   %s\nuncached: %s", c.ID, pass, got, want)
+			}
+		}
+	}
+
+	q := quiz.Conclusions()[0].Question
+	invC, err := cached.Investigate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invU, err := uncached.Investigate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, invC), mustJSON(t, invU); got != want {
+		t.Fatalf("investigations diverged:\ncached:   %s\nuncached: %s", got, want)
+	}
+}
+
+// TestAskPathConcurrentCachedMatchesSerial asks the same trained agent
+// the full question set concurrently and serially: shared caches under
+// contention must not change a byte of any answer. This is the
+// quizrunner/bob-chat worker-count guarantee at the agent layer.
+func TestAskPathConcurrentCachedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an agent")
+	}
+	ctx := context.Background()
+	bob := cachedBob(t, 42)
+	if _, err := bob.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	conclusions := quiz.Conclusions()
+	want := make([]string, len(conclusions))
+	for i, c := range conclusions {
+		ans, err := bob.Ask(ctx, c.Question)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = mustJSON(t, ans)
+	}
+	for round := 0; round < 4; round++ {
+		got := make([]string, len(conclusions))
+		errs := make([]error, len(conclusions))
+		done := make(chan int, len(conclusions))
+		for i, c := range conclusions {
+			go func(i int, q string) {
+				ans, err := bob.Ask(ctx, q)
+				if err != nil {
+					errs[i] = err
+				} else {
+					got[i] = mustJSON(t, ans)
+				}
+				done <- i
+			}(i, c.Question)
+		}
+		for range conclusions {
+			<-done
+		}
+		for i := range conclusions {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			if got[i] != want[i] {
+				t.Fatalf("round %d q%d: concurrent answer diverged:\ngot:  %s\nwant: %s", round, conclusions[i].ID, got[i], want[i])
+			}
+		}
+	}
+}

@@ -180,7 +180,7 @@ func (a *Agent) Ask(ctx context.Context, question string) (Answer, error) {
 		Knowledge: a.Memory.KnowledgeText(question, cfg.KnowledgeItems),
 		Question:  question,
 	}
-	out, err := a.Model.Complete(ctx, p.Encode())
+	out, err := llm.Complete(ctx, a.Model, p)
 	if err != nil {
 		return Answer{}, fmt.Errorf("agent: ask: %w", err)
 	}
@@ -202,7 +202,7 @@ func (a *Agent) ProposeSearches(ctx context.Context, question string) ([]string,
 		Knowledge: a.Memory.KnowledgeText(question, cfg.KnowledgeItems),
 		Question:  question,
 	}
-	out, err := a.Model.Complete(ctx, p.Encode())
+	out, err := llm.Complete(ctx, a.Model, p)
 	if err != nil {
 		return nil, fmt.Errorf("agent: propose searches: %w", err)
 	}
@@ -356,7 +356,7 @@ func (a *Agent) Plan(ctx context.Context) ([]PlanItem, error) {
 		Role:      a.roleText(),
 		Knowledge: a.Memory.KnowledgeText("response plan mitigation strategy shutdown recovery", cfg.KnowledgeItems),
 	}
-	out, err := a.Model.Complete(ctx, p.Encode())
+	out, err := llm.Complete(ctx, a.Model, p)
 	if err != nil {
 		return nil, fmt.Errorf("agent: plan: %w", err)
 	}
@@ -376,7 +376,7 @@ func (a *Agent) PlanFor(ctx context.Context, scenario string) ([]PlanItem, error
 		Role:      a.roleText(),
 		Knowledge: a.Memory.KnowledgeText(scenario+" response plan mitigation strategy", cfg.KnowledgeItems),
 	}
-	out, err := a.Model.Complete(ctx, p.Encode())
+	out, err := llm.Complete(ctx, a.Model, p)
 	if err != nil {
 		return nil, fmt.Errorf("agent: plan: %w", err)
 	}
@@ -402,7 +402,7 @@ func (a *Agent) GenerateQuestions(ctx context.Context, topic string) ([]string, 
 		Knowledge: a.Memory.KnowledgeText(retrievalKey, cfg.KnowledgeItems),
 		Question:  topic,
 	}
-	out, err := a.Model.Complete(ctx, p.Encode())
+	out, err := llm.Complete(ctx, a.Model, p)
 	if err != nil {
 		return nil, fmt.Errorf("agent: generate questions: %w", err)
 	}

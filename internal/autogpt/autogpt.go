@@ -86,7 +86,7 @@ func (r *Runner) RunGoal(ctx context.Context, role, goal string) (GoalReport, er
 			Goal:    goal,
 			History: strings.Join(history, "\n"),
 		}
-		out, err := r.Model.Complete(ctx, p.Encode())
+		out, err := llm.Complete(ctx, r.Model, p)
 		if err != nil {
 			return report, fmt.Errorf("autogpt: model: %w", err)
 		}

@@ -277,19 +277,11 @@ func (ix *Index) search(query string, k int, ranking Ranking, snippets bool) []H
 			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + ix.norm[p.doc])
 		}
 	}
-	hits := make([]Hit, 0, len(scores))
-	for id, s := range scores {
-		doc := ix.docs[id]
-		hits = append(hits, Hit{ID: id, Title: doc.Title, Score: s})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].ID < hits[j].ID
-	})
-	if len(hits) > k {
-		hits = hits[:k]
+	winners := topK(scores, k)
+	hits := make([]Hit, len(winners))
+	for i, c := range winners {
+		doc := ix.docs[c.id]
+		hits[i] = Hit{ID: c.id, Title: doc.Title, Score: c.score}
 	}
 	if snippets {
 		for i := range hits {
@@ -297,6 +289,87 @@ func (ix *Index) search(query string, k int, ranking Ranking, snippets bool) []H
 		}
 	}
 	return hits
+}
+
+// cand is one scored candidate during top-k selection.
+type cand struct {
+	id    string
+	score float64
+}
+
+// candBetter is the result ordering: score descending, ID ascending on
+// ties — identical to the sort the search path used before selection
+// became bounded.
+func candBetter(a, b cand) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
+// topK selects the k best candidates from scores, best-first, without
+// materializing and fully sorting the whole candidate set: a size-k
+// min-heap (the worst kept candidate at the root) admits each scored
+// doc in O(log k), so a query matching thousands of docs builds k Hits
+// instead of thousands. Ordering is identical to a full sort under
+// candBetter.
+func topK(scores map[string]float64, k int) []cand {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k == 0 {
+		return nil
+	}
+	heap := make([]cand, 0, k)
+	// siftDown restores the heap property at i; "less" means worse, so
+	// the root is always the candidate the next admission must beat.
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			worst := i
+			if l < len(heap) && candBetter(heap[worst], heap[l]) {
+				worst = l
+			}
+			if r < len(heap) && candBetter(heap[worst], heap[r]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			heap[i], heap[worst] = heap[worst], heap[i]
+			i = worst
+		}
+	}
+	for id, s := range scores {
+		c := cand{id: id, score: s}
+		if len(heap) < k {
+			heap = append(heap, c)
+			// Sift up.
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !candBetter(heap[parent], heap[i]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+			continue
+		}
+		if candBetter(c, heap[0]) {
+			heap[0] = c
+			siftDown(0)
+		}
+	}
+	// Pop worst-first into the tail of the result.
+	out := make([]cand, len(heap))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		siftDown(0)
+	}
+	return out
 }
 
 // Snippet extracts a window of about windowWords words from body centred

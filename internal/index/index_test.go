@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -279,5 +280,73 @@ func TestOverlapBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTopKMatchesFullSort pins the bounded heap selection to the full
+// sort it replaced: for a spread of candidate sets and k values —
+// including heavy score ties exercising the ID tiebreak — topK must
+// return exactly the prefix a complete sort would.
+func TestTopKMatchesFullSort(t *testing.T) {
+	refTopK := func(scores map[string]float64, k int) []cand {
+		all := make([]cand, 0, len(scores))
+		for id, s := range scores {
+			all = append(all, cand{id: id, score: s})
+		}
+		sort.Slice(all, func(i, j int) bool { return candBetter(all[i], all[j]) })
+		if len(all) > k {
+			all = all[:k]
+		}
+		return all
+	}
+	cases := []map[string]float64{
+		{},
+		{"a": 1},
+		{"a": 1, "b": 2, "c": 3},
+		{"a": 2, "b": 2, "c": 2, "d": 2}, // all tied: pure ID ordering
+		{"d": 1.5, "a": 1.5, "c": 3.0, "b": 1.5, "e": 3.0, "f": 0.25},
+	}
+	// A larger pseudo-random set with deliberate tie clusters.
+	big := map[string]float64{}
+	for i := 0; i < 200; i++ {
+		big[fmt.Sprintf("doc-%03d", i)] = float64((i * 7919 % 13)) // only 13 distinct scores
+	}
+	cases = append(cases, big)
+	for ci, scores := range cases {
+		for _, k := range []int{0, 1, 2, 3, 5, 10, len(scores), len(scores) + 7} {
+			got := topK(scores, k)
+			want := refTopK(scores, k)
+			if len(got) != len(want) {
+				t.Fatalf("case %d k=%d: got %d hits, want %d", ci, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("case %d k=%d pos %d: got %+v, want %+v", ci, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSearchOrderingStable asserts the end-to-end Search contract the
+// heap must preserve: score descending, ID ascending on equal scores.
+func TestSearchOrderingStable(t *testing.T) {
+	ix := New()
+	// Identical bodies force identical BM25 scores across IDs.
+	for _, id := range []string{"zeta", "alpha", "mu", "beta"} {
+		ix.Add(Doc{ID: id, Title: "storm", Body: "solar storm impact on cables"})
+	}
+	hits := ix.Search("solar storm", 3)
+	if len(hits) != 3 {
+		t.Fatalf("got %d hits, want 3", len(hits))
+	}
+	wantIDs := []string{"alpha", "beta", "mu"}
+	for i, h := range hits {
+		if h.ID != wantIDs[i] {
+			t.Errorf("hit %d = %q, want %q", i, h.ID, wantIDs[i])
+		}
+		if i > 0 && hits[i-1].Score < h.Score {
+			t.Errorf("scores not descending at %d", i)
+		}
 	}
 }

@@ -38,12 +38,39 @@ func (e *Ensemble) Complete(ctx context.Context, encodedPrompt string) (string, 
 	if err != nil {
 		return "", fmt.Errorf("llm ensemble: %w", err)
 	}
+	return e.complete(ctx, p, encodedPrompt)
+}
+
+// CompleteParsed implements ParsedCompleter: members that support the
+// structured fast path receive the parsed prompt directly; the encoded
+// form is materialized at most once, for members that do not.
+func (e *Ensemble) CompleteParsed(ctx context.Context, p prompt.Prompt) (string, error) {
+	p = p.Canonical()
+	if err := prompt.ValidateTask(p.Task); err != nil {
+		return "", fmt.Errorf("llm ensemble: %w", err)
+	}
+	return e.complete(ctx, p, "")
+}
+
+// complete aggregates member completions of a parsed, canonical prompt.
+// encoded is the wire form when the caller already has it, "" to encode
+// lazily for members without the fast path.
+func (e *Ensemble) complete(ctx context.Context, p prompt.Prompt, encoded string) (string, error) {
+	member := func(m Model) (string, error) {
+		if pc, ok := m.(ParsedCompleter); ok {
+			return pc.CompleteParsed(ctx, p)
+		}
+		if encoded == "" {
+			encoded = p.Encode()
+		}
+		return m.Complete(ctx, encoded)
+	}
 	if p.Task != prompt.TaskAnswer && p.Task != prompt.TaskConfidence {
-		return e.Members[0].Complete(ctx, encodedPrompt)
+		return member(e.Members[0])
 	}
 	replies := make([]prompt.AnswerReply, 0, len(e.Members))
 	for i, m := range e.Members {
-		out, err := m.Complete(ctx, encodedPrompt)
+		out, err := member(m)
 		if err != nil {
 			return "", fmt.Errorf("llm ensemble member %d: %w", i, err)
 		}

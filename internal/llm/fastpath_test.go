@@ -1,0 +1,131 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/facts"
+	"repro/internal/prompt"
+)
+
+// fastpathPrompts covers every task kind plus the section permutations
+// the agent actually sends, so the equivalence tests exercise each
+// branch of the completion switch through both entry points.
+func fastpathPrompts() []prompt.Prompt {
+	k := fullCableKnowledge()
+	mit := knowledge(
+		facts.Mitigation{Strategy: "predictive shutdown", Description: "power down optical amplifiers before the storm peak"},
+		facts.Mitigation{Strategy: "redundancy utilization", Description: "reroute traffic onto low-latitude cables"},
+	)
+	return []prompt.Prompt{
+		{Task: prompt.TaskAnswer, Question: cableQuestion},
+		{Task: prompt.TaskAnswer, Knowledge: k, Question: cableQuestion},
+		{Task: prompt.TaskAnswer, Knowledge: k, Question: dcQuestion},
+		{Task: prompt.TaskConfidence, Knowledge: k, Question: cableQuestion},
+		{Task: prompt.TaskConfidence, Question: cableQuestion},
+		{Task: prompt.TaskSearches, Knowledge: k, Question: cableQuestion},
+		{Task: prompt.TaskSearches, Question: cableQuestion},
+		{Task: prompt.TaskPlan, Knowledge: mit},
+		{Task: prompt.TaskPlan},
+		{Task: prompt.TaskQuestions, Knowledge: k},
+		{Task: prompt.TaskStep, Role: "You are Bob.", Goal: "study solar storms",
+			Knowledge: k, History: "THOUGHT: start\nCOMMAND: search(\"solar storms\")\nRESULT: 3 results"},
+		// Un-canonical inputs: trailing newlines and padded task must
+		// normalize to the same completion the wire format produces.
+		{Task: " answer ", Knowledge: k + "\n\n", Question: cableQuestion + "\n"},
+	}
+}
+
+// TestSimFastPathMatchesEncoded pins the structured fast path to the
+// encoded-string contract: for every task kind, CompleteParsed must
+// return byte-identical output to Complete(p.Encode()).
+func TestSimFastPathMatchesEncoded(t *testing.T) {
+	ctx := context.Background()
+	for i, p := range fastpathPrompts() {
+		slow, errS := NewSim().Complete(ctx, p.Encode())
+		fast, errF := NewSim().CompleteParsed(ctx, p)
+		if (errS == nil) != (errF == nil) {
+			t.Fatalf("prompt %d: error mismatch: encoded=%v parsed=%v", i, errS, errF)
+		}
+		if slow != fast {
+			t.Errorf("prompt %d task %q: fast path diverged:\nencoded: %q\nparsed:  %q", i, p.Task, slow, fast)
+		}
+	}
+}
+
+// TestSimFastPathCachedMatchesUncached asserts the evidence cache never
+// changes an output byte: a cache-hit completion equals the NoCache one.
+func TestSimFastPathCachedMatchesUncached(t *testing.T) {
+	ctx := context.Background()
+	cached := NewSim()
+	uncached := &Sim{MaxBrowsesPerGoal: 3, NoCache: true}
+	for i, p := range fastpathPrompts() {
+		want, errW := uncached.CompleteParsed(ctx, p)
+		// Twice through the cached Sim: the second call is a guaranteed
+		// evidence-cache hit for prompts with knowledge.
+		if _, err := cached.CompleteParsed(ctx, p); (err == nil) != (errW == nil) {
+			t.Fatalf("prompt %d: error mismatch: %v vs %v", i, err, errW)
+		}
+		got, _ := cached.CompleteParsed(ctx, p)
+		if got != want {
+			t.Errorf("prompt %d task %q: cached completion diverged:\nuncached: %q\ncached:   %q", i, p.Task, want, got)
+		}
+	}
+}
+
+// TestEnsembleFastPathMatchesEncoded does the same for the ensemble:
+// the aggregate of fast-path members must equal the encoded-path result.
+func TestEnsembleFastPathMatchesEncoded(t *testing.T) {
+	ctx := context.Background()
+	mk := func() *Ensemble {
+		return NewEnsemble(NewSim(), &Sim{MaxBrowsesPerGoal: 3, Multimodal: true}, NewSim())
+	}
+	for i, p := range fastpathPrompts() {
+		slow, errS := mk().Complete(ctx, p.Encode())
+		fast, errF := mk().CompleteParsed(ctx, p)
+		if (errS == nil) != (errF == nil) {
+			t.Fatalf("prompt %d: error mismatch: encoded=%v parsed=%v", i, errS, errF)
+		}
+		if slow != fast {
+			t.Errorf("prompt %d task %q: ensemble fast path diverged:\nencoded: %q\nparsed:  %q", i, p.Task, slow, fast)
+		}
+	}
+}
+
+// TestFastPathErrors pins the fast path's validation to Parse's error
+// strings, so a bad task fails identically through either entry point.
+func TestFastPathErrors(t *testing.T) {
+	ctx := context.Background()
+	for _, task := range []prompt.Task{"", "bogus"} {
+		p := prompt.Prompt{Task: task, Question: cableQuestion}
+		_, err := NewSim().CompleteParsed(ctx, p)
+		if err == nil {
+			t.Fatalf("task %q: fast path accepted invalid task", task)
+		}
+		if !strings.HasPrefix(err.Error(), "llm: prompt: ") {
+			t.Errorf("task %q: error %q does not carry Parse's message", task, err)
+		}
+	}
+	if _, err := NewEnsemble(NewSim()).CompleteParsed(ctx, prompt.Prompt{Task: "bogus"}); err == nil {
+		t.Error("ensemble fast path accepted invalid task")
+	}
+}
+
+// TestCompleteHelperPicksFastPath asserts the package helper routes a
+// ParsedCompleter through the fast path and other models through Encode.
+func TestCompleteHelperPicksFastPath(t *testing.T) {
+	ctx := context.Background()
+	p := prompt.Prompt{Task: prompt.TaskAnswer, Knowledge: fullCableKnowledge(), Question: cableQuestion}
+	viaHelper, err := Complete(ctx, NewSim(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewSim().Complete(ctx, p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaHelper != direct {
+		t.Errorf("helper output diverged:\nhelper: %q\ndirect: %q", viaHelper, direct)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/facts"
 	"repro/internal/media"
@@ -36,6 +37,29 @@ import (
 type Model interface {
 	// Complete returns the model's reply to an encoded prompt.
 	Complete(ctx context.Context, encodedPrompt string) (string, error)
+}
+
+// ParsedCompleter is the optional structured fast path: a model that
+// accepts the prompt already parsed, skipping the Encode→Parse string
+// round-trip on every completion. In-process models (Sim, Ensemble)
+// implement it; the remote backend keeps the encoded-string contract
+// because the wire format IS its payload. Implementations must produce
+// byte-identical output to Complete(p.Encode()) — they canonicalize the
+// prompt first (see prompt.Canonical), so callers may hand over raw
+// field values as long as none embeds a section-header line.
+type ParsedCompleter interface {
+	CompleteParsed(ctx context.Context, p prompt.Prompt) (string, error)
+}
+
+// Complete routes a structured prompt to the model through the fastest
+// supported path: CompleteParsed when the model implements it, the
+// encoded-string contract otherwise. This is the one call every agent
+// loop (Ask, ProposeSearches, Plan, the Auto-GPT step) goes through.
+func Complete(ctx context.Context, m Model, p prompt.Prompt) (string, error) {
+	if pc, ok := m.(ParsedCompleter); ok {
+		return pc.CompleteParsed(ctx, p)
+	}
+	return m.Complete(ctx, p.Encode())
 }
 
 // Sim is the deterministic simulated language model.
@@ -53,6 +77,14 @@ type Sim struct {
 	// to their content before reasoning. Text-only models keep the alt
 	// captions but cannot read the pixels.
 	Multimodal bool
+	// NoCache disables the evidence cache, forcing every completion to
+	// re-extract facts from its knowledge text. Kept for the determinism
+	// suite, which proves cached and uncached output byte-identical.
+	NoCache bool
+
+	// evCache memoizes BuildEvidenceMode by knowledge text (evcache.go).
+	// Sims are always shared by pointer; the zero value is ready to use.
+	evCache evidenceCache
 }
 
 // NewSim returns a simulated model with default settings.
@@ -67,11 +99,31 @@ func (m *Sim) Complete(ctx context.Context, encodedPrompt string) (string, error
 	if err != nil {
 		return "", fmt.Errorf("llm: %w", err)
 	}
+	return m.complete(p)
+}
+
+// CompleteParsed implements ParsedCompleter: Complete without the
+// Encode→Parse round-trip. Canonicalizing the prompt reproduces exactly
+// the normalization a wire round-trip applies, so the reply is
+// byte-identical to Complete(p.Encode()).
+func (m *Sim) CompleteParsed(ctx context.Context, p prompt.Prompt) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	p = p.Canonical()
+	if err := prompt.ValidateTask(p.Task); err != nil {
+		return "", fmt.Errorf("llm: %w", err)
+	}
+	return m.complete(p)
+}
+
+// complete dispatches a parsed, canonical prompt.
+func (m *Sim) complete(p prompt.Prompt) (string, error) {
 	knowledge := p.Knowledge
 	if m.Multimodal {
 		knowledge = media.Reveal(knowledge)
 	}
-	ev := BuildEvidenceMode(knowledge, m.AcceptFirstOnConflict)
+	ev := m.evidence(knowledge)
 	switch p.Task {
 	case prompt.TaskAnswer, prompt.TaskConfidence:
 		return m.answer(p, ev).Encode(), nil
@@ -299,8 +351,31 @@ func (m *Sim) step(p prompt.Prompt) string {
 }
 
 // goalQuery compresses a goal statement into a search query by dropping
-// instruction verbs and filler.
+// instruction verbs and filler. The goal text is loop-invariant across
+// the Auto-GPT step cycle, so the computed query is memoized.
 func goalQuery(goal string) string {
+	goalQueryMu.Lock()
+	q, ok := goalQueryCache[goal]
+	goalQueryMu.Unlock()
+	if ok {
+		return q
+	}
+	q = computeGoalQuery(goal)
+	goalQueryMu.Lock()
+	if len(goalQueryCache) >= tokenCacheCap {
+		clear(goalQueryCache)
+	}
+	goalQueryCache[goal] = q
+	goalQueryMu.Unlock()
+	return q
+}
+
+var (
+	goalQueryMu    sync.Mutex
+	goalQueryCache = map[string]string{}
+)
+
+func computeGoalQuery(goal string) string {
 	drop := map[string]bool{
 		"understand": true, "understanding": true, "gain": true, "knowledge": true,
 		"learn": true, "know": true, "study": true, "have": true, "a": true,
@@ -334,24 +409,64 @@ func mapKeys[V any](m map[string]V) []string {
 	return out
 }
 
+// tokenCacheCap bounds the memoization maps in this file; they clear
+// wholesale when full (the working set — incident keys, question
+// topics, role goals — is far smaller).
+const tokenCacheCap = 512
+
+// tokenView is the tokenized form tokenOverlap consumes: the lowered,
+// punctuation-trimmed whitespace tokens and their set. Both sides of
+// every overlap call are loop-invariant strings (question topics tested
+// against each incident key, generated questions against one topic), so
+// the views are memoized process-wide.
+type tokenView struct {
+	tokens []string
+	set    map[string]bool
+}
+
+var (
+	tokenViewMu    sync.Mutex
+	tokenViewCache = map[string]*tokenView{}
+)
+
+func tokenize(s string) *tokenView {
+	tokenViewMu.Lock()
+	v, ok := tokenViewCache[s]
+	tokenViewMu.Unlock()
+	if ok {
+		return v
+	}
+	fields := strings.Fields(strings.ToLower(s))
+	v = &tokenView{tokens: make([]string, len(fields)), set: make(map[string]bool, len(fields))}
+	for i, t := range fields {
+		t = strings.Trim(t, "?.!,")
+		v.tokens[i] = t
+		v.set[t] = true
+	}
+	tokenViewMu.Lock()
+	if len(tokenViewCache) >= tokenCacheCap {
+		clear(tokenViewCache)
+	}
+	tokenViewCache[s] = v
+	tokenViewMu.Unlock()
+	return v
+}
+
 // tokenOverlap is index.Overlap without the import cycle risk — fraction
 // of a's tokens found in b, on whitespace tokens lowered.
 func tokenOverlap(a, b string) float64 {
-	at := strings.Fields(strings.ToLower(a))
-	if len(at) == 0 {
+	av := tokenize(a)
+	if len(av.tokens) == 0 {
 		return 0
 	}
-	bs := map[string]bool{}
-	for _, t := range strings.Fields(strings.ToLower(b)) {
-		bs[strings.Trim(t, "?.!,")] = true
-	}
+	bs := tokenize(b).set
 	hit := 0
-	for _, t := range at {
-		if bs[strings.Trim(t, "?.!,")] {
+	for _, t := range av.tokens {
+		if bs[t] {
 			hit++
 		}
 	}
-	return float64(hit) / float64(len(at))
+	return float64(hit) / float64(len(av.tokens))
 }
 
 // genericComparative is the hedged no-knowledge answer for comparative

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/facts"
 	"repro/internal/index"
@@ -56,6 +57,55 @@ type Store struct {
 	idx     *index.Index
 	seq     int64
 	weights Weights
+
+	// version is a monotonic epoch bumped on every mutation (while mu is
+	// held for writing); it keys the knowledge-text cache, so a stale
+	// rendering can never be served after the store changes.
+	version atomic.Int64
+
+	// ktMu guards the (query, k) → rendered-KnowledgeText cache. Entries
+	// carry the version they were computed at and hit only while the
+	// store is unchanged — the dominant pattern of the ask path, where
+	// confidence re-checks and repeated questions retrieve over a memory
+	// that mutates rarely.
+	ktMu    sync.Mutex
+	ktCache map[ktKey]ktEntry
+	noCache bool
+}
+
+type ktKey struct {
+	query string
+	k     int
+}
+
+type ktEntry struct {
+	version int64
+	text    string
+}
+
+// ktCacheCap bounds the knowledge-text cache; at the cap the map clears
+// wholesale (entries are version-checked, so correctness never depends
+// on what stays).
+const ktCacheCap = 256
+
+// Knowledge-text cache counters, process-wide across all stores for
+// GET /v1/stats.
+var (
+	ktCacheHits   atomic.Int64
+	ktCacheMisses atomic.Int64
+)
+
+// CacheStats is a hit/miss snapshot of the knowledge-text cache,
+// JSON-shaped for GET /v1/stats.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// KnowledgeCacheStats returns the process-wide knowledge-text cache
+// counters.
+func KnowledgeCacheStats() CacheStats {
+	return CacheStats{Hits: ktCacheHits.Load(), Misses: ktCacheMisses.Load()}
 }
 
 // NewStore returns an empty store with the given weights.
@@ -64,6 +114,16 @@ func NewStore(w Weights) *Store {
 		w = DefaultWeights
 	}
 	return &Store{byHash: map[string]bool{}, idx: index.New(), weights: w}
+}
+
+// DisableCache turns off the knowledge-text cache for this store. Kept
+// for the determinism suite, which proves cached and uncached renderings
+// byte-identical.
+func (s *Store) DisableCache() {
+	s.ktMu.Lock()
+	s.noCache = true
+	s.ktCache = nil
+	s.ktMu.Unlock()
 }
 
 // Clone returns an independent snapshot of the store: same items, dedup
@@ -75,13 +135,20 @@ func NewStore(w Weights) *Store {
 func (s *Store) Clone() *Store {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return &Store{
+	c := &Store{
 		items:   slices.Clone(s.items),
 		byHash:  maps.Clone(s.byHash),
 		idx:     s.idx.Clone(),
 		seq:     s.seq,
 		weights: s.weights,
 	}
+	// The clone starts with an empty knowledge-text cache (renders are
+	// pure, so rebuilding them costs only speed) but inherits the
+	// cache-disabled flag.
+	s.ktMu.Lock()
+	c.noCache = s.noCache
+	s.ktMu.Unlock()
+	return c
 }
 
 // Len returns the number of items.
@@ -136,6 +203,7 @@ func (s *Store) Add(text, source, topic string) (Item, bool) {
 	}
 	s.items = append(s.items, it)
 	s.idx.Add(index.Doc{ID: it.ID, Title: topic, Body: text})
+	s.version.Add(1)
 	return it, true
 }
 
@@ -150,23 +218,24 @@ func (s *Store) Retrieve(query string, k int) []Item {
 		return nil
 	}
 	hits := s.idx.SearchScores(query, len(s.items))
-	rel := map[string]float64{}
 	var maxScore float64
 	for _, h := range hits {
 		if h.Score > maxScore {
 			maxScore = h.Score
 		}
 	}
-	for _, h := range hits {
-		if maxScore > 0 {
+	// When nothing matched the query, every relevance contribution is
+	// zero — skip building the map entirely (lookups on a nil map read
+	// as 0, the exact value the old code blended in).
+	var rel map[string]float64
+	if maxScore > 0 {
+		rel = make(map[string]float64, len(hits))
+		for _, h := range hits {
 			rel[h.ID] = h.Score / maxScore
 		}
 	}
-	type scored struct {
-		item  Item
-		score float64
-	}
-	out := make([]scored, 0, len(s.items))
+	outp := scoredPool.Get().(*[]scoredItem)
+	out := (*outp)[:0]
 	for _, it := range s.items {
 		age := float64(s.seq - it.Seq)
 		recency := 1.0
@@ -176,7 +245,7 @@ func (s *Store) Retrieve(query string, k int) []Item {
 		sc := s.weights.Relevance*rel[it.ID] +
 			s.weights.Recency*recency +
 			s.weights.Importance*it.Importance
-		out = append(out, scored{it, sc})
+		out = append(out, scoredItem{it, sc})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].score != out[j].score {
@@ -191,13 +260,67 @@ func (s *Store) Retrieve(query string, k int) []Item {
 	for i, sc := range out {
 		items[i] = sc.item
 	}
+	*outp = out[:0]
+	scoredPool.Put(outp)
 	return items
+}
+
+type scoredItem struct {
+	item  Item
+	score float64
+}
+
+// scoredPool recycles Retrieve's scratch slice; every ask scores the
+// whole store, so the slice is as large as the memory and worth reusing.
+var scoredPool = sync.Pool{
+	New: func() any {
+		s := make([]scoredItem, 0, 64)
+		return &s
+	},
 }
 
 // KnowledgeText renders the top-k items for a query as the KNOWLEDGE
 // section of a prompt. With an empty query it concatenates the k most
-// recent items instead.
+// recent items instead. Renders are cached per (query, k) at the
+// store's current version: every ask, confidence re-check and plan over
+// an unchanged memory reuses the rendered string (and, because the same
+// string instance flows into the model, the evidence cache's key
+// comparison short-circuits on it too).
 func (s *Store) KnowledgeText(query string, k int) string {
+	s.ktMu.Lock()
+	disabled := s.noCache
+	s.ktMu.Unlock()
+	if disabled {
+		return s.knowledgeText(query, k)
+	}
+	key := ktKey{query: query, k: k}
+	// The version must be read before rendering: a render that races a
+	// mutation may see the newer state, but it gets tagged with the
+	// older version and the tag check below retires it.
+	v := s.version.Load()
+	s.ktMu.Lock()
+	if e, ok := s.ktCache[key]; ok && e.version == v {
+		s.ktMu.Unlock()
+		ktCacheHits.Add(1)
+		return e.text
+	}
+	s.ktMu.Unlock()
+	ktCacheMisses.Add(1)
+	text := s.knowledgeText(query, k)
+	s.ktMu.Lock()
+	if s.ktCache == nil {
+		s.ktCache = make(map[ktKey]ktEntry, 16)
+	}
+	if len(s.ktCache) >= ktCacheCap {
+		clear(s.ktCache)
+	}
+	s.ktCache[key] = ktEntry{version: v, text: text}
+	s.ktMu.Unlock()
+	return text
+}
+
+// knowledgeText is the uncached rendering.
+func (s *Store) knowledgeText(query string, k int) string {
 	var items []Item
 	if strings.TrimSpace(query) == "" {
 		items = s.Recent(k)
@@ -294,6 +417,7 @@ func (s *Store) Load(path string) error {
 func (s *Store) ReplaceItems(items []Item) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version.Add(1)
 	s.items = nil
 	s.byHash = map[string]bool{}
 	s.idx = index.New()

@@ -62,3 +62,42 @@ func FuzzParseHistory(f *testing.F) {
 		_ = ParseHistory(s)
 	})
 }
+
+// FuzzEncodeRoundTrip drives the other direction: a Prompt built from
+// arbitrary field contents must survive Encode→Parse as exactly its
+// canonical form. This is the invariant the structured fast path
+// (llm.ParsedCompleter) relies on — CompleteParsed canonicalizes and
+// must then see the identical prompt the encoded-string path would.
+// Field contents are sanitized of the "### " framing marker exactly as
+// the memory store sanitizes everything the web can inject, since the
+// wire format cannot carry framing lines inside section values.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add("answer", "You are Bob.", "", "EllaLink peaks at 40 degrees.", "Which cable?", "")
+	f.Add("autogpt-step", "role\n", "goal", "k\n\n", "", "THOUGHT: x\nRESULT: y")
+	f.Add(" confidence ", "", "", "", "q?\n", "")
+	f.Add("plan", "", "", "mitigation: shutdown", "", "")
+	f.Add("questions", "r", "g", "k", "q", "h")
+	f.Fuzz(func(t *testing.T, task, role, goal, know, question, history string) {
+		clean := func(s string) string { return strings.ReplaceAll(s, "### ", "") }
+		p := Prompt{
+			Task:      Task(clean(task)),
+			Role:      clean(role),
+			Goal:      clean(goal),
+			Knowledge: clean(know),
+			Question:  clean(question),
+			History:   clean(history),
+		}
+		want := p.Canonical()
+		if err := ValidateTask(want.Task); err != nil {
+			// Parse would reject this task too; nothing to round-trip.
+			return
+		}
+		got, err := Parse(p.Encode())
+		if err != nil {
+			t.Fatalf("Parse(Encode) failed: %v\nprompt: %+v", err, p)
+		}
+		if got != want {
+			t.Errorf("round-trip is not Canonical():\ngot:  %+v\nwant: %+v", got, want)
+		}
+	})
+}

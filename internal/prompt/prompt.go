@@ -43,6 +43,36 @@ type Prompt struct {
 
 const headerPrefix = "### "
 
+// Canonical returns the prompt as it would look after an Encode→Parse
+// round-trip: task trimmed of surrounding space, every section value
+// trimmed of trailing newlines (Encode strips them, Parse cannot
+// recover them). A model taking the parsed fast path (llm.ParsedCompleter)
+// canonicalizes first, so its completions are byte-identical to the
+// encoded-string path. Section values must not contain header-framing
+// lines ("### NAME:"), which the wire format cannot carry — the memory
+// sanitizer strips them from everything the web can inject.
+func (p Prompt) Canonical() Prompt {
+	p.Task = Task(strings.TrimSpace(string(p.Task)))
+	p.Role = strings.TrimRight(p.Role, "\n")
+	p.Goal = strings.TrimRight(p.Goal, "\n")
+	p.Knowledge = strings.TrimRight(p.Knowledge, "\n")
+	p.Question = strings.TrimRight(p.Question, "\n")
+	p.History = strings.TrimRight(p.History, "\n")
+	return p
+}
+
+// ValidateTask checks a task the way Parse does: present and known.
+func ValidateTask(t Task) error {
+	if t == "" {
+		return fmt.Errorf("prompt: missing TASK section")
+	}
+	switch t {
+	case TaskAnswer, TaskConfidence, TaskSearches, TaskPlan, TaskStep, TaskQuestions:
+		return nil
+	}
+	return fmt.Errorf("prompt: unknown task %q", t)
+}
+
 // Encode renders the prompt in the sectioned wire format.
 func (p Prompt) Encode() string {
 	var b strings.Builder
@@ -107,13 +137,8 @@ func Parse(s string) (Prompt, error) {
 	if err := flush(); err != nil {
 		return Prompt{}, err
 	}
-	if p.Task == "" {
-		return Prompt{}, fmt.Errorf("prompt: missing TASK section")
-	}
-	switch p.Task {
-	case TaskAnswer, TaskConfidence, TaskSearches, TaskPlan, TaskStep, TaskQuestions:
-	default:
-		return Prompt{}, fmt.Errorf("prompt: unknown task %q", p.Task)
+	if err := ValidateTask(p.Task); err != nil {
+		return Prompt{}, err
 	}
 	return p, nil
 }

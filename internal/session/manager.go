@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/llm"
 	"repro/internal/llm/backend"
 	"repro/internal/memory"
 	"repro/internal/parallel"
@@ -121,6 +122,11 @@ type ManagerStats struct {
 	SyncWriteFalls int64         `json:"sync_write_falls"` // eviction snapshots written inline (pool saturated)
 	WriteErrors    int64         `json:"write_errors"`     // background snapshot writes that failed
 	Backend        backend.Stats `json:"backend"`          // process-wide LLM backend counters
+
+	// Ask-hot-path cache counters, process-wide like Backend: the sim
+	// evidence LRU and the memory knowledge-text (retrieval) cache.
+	EvidenceCache  llm.CacheStats    `json:"evidence_cache"`
+	KnowledgeCache memory.CacheStats `json:"knowledge_cache"`
 }
 
 // Manager owns named, long-lived agent sessions: the runtime every
@@ -228,6 +234,8 @@ func (m *Manager) Stats() ManagerStats {
 		SyncWriteFalls: m.stats.syncFalls.Load(),
 		WriteErrors:    m.stats.writeErrors.Load(),
 		Backend:        backend.Snapshot(),
+		EvidenceCache:  llm.EvidenceCacheStats(),
+		KnowledgeCache: memory.KnowledgeCacheStats(),
 	}
 }
 

@@ -191,9 +191,20 @@ func TestHTTPStats(t *testing.T) {
 	if err := json.Unmarshal(body, &raw); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"live", "restores", "evictions", "backend"} {
+	for _, key := range []string{"live", "restores", "evictions", "backend", "evidence_cache", "knowledge_cache"} {
 		if _, ok := raw[key]; !ok {
 			t.Errorf("stats JSON missing %q: %s", key, body)
+		}
+	}
+	for _, block := range []string{"evidence_cache", "knowledge_cache"} {
+		var cc map[string]json.RawMessage
+		if err := json.Unmarshal(raw[block], &cc); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"hits", "misses"} {
+			if _, ok := cc[key]; !ok {
+				t.Errorf("%s stats missing %q: %s", block, key, raw[block])
+			}
 		}
 	}
 	var be map[string]json.RawMessage

@@ -1,35 +1,45 @@
 #!/usr/bin/env bash
-# Session-runtime benchmark sweep: runs the three manager/HTTP benchmarks
-# at -cpu 8 and records the results as BENCH_sessions.json in the repo
-# root. Opt-in and separate from check.sh, whose 1-iteration sweep only
-# guards the harness against rot — this script takes real measurements.
+# Benchmark sweeps: runs the session-runtime and ask-hot-path benchmark
+# suites at -cpu 8 and records the results as BENCH_sessions.json and
+# BENCH_ask.json in the repo root. Opt-in and separate from check.sh,
+# whose 1-iteration sweep only guards the harness against rot — this
+# script takes real measurements.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${1:-2s}"
-out=BENCH_sessions.json
-raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
 
-go test -run='^$' \
-  -bench='BenchmarkManagerChurn|BenchmarkManagerGetHot|BenchmarkHTTPAskParallel' \
-  -benchmem -cpu 8 -benchtime "$benchtime" . | tee "$raw"
+# run_suite <suite-name> <bench-regex> <output-file>
+run_suite() {
+  local suite="$1" pattern="$2" out="$3"
+  local raw
+  raw=$(mktemp)
+  go test -run='^$' -bench="$pattern" \
+    -benchmem -cpu 8 -benchtime "$benchtime" . | tee "$raw"
+  awk -v suite="$suite" -v benchtime="$benchtime" '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      res[name] = sprintf("{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+                          name, $2, $3, $5, $7)
+      order[n++] = name
+    }
+    /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+    END {
+      printf "{\n  \"suite\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": 8,\n  \"benchtime\": \"%s\",\n  \"results\": [\n", suite, cpu, benchtime
+      for (i = 0; i < n; i++) printf "    %s%s\n", res[order[i]], (i < n - 1 ? "," : "")
+      print "  ]\n}"
+    }
+  ' "$raw" > "$out"
+  rm -f "$raw"
+  echo "wrote $out"
+}
 
-awk -v benchtime="$benchtime" '
-  /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    res[name] = sprintf("{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
-                        name, $2, $3, $5, $7)
-    order[n++] = name
-  }
-  /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
-  END {
-    printf "{\n  \"suite\": \"sessions\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": 8,\n  \"benchtime\": \"%s\",\n  \"results\": [\n", cpu, benchtime
-    for (i = 0; i < n; i++) printf "    %s%s\n", res[order[i]], (i < n - 1 ? "," : "")
-    print "  ]\n}"
-  }
-' "$raw" > "$out"
+run_suite sessions \
+  'BenchmarkManagerChurn|BenchmarkManagerGetHot|BenchmarkHTTPAskParallel' \
+  BENCH_sessions.json
 
-echo "wrote $out"
+run_suite ask \
+  '^BenchmarkAsk(Warm|WarmRotating|Parallel|HTTP)$|^BenchmarkHTTPAskParallel$' \
+  BENCH_ask.json

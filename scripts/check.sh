@@ -18,6 +18,11 @@ go vet ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x .
 
+# Hot-path determinism under the race detector: cached vs uncached ask
+# byte-identity, the structured fast path against the encoded contract,
+# and the prompt round-trip fuzz corpus (seeds only; no -fuzz time).
+go test -race -run 'TestAskPath|TestSimFastPath|TestEnsembleFastPath|FuzzEncodeRoundTrip|FuzzParse' . ./internal/llm ./internal/prompt
+
 # End-to-end: websimd -model remote against the llmstub chat-completions
 # server, driven over real HTTP (curl) through the /v1 API.
 scripts/smoke.sh
