@@ -441,7 +441,7 @@ func BenchmarkHTTPAskParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := int(gid.Add(1)) * 5
 		for pb.Next() {
-			url := fmt.Sprintf("%s/sessions/ask-%04d/ask", srv.URL, i%n)
+			url := fmt.Sprintf("%s/v1/sessions/ask-%04d/ask", srv.URL, i%n)
 			i++
 			// A session can be evicted out from under a request (409) or
 			// every live session can be mid-operation (503); real clients

@@ -5,9 +5,17 @@
 // does exactly that).
 //
 //	llmstub [-addr 127.0.0.1:8091] [-fail N] [-latency 0ms]
+//	        [-slow-every N] [-slow-latency 0ms]
 //
 // -fail makes the first N requests fail with 429 Too Many Requests, so
 // a client's retry/backoff path can be observed against a live server.
+// -slow-every injects tail latency: every Nth request additionally
+// sleeps -slow-latency, giving a client's hedging path a real tail to
+// cut.
+//
+// A request carrying multiple user messages is treated as a micro-batch
+// and answered with one choice per message, in order — the batch wire
+// contract the remote backend's BatchWindow mode relies on.
 //
 //	POST /chat/completions     the OpenAI-compatible completion call
 //	POST /v1/chat/completions  alias, for endpoints configured with /v1
@@ -56,16 +64,24 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
 	fail := flag.Int64("fail", 0, "fail the first N completion requests with 429")
 	latency := flag.Duration("latency", 0, "simulated per-request latency")
+	slowEvery := flag.Int64("slow-every", 0, "every Nth request sleeps -slow-latency extra (0 = off)")
+	slowLatency := flag.Duration("slow-latency", 0, "extra latency injected by -slow-every")
 	flag.Parse()
 
 	model := llm.NewSim()
 	var served atomic.Int64
 
 	complete := func(w http.ResponseWriter, r *http.Request) {
+		n := served.Add(1)
 		if *latency > 0 {
 			time.Sleep(*latency)
 		}
-		if n := served.Add(1); n <= *fail {
+		if *slowEvery > 0 && *slowLatency > 0 && n%*slowEvery == 0 {
+			// The injected tail: a hedged client should beat this by
+			// racing a second (fast) request against it.
+			time.Sleep(*slowLatency)
+		}
+		if n <= *fail {
 			w.Header().Set("Retry-After", "0")
 			writeJSON(w, http.StatusTooManyRequests, errorMessage("injected failure"))
 			return
@@ -79,15 +95,19 @@ func main() {
 			writeJSON(w, http.StatusBadRequest, errorMessage("no messages"))
 			return
 		}
-		out, err := model.Complete(r.Context(), req.Messages[len(req.Messages)-1].Content)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorMessage(err.Error()))
-			return
+		// One choice per user message, in order: a single-prompt request
+		// gets one choice, a micro-batch gets its results mapped back by
+		// index.
+		choices := make([]chatChoice, 0, len(req.Messages))
+		for _, m := range req.Messages {
+			out, err := model.Complete(r.Context(), m.Content)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorMessage(err.Error()))
+				return
+			}
+			choices = append(choices, chatChoice{Message: chatMessage{Role: "assistant", Content: out}})
 		}
-		writeJSON(w, http.StatusOK, chatResponse{
-			Model:   req.Model,
-			Choices: []chatChoice{{Message: chatMessage{Role: "assistant", Content: out}}},
-		})
+		writeJSON(w, http.StatusOK, chatResponse{Model: req.Model, Choices: choices})
 	}
 
 	mux := http.NewServeMux()
@@ -97,7 +117,7 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	fmt.Printf("llmstub: serving simulated chat completions on %s (fail=%d)\n", *addr, *fail)
+	fmt.Printf("llmstub: serving simulated chat completions on %s (fail=%d, slow-every=%d)\n", *addr, *fail, *slowEvery)
 	log.Fatal(srv.ListenAndServe())
 }
 

@@ -6,6 +6,8 @@
 //	websimd [-addr :8080] [-seed N] [-social] [-latency 0ms]
 //	        [-capacity 64] [-shards 0] [-snapshots DIR] [-timeout 30s]
 //	        [-model sim|ensemble|remote]
+//	        [-llm-batch-window 0ms] [-llm-batch-max 0]
+//	        [-llm-hedge] [-llm-hedge-delay 0ms]
 //
 // Simulated-web API:
 //
@@ -13,8 +15,8 @@
 //	GET /fetch?url=https://...
 //	GET /healthz
 //
-// Agent session API (see internal/session; the unversioned paths stay
-// as deprecated aliases for one release):
+// Agent session API (see internal/session; the old unversioned aliases
+// were removed and now answer 404 with the standard error envelope):
 //
 //	POST   /v1/sessions                create (optionally train) a session
 //	GET    /v1/sessions                list sessions
@@ -27,11 +29,16 @@
 //	POST   /v1/sessions/{id}/report    investigate + markdown report
 //	POST   /v1/sessions/{id}/snapshot  persist session state to disk
 //	GET    /v1/sessions/{id}/trace     the audit trace
+//	GET    /v1/sessions/{id}/events    live investigation steps (SSE)
 //	GET    /v1/stats                   manager + LLM-backend counters
 //
 // -model picks the default LLM backend for new sessions (a per-session
 // "model" field in POST /v1/sessions overrides it). The remote backend
-// reads REPRO_LLM_ENDPOINT / REPRO_LLM_API_KEY / REPRO_LLM_MODEL.
+// reads REPRO_LLM_ENDPOINT / REPRO_LLM_API_KEY / REPRO_LLM_MODEL; the
+// -llm-batch-* and -llm-hedge* flags tune its micro-batching and
+// tail-latency hedging (they set REPRO_LLM_BATCH_WINDOW,
+// REPRO_LLM_BATCH_MAX, REPRO_LLM_HEDGE and REPRO_LLM_HEDGE_DELAY for
+// every session built in this process).
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,7 +67,26 @@ func main() {
 	snapshots := flag.String("snapshots", "", "directory for session snapshots (enables restore)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout for agent calls")
 	model := flag.String("model", "", "default LLM backend for new sessions: sim, ensemble, remote (empty = sim)")
+	batchWindow := flag.Duration("llm-batch-window", 0, "remote backend micro-batch window (0 = off)")
+	batchMax := flag.Int("llm-batch-max", 0, "max prompts per batched upstream call (0 = default)")
+	hedge := flag.Bool("llm-hedge", false, "enable tail-latency request hedging in the remote backend")
+	hedgeDelay := flag.Duration("llm-hedge-delay", 0, "fixed hedge trigger (0 = adaptive p99)")
 	flag.Parse()
+
+	// The backend reads its tuning from the environment at session
+	// construction; the flags just feed it.
+	if *batchWindow > 0 {
+		os.Setenv(backend.EnvBatchWindow, batchWindow.String())
+	}
+	if *batchMax > 0 {
+		os.Setenv(backend.EnvBatchMax, strconv.Itoa(*batchMax))
+	}
+	if *hedge {
+		os.Setenv(backend.EnvHedge, "1")
+	}
+	if *hedgeDelay > 0 {
+		os.Setenv(backend.EnvHedgeDelay, hedgeDelay.String())
+	}
 
 	if !backend.Known(*model) {
 		fmt.Fprintf(os.Stderr, "websimd: unknown model %q (known: %s)\n", *model, strings.Join(backend.Names(), ", "))

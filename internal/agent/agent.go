@@ -24,6 +24,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/memory"
 	"repro/internal/prompt"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/websim"
 )
@@ -105,6 +106,12 @@ type Agent struct {
 	Memory *memory.Store
 	Trace  *trace.Log
 	Config Config
+	// Observer, when set, receives incremental investigation events:
+	// every Auto-GPT step during Train, and every knowledge-testing
+	// round, partial answer and self-learning pass during Investigate.
+	// Observation is passive — behaviour and output are byte-identical
+	// with or without it.
+	Observer stream.Observer
 }
 
 // New assembles an agent. A nil store gets a fresh default-weight memory.
@@ -116,7 +123,8 @@ func New(role Role, model llm.Model, web websim.Web, store *memory.Store, cfg Co
 }
 
 // Clone returns an agent with the same role, model and config, an
-// independent snapshot of the memory, a fresh trace, and the given web.
+// independent snapshot of the memory, a fresh trace, no observer, and
+// the given web.
 // Clones are the unit of parallelism in the eval harness: concurrent
 // investigations must never share a memory store (writes would interleave
 // nondeterministically) or an engine's counters, so each worker runs on a
@@ -144,11 +152,12 @@ type TrainReport struct {
 func (a *Agent) Train(ctx context.Context) (TrainReport, error) {
 	cfg := a.Config.withDefaults()
 	runner := &autogpt.Runner{
-		Model:  a.Model,
-		Web:    a.Web,
-		Memory: a.Memory,
-		Trace:  a.Trace,
-		Config: cfg.Runner,
+		Model:    a.Model,
+		Web:      a.Web,
+		Memory:   a.Memory,
+		Trace:    a.Trace,
+		Config:   cfg.Runner,
+		Observer: a.Observer,
 	}
 	var report TrainReport
 	for _, goal := range a.Role.Goals {
@@ -292,6 +301,8 @@ func (a *Agent) Investigate(ctx context.Context, question string) (Investigation
 		rec := Round{Round: round, Confidence: ans.Confidence, Verdict: ans.Verdict}
 		inv.Final = ans
 		a.Trace.Add(trace.KindRound, "round %d: confidence %d verdict %q", round, ans.Confidence, ans.Verdict)
+		a.Observer.Emit(stream.Event{Type: stream.EventRound, Round: round, Confidence: ans.Confidence, Verdict: ans.Verdict})
+		a.Observer.Emit(stream.Event{Type: stream.EventPartial, Round: round, Text: ans.Text})
 
 		if ans.Confidence >= cfg.ConfidenceThreshold || round >= cfg.MaxRounds {
 			inv.Rounds = append(inv.Rounds, rec)
@@ -311,6 +322,7 @@ func (a *Agent) Investigate(ctx context.Context, question string) (Investigation
 		if err != nil {
 			return inv, err
 		}
+		a.Observer.Emit(stream.Event{Type: stream.EventLearn, Round: round, Queries: queries, NewItems: added})
 		rec.NewItems = added
 		inv.Rounds = append(inv.Rounds, rec)
 		if added == 0 {

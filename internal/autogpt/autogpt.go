@@ -22,6 +22,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/memory"
 	"repro/internal/prompt"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/websim"
 )
@@ -55,6 +56,10 @@ type Runner struct {
 	Memory *memory.Store
 	Trace  *trace.Log
 	Config Config
+	// Observer, when set, receives every THOUGHTS/COMMAND/observation
+	// step as it happens. Observation is passive: it never changes what
+	// the runner does, only makes it visible.
+	Observer stream.Observer
 
 	files map[string]string
 }
@@ -75,6 +80,7 @@ type GoalReport struct {
 func (r *Runner) RunGoal(ctx context.Context, role, goal string) (GoalReport, error) {
 	cfg := r.Config.withDefaults()
 	report := GoalReport{Goal: goal}
+	r.Observer.Emit(stream.Event{Type: stream.EventGoal, Goal: goal})
 	var history []string
 	for step := 0; step < cfg.MaxSteps; step++ {
 		if err := ctx.Err(); err != nil {
@@ -96,7 +102,12 @@ func (r *Runner) RunGoal(ctx context.Context, role, goal string) (GoalReport, er
 			return report, fmt.Errorf("autogpt: parse step: %w", err)
 		}
 		report.Steps++
+		r.Observer.Emit(stream.Event{Type: stream.EventThoughts, Step: step, Text: reply.Thoughts})
+		r.Observer.Emit(stream.Event{Type: stream.EventCommand, Step: step, Command: reply.Command.Name, Arg: reply.Command.Arg})
 		done, lines := r.execute(ctx, reply.Command, goal, cfg, &report)
+		if len(lines) > 0 {
+			r.Observer.Emit(stream.Event{Type: stream.EventObservation, Step: step, Text: strings.Join(lines, "\n")})
+		}
 		history = append(history, lines...)
 		if done {
 			report.Completed = true

@@ -1,0 +1,202 @@
+package backend
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Micro-batching: the agent runtime fans many small completions out of
+// concurrent sessions, and an OpenAI-compatible upstream charges fixed
+// per-request overhead (connection, auth, queueing) on each. Coalescing
+// the prompts that arrive within a short window into ONE upstream
+// chat-completions call — one user message per prompt, choices mapped
+// back by index — amortizes that overhead across the batch. The first
+// caller of a generation leads: it waits out the window (cut short when
+// the batch fills), takes everything pending, and fans the results
+// back. Followers just wait on their call's done channel, so a batch
+// costs no goroutines beyond the leader's.
+
+// batchCall is one caller's slot in a pending batch. out and err are
+// written before done is closed; the channel close publishes them.
+type batchCall struct {
+	prompt string
+	done   chan struct{}
+	out    string
+	err    error
+}
+
+// batcher accumulates one generation of pending calls. leading marks
+// that a leader is collecting; full is closed when the generation
+// reaches BatchMax so the leader flushes early.
+type batcher struct {
+	mu      sync.Mutex
+	pending []*batchCall
+	full    chan struct{}
+	leading bool
+}
+
+// completeBatched enqueues the prompt into the current batch generation
+// and waits for the flush to resolve it. The enqueuer that starts a
+// generation becomes its leader.
+func (r *Remote) completeBatched(ctx context.Context, prompt string) (string, error) {
+	c := &batchCall{prompt: prompt, done: make(chan struct{})}
+	b := r.batch
+	b.mu.Lock()
+	lead := !b.leading
+	if lead {
+		b.leading = true
+		b.full = make(chan struct{})
+	}
+	b.pending = append(b.pending, c)
+	if len(b.pending) == r.cfg.BatchMax {
+		// Exactly-once per generation: pending only grows until the
+		// leader takes it, so only one caller observes the transition.
+		close(b.full)
+	}
+	full := b.full
+	b.mu.Unlock()
+
+	if lead {
+		// The leader's collection runs detached from its caller: if the
+		// leader is cancelled mid-window, the batch still flushes for
+		// everyone else.
+		go r.leadBatch(full)
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	if c.err != nil {
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		return r.fallback(ctx, prompt, c.err)
+	}
+	return c.out, nil
+}
+
+// leadBatch waits out the batching window (cut short when the batch
+// fills), then takes the whole generation and flushes it.
+func (r *Remote) leadBatch(full <-chan struct{}) {
+	// The wait context only couples Clock.Sleep to the full signal.
+	wctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		select {
+		case <-full:
+			cancel()
+		case <-wctx.Done():
+		}
+	}()
+	_ = r.cfg.Clock.Sleep(wctx, r.cfg.BatchWindow)
+	cancel()
+
+	b := r.batch
+	b.mu.Lock()
+	calls := b.pending
+	b.pending = nil
+	b.leading = false
+	b.mu.Unlock()
+	r.flushBatch(calls)
+}
+
+// flushBatch resolves one generation with a single upstream call,
+// running the breaker admission and outcome once for the whole batch.
+func (r *Remote) flushBatch(calls []*batchCall) {
+	if len(calls) == 0 {
+		return
+	}
+	r.cfg.Counters.batchCalls.Add(1)
+	r.cfg.Counters.batchedPrompts.Add(int64(len(calls)))
+	prompts := make([]string, len(calls))
+	for i, c := range calls {
+		prompts[i] = c.prompt
+	}
+	var outs []string
+	var err error
+	if !r.admit() {
+		err = ErrBreakerOpen
+	} else {
+		// The flush runs on a detached context: one member's
+		// cancellation must not fail the whole batch. Per-attempt
+		// timeouts and bounded retries keep it finite.
+		outs, err = r.completeN(context.Background(), prompts)
+		if err != nil {
+			r.recordFailure()
+		} else {
+			r.recordSuccess()
+		}
+	}
+	if err != nil {
+		r.cfg.Counters.failures.Add(int64(len(calls)))
+	}
+	for i, c := range calls {
+		if err != nil {
+			c.err = err
+		} else {
+			c.out = outs[i]
+			r.cachePut(c.prompt, outs[i])
+		}
+		close(c.done)
+	}
+}
+
+// Adaptive hedging support: the trigger for racing a second request is
+// "the primary has outlived what the p99 of recent successes says it
+// should take".
+const (
+	// latencyWindow is how many recent successful-attempt latencies the
+	// tracker retains.
+	latencyWindow = 128
+	// hedgeMinSamples is how much history the adaptive trigger needs
+	// before hedging activates.
+	hedgeMinSamples = 16
+	// hedgeMinDelay floors the adaptive trigger so an ultra-fast
+	// upstream is not hedged on every request.
+	hedgeMinDelay = time.Millisecond
+)
+
+// latencyTracker is a fixed-size ring of recent successful-attempt
+// latencies with a quantile view over the retained window.
+type latencyTracker struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	idx int
+	n   int64 // total recorded, for the warm-up gate
+}
+
+func newLatencyTracker(size int) *latencyTracker {
+	return &latencyTracker{buf: make([]time.Duration, 0, size)}
+}
+
+func (t *latencyTracker) record(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, d)
+	} else {
+		t.buf[t.idx] = d
+		t.idx = (t.idx + 1) % cap(t.buf)
+	}
+	t.n++
+}
+
+// p99 returns the 99th-percentile latency over the retained window and
+// whether enough samples exist to trust it.
+func (t *latencyTracker) p99() (time.Duration, bool) {
+	t.mu.Lock()
+	if t.n < hedgeMinSamples {
+		t.mu.Unlock()
+		return 0, false
+	}
+	s := append([]time.Duration(nil), t.buf...)
+	t.mu.Unlock()
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := len(s) * 99 / 100
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i], true
+}

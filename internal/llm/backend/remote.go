@@ -81,6 +81,22 @@ type RemoteConfig struct {
 	// CacheSize bounds the prompt-keyed LRU response cache; 0 takes the
 	// default (512), negative disables caching.
 	CacheSize int
+	// BatchWindow, when positive, enables micro-batching: concurrent
+	// completions arriving within the window coalesce into ONE upstream
+	// chat-completions call (one user message per prompt, choices mapped
+	// back by index). 0 disables batching.
+	BatchWindow time.Duration
+	// BatchMax caps prompts per batched call (default 8 when batching
+	// is enabled). A full batch flushes before the window elapses.
+	BatchMax int
+	// Hedge enables tail-latency hedging: when an attempt outlives the
+	// hedge delay, a second identical attempt races it and the first
+	// response wins. Duplicated work trades for a shorter tail.
+	Hedge bool
+	// HedgeDelay fixes the hedge trigger. 0 means adaptive: the tracked
+	// p99 of recent successful attempts (no hedging until enough
+	// history exists).
+	HedgeDelay time.Duration
 	// Fallback, when set, serves completions whenever the remote path
 	// fails — breaker open, retries exhausted, or a permanent error —
 	// so the agent degrades to the simulated model instead of erroring.
@@ -127,6 +143,9 @@ func (c RemoteConfig) withDefaults() RemoteConfig {
 	if c.CacheSize == 0 {
 		c.CacheSize = 512
 	}
+	if c.BatchWindow > 0 && c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
 	if c.Client == nil {
 		c.Client = http.DefaultClient
 	}
@@ -154,9 +173,11 @@ const (
 // bounded retries with exponential backoff + jitter on 429/5xx and
 // transport errors (honoring Retry-After and context cancellation), a
 // half-open circuit breaker with optional fallback to the simulated
-// model, a bounded in-flight gate, and a prompt-keyed LRU response
-// cache. All time is injected, so the failure paths are testable with a
-// fake clock.
+// model, a bounded in-flight gate, a prompt-keyed LRU response cache,
+// singleflight coalescing of identical in-flight prompts, optional
+// micro-batching of concurrent prompts into one upstream call, and
+// optional tail-latency request hedging. All time is injected, so the
+// failure and latency paths are testable with a fake clock.
 type Remote struct {
 	cfg  RemoteConfig
 	gate chan struct{}
@@ -169,6 +190,24 @@ type Remote struct {
 	probeBusy bool      // a half-open probe is in flight
 
 	cache *promptCache
+
+	// fmu guards flights: identical prompts in flight at once coalesce
+	// onto one upstream request (singleflight).
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	// batch is the micro-batcher (nil when BatchWindow is 0).
+	batch *batcher
+	// lat tracks successful-attempt latency for the adaptive hedge
+	// trigger.
+	lat *latencyTracker
+}
+
+// flight is one in-progress completion that identical callers join.
+type flight struct {
+	done chan struct{}
+	out  string
+	err  error
 }
 
 // NewRemote builds a Remote client. It fails fast on a missing
@@ -179,11 +218,16 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 	}
 	cfg = cfg.withDefaults()
 	r := &Remote{
-		cfg:  cfg,
-		gate: make(chan struct{}, cfg.MaxInFlight),
+		cfg:     cfg,
+		gate:    make(chan struct{}, cfg.MaxInFlight),
+		flights: map[string]*flight{},
+		lat:     newLatencyTracker(latencyWindow),
 	}
 	if cfg.CacheSize > 0 {
 		r.cache = newPromptCache(cfg.CacheSize)
+	}
+	if cfg.BatchWindow > 0 {
+		r.batch = &batcher{}
 	}
 	return r, nil
 }
@@ -208,11 +252,55 @@ type chatResponse struct {
 	} `json:"error,omitempty"`
 }
 
-// Complete implements llm.Model.
+// Complete implements llm.Model. Identical prompts in flight at once
+// coalesce onto one upstream request: followers wait for the leader's
+// result instead of spending their own.
 func (r *Remote) Complete(ctx context.Context, encodedPrompt string) (string, error) {
 	if out, ok := r.cacheGet(encodedPrompt); ok {
 		r.cfg.Counters.cacheHits.Add(1)
 		return out, nil
+	}
+	for {
+		r.fmu.Lock()
+		if f, ok := r.flights[encodedPrompt]; ok {
+			r.fmu.Unlock()
+			r.cfg.Counters.coalesced.Add(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+			if f.err == nil {
+				return f.out, nil
+			}
+			// The leader's failure was its own cancellation, not the
+			// upstream's: a still-live follower retries with a flight of
+			// its own rather than inheriting someone else's ctx error.
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				if ctx.Err() != nil {
+					return "", ctx.Err()
+				}
+				continue
+			}
+			return "", f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		r.flights[encodedPrompt] = f
+		r.fmu.Unlock()
+		f.out, f.err = r.completeOne(ctx, encodedPrompt)
+		r.fmu.Lock()
+		delete(r.flights, encodedPrompt)
+		r.fmu.Unlock()
+		close(f.done)
+		return f.out, f.err
+	}
+}
+
+// completeOne runs one (uncoalesced) completion through the batched or
+// direct path.
+func (r *Remote) completeOne(ctx context.Context, encodedPrompt string) (string, error) {
+	if r.batch != nil {
+		return r.completeBatched(ctx, encodedPrompt)
 	}
 	if !r.admit() {
 		// Breaker rejecting traffic: fail fast, degrading to the
@@ -220,21 +308,20 @@ func (r *Remote) Complete(ctx context.Context, encodedPrompt string) (string, er
 		r.cfg.Counters.failures.Add(1)
 		return r.fallback(ctx, encodedPrompt, ErrBreakerOpen)
 	}
-	out, err := r.complete(ctx, encodedPrompt)
+	outs, err := r.completeN(ctx, []string{encodedPrompt})
 	if err != nil {
 		r.recordFailure()
+		r.cfg.Counters.failures.Add(1)
 		// Context cancellation is the caller's doing, not the remote's:
 		// it neither trips the fallback nor masks the cancellation.
 		if ctx.Err() != nil {
-			r.cfg.Counters.failures.Add(1)
 			return "", err
 		}
-		r.cfg.Counters.failures.Add(1)
 		return r.fallback(ctx, encodedPrompt, err)
 	}
 	r.recordSuccess()
-	r.cachePut(encodedPrompt, out)
-	return out, nil
+	r.cachePut(encodedPrompt, outs[0])
+	return outs[0], nil
 }
 
 // fallback serves the completion from the configured fallback model, or
@@ -317,36 +404,122 @@ type retryableError struct {
 func (e *retryableError) Error() string { return e.err.Error() }
 func (e *retryableError) Unwrap() error { return e.err }
 
-// complete runs the attempt/retry loop under the concurrency gate.
-func (r *Remote) complete(ctx context.Context, encodedPrompt string) (string, error) {
+// completeN runs the attempt/retry loop for a group of prompts (a batch
+// counts as one in-flight unit) under the concurrency gate.
+func (r *Remote) completeN(ctx context.Context, prompts []string) ([]string, error) {
 	select {
 	case r.gate <- struct{}{}:
 	case <-ctx.Done():
-		return "", ctx.Err()
+		return nil, ctx.Err()
 	}
 	defer func() { <-r.gate }()
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		r.cfg.Counters.requests.Add(1)
-		out, err := r.attempt(ctx, encodedPrompt)
+		outs, err := r.attemptHedged(ctx, prompts)
 		if err == nil {
-			return out, nil
+			return outs, nil
 		}
 		lastErr = err
 		var re *retryableError
 		if !errors.As(err, &re) || attempt >= r.cfg.MaxRetries {
-			return "", lastErr
+			return nil, lastErr
 		}
 		wait := re.retryAfter
 		if wait <= 0 {
 			wait = r.backoff(attempt)
 		}
 		if err := r.cfg.Clock.Sleep(ctx, wait); err != nil {
-			return "", err // cancelled mid-retry
+			return nil, err // cancelled mid-retry
 		}
 		r.cfg.Counters.retries.Add(1)
 	}
+}
+
+// attemptHedged runs one logical attempt. With hedging enabled, a slow
+// primary request is raced by an identical hedge launched after the
+// hedge delay; the first result (success or, once both are in, the
+// primary's failure) wins and the loser's context is cancelled.
+func (r *Remote) attemptHedged(ctx context.Context, prompts []string) ([]string, error) {
+	if !r.cfg.Hedge {
+		r.cfg.Counters.requests.Add(1)
+		return r.timedAttempt(ctx, prompts)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		outs  []string
+		err   error
+		hedge bool
+	}
+	results := make(chan result, 2)
+	launch := func(hedge bool) {
+		r.cfg.Counters.requests.Add(1)
+		go func() {
+			outs, err := r.timedAttempt(actx, prompts)
+			results <- result{outs, err, hedge}
+		}()
+	}
+	launch(false)
+	hedgeTimer := make(chan struct{}, 1)
+	go func() {
+		if r.cfg.Clock.Sleep(actx, r.hedgeDelay()) == nil {
+			hedgeTimer <- struct{}{}
+		}
+	}()
+	inFlight := 1
+	var firstErr error
+	for {
+		select {
+		case res := <-results:
+			inFlight--
+			if res.err == nil {
+				if res.hedge {
+					r.cfg.Counters.hedgeWins.Add(1)
+				}
+				return res.outs, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if inFlight == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil // fires at most once
+			r.cfg.Counters.hedges.Add(1)
+			launch(true)
+			inFlight++
+		}
+	}
+}
+
+// timedAttempt is attemptN plus latency tracking: successful attempts
+// feed the p99 estimate the adaptive hedge trigger uses.
+func (r *Remote) timedAttempt(ctx context.Context, prompts []string) ([]string, error) {
+	start := r.cfg.Clock.Now()
+	outs, err := r.attemptN(ctx, prompts)
+	if err == nil {
+		r.lat.record(r.cfg.Clock.Now().Sub(start))
+	}
+	return outs, err
+}
+
+// hedgeDelay resolves how long the primary attempt runs before a hedge
+// races it: the fixed override when set, else the tracked p99. With too
+// little history the delay equals the attempt timeout, i.e. hedging
+// stays dormant until the tracker warms up.
+func (r *Remote) hedgeDelay() time.Duration {
+	if r.cfg.HedgeDelay > 0 {
+		return r.cfg.HedgeDelay
+	}
+	if d, ok := r.lat.p99(); ok {
+		if d < hedgeMinDelay {
+			return hedgeMinDelay
+		}
+		return d
+	}
+	return r.cfg.Timeout
 }
 
 // backoff computes the wait before re-attempt number attempt (0-based):
@@ -364,24 +537,27 @@ func (r *Remote) backoff(attempt int) time.Duration {
 	return half + time.Duration(float64(half)*r.cfg.Jitter())
 }
 
-// attempt runs one HTTP round trip under the per-attempt timeout and
-// classifies the outcome: success, retryable (429/5xx/transport), or
-// permanent.
-func (r *Remote) attempt(ctx context.Context, encodedPrompt string) (string, error) {
+// attemptN runs one HTTP round trip for one or more prompts under the
+// per-attempt timeout and classifies the outcome: success, retryable
+// (429/5xx/transport), or permanent. A multi-prompt attempt sends one
+// user message per prompt and maps choices back by index — the batch
+// wire contract.
+func (r *Remote) attemptN(ctx context.Context, prompts []string) ([]string, error) {
 	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
 	defer cancel()
 
-	body, err := json.Marshal(chatRequest{
-		Model:    r.cfg.Upstream,
-		Messages: []chatMessage{{Role: "user", Content: encodedPrompt}},
-	})
+	msgs := make([]chatMessage, len(prompts))
+	for i, p := range prompts {
+		msgs[i] = chatMessage{Role: "user", Content: p}
+	}
+	body, err := json.Marshal(chatRequest{Model: r.cfg.Upstream, Messages: msgs})
 	if err != nil {
-		return "", fmt.Errorf("backend: encode request: %w", err)
+		return nil, fmt.Errorf("backend: encode request: %w", err)
 	}
 	url := strings.TrimSuffix(r.cfg.Endpoint, "/") + "/chat/completions"
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return "", fmt.Errorf("backend: build request: %w", err)
+		return nil, fmt.Errorf("backend: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if r.cfg.APIKey != "" {
@@ -391,42 +567,46 @@ func (r *Remote) attempt(ctx context.Context, encodedPrompt string) (string, err
 	if err != nil {
 		// The caller cancelled: not retryable, surface the cancellation.
 		if ctx.Err() != nil {
-			return "", ctx.Err()
+			return nil, ctx.Err()
 		}
 		// Everything else — refused connections, attempt timeouts
 		// (hangs), resets — is transport-level and worth retrying.
-		return "", &retryableError{err: fmt.Errorf("backend: %w", err)}
+		return nil, &retryableError{err: fmt.Errorf("backend: %w", err)}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
 	if err != nil {
 		if ctx.Err() != nil {
-			return "", ctx.Err()
+			return nil, ctx.Err()
 		}
-		return "", &retryableError{err: fmt.Errorf("backend: read response: %w", err)}
+		return nil, &retryableError{err: fmt.Errorf("backend: read response: %w", err)}
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		// parsed below
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-		return "", &retryableError{
+		return nil, &retryableError{
 			err:        fmt.Errorf("backend: upstream %s: %s", resp.Status, clipBody(data)),
 			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), r.cfg.Clock.Now()),
 		}
 	default:
-		return "", fmt.Errorf("backend: upstream %s: %s", resp.Status, clipBody(data))
+		return nil, fmt.Errorf("backend: upstream %s: %s", resp.Status, clipBody(data))
 	}
 	var cr chatResponse
 	if err := json.Unmarshal(data, &cr); err != nil {
-		return "", fmt.Errorf("backend: parse response: %w", err)
+		return nil, fmt.Errorf("backend: parse response: %w", err)
 	}
 	if cr.Error != nil {
-		return "", fmt.Errorf("backend: upstream error: %s", cr.Error.Message)
+		return nil, fmt.Errorf("backend: upstream error: %s", cr.Error.Message)
 	}
-	if len(cr.Choices) == 0 {
-		return "", fmt.Errorf("backend: upstream returned no choices")
+	if len(cr.Choices) < len(prompts) {
+		return nil, fmt.Errorf("backend: upstream returned %d choices for %d prompts", len(cr.Choices), len(prompts))
 	}
-	return cr.Choices[0].Message.Content, nil
+	outs := make([]string, len(prompts))
+	for i := range prompts {
+		outs[i] = cr.Choices[i].Message.Content
+	}
+	return outs, nil
 }
 
 // parseRetryAfter honors both Retry-After forms: delta-seconds and an

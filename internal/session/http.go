@@ -93,7 +93,8 @@ type ErrorResponse struct {
 
 // Handler exposes the manager as an HTTP JSON API — the agent-serving
 // side of websimd. The stable, versioned contract lives under /v1; the
-// unversioned paths are deprecated aliases kept for one release:
+// deprecated unversioned aliases have been removed and now return 404
+// with the standard error envelope:
 //
 //	POST   /v1/sessions                  create (optionally train) a session
 //	GET    /v1/sessions                  list sessions
@@ -106,21 +107,31 @@ type ErrorResponse struct {
 //	POST   /v1/sessions/{id}/report      investigate + markdown report
 //	POST   /v1/sessions/{id}/snapshot    persist memory+trace+config to disk
 //	GET    /v1/sessions/{id}/trace       the audit trace
+//	GET    /v1/sessions/{id}/events      live investigation steps (SSE)
 //	GET    /v1/stats                     manager + LLM-backend counters
 //
 // Every request runs under the manager's per-request timeout; a request
 // queued behind a busy session gives up when the timeout fires (504).
-// Errors are returned as the ErrorResponse envelope.
+// The events stream is the exception: it follows the client connection,
+// not the request timeout. Errors are returned as the ErrorResponse
+// envelope.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
-	// handle registers h under the versioned /v1 path and the legacy
-	// unversioned alias.
+	// handle registers h under the versioned /v1 path. The pre-/v1
+	// unversioned aliases are gone; the catch-all below turns them into
+	// enveloped 404s.
 	handle := func(pattern string, h http.HandlerFunc) {
 		method, path, _ := strings.Cut(pattern, " ")
 		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(method+" "+path, h)
 	}
+
+	// Anything outside /v1 — including the removed unversioned aliases —
+	// gets the standard envelope instead of the stdlib plaintext 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErrorCode(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no such endpoint %s %s (the API is versioned under /v1)", r.Method, r.URL.Path))
+	})
 
 	handle("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := m.requestCtx(r)
@@ -255,6 +266,12 @@ func Handler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, TraceResponse{Events: s.TraceEvents()})
+	})
+
+	// The live step stream (SSE). Served outside the request timeout: an
+	// event stream legitimately outlives any single operation.
+	handle("GET /sessions/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(m, w, r)
 	})
 
 	// The capacity-planning endpoint: session-lifecycle counters plus

@@ -82,7 +82,7 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 	srv, _ := newTestServer(t, ManagerConfig{SnapshotDir: dir})
 
 	// Create and train in one call.
-	code, body := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{ID: "ops", Train: true})
+	code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "ops", Train: true})
 	if code != http.StatusCreated {
 		t.Fatalf("create: %d %s", code, body)
 	}
@@ -92,20 +92,20 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 	}
 
 	// Status and listing see it.
-	code, body = doJSON(t, "GET", srv.URL+"/sessions/ops", nil)
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions/ops", nil)
 	if code != http.StatusOK {
 		t.Fatalf("status: %d %s", code, body)
 	}
 	if st := decode[Status](t, body); st.ID != "ops" || !st.Trained {
 		t.Errorf("status %+v", st)
 	}
-	code, body = doJSON(t, "GET", srv.URL+"/sessions", nil)
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions", nil)
 	if code != http.StatusOK || !strings.Contains(string(body), `"ops"`) {
 		t.Errorf("list: %d %s", code, body)
 	}
 
 	// Ask from knowledge.
-	code, body = doJSON(t, "POST", srv.URL+"/sessions/ops/ask", QuestionRequest{Question: vulnQuestion})
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/ops/ask", QuestionRequest{Question: vulnQuestion})
 	if code != http.StatusOK {
 		t.Fatalf("ask: %d %s", code, body)
 	}
@@ -115,7 +115,7 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 	}
 
 	// Self-learning investigation.
-	code, body = doJSON(t, "POST", srv.URL+"/sessions/ops/learn", QuestionRequest{Question: vulnQuestion})
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/ops/learn", QuestionRequest{Question: vulnQuestion})
 	if code != http.StatusOK {
 		t.Fatalf("learn: %d %s", code, body)
 	}
@@ -124,14 +124,14 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 	}
 
 	// Plan and report.
-	code, body = doJSON(t, "POST", srv.URL+"/sessions/ops/plan", PlanRequest{Scenario: "solar storm response"})
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/ops/plan", PlanRequest{Scenario: "solar storm response"})
 	if code != http.StatusOK {
 		t.Fatalf("plan: %d %s", code, body)
 	}
 	if plan := decode[PlanResponse](t, body); len(plan.Items) == 0 {
 		t.Error("plan returned no items")
 	}
-	code, body = doJSON(t, "POST", srv.URL+"/sessions/ops/report", QuestionRequest{Question: vulnQuestion})
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/ops/report", QuestionRequest{Question: vulnQuestion})
 	if code != http.StatusOK {
 		t.Fatalf("report: %d %s", code, body)
 	}
@@ -140,7 +140,7 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 	}
 
 	// Audit trace is served.
-	code, body = doJSON(t, "GET", srv.URL+"/sessions/ops/trace", nil)
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions/ops/trace", nil)
 	if code != http.StatusOK {
 		t.Fatalf("trace: %d %s", code, body)
 	}
@@ -149,7 +149,7 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 	}
 
 	// Snapshot, then restore into a fresh manager (a new daemon run).
-	code, body = doJSON(t, "POST", srv.URL+"/sessions/ops/snapshot", nil)
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/ops/snapshot", nil)
 	if code != http.StatusOK {
 		t.Fatalf("snapshot: %d %s", code, body)
 	}
@@ -157,7 +157,7 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 		t.Fatal("snapshot returned no path")
 	}
 	srv2, _ := newTestServer(t, ManagerConfig{SnapshotDir: dir})
-	code, body = doJSON(t, "GET", srv2.URL+"/sessions/ops", nil)
+	code, body = doJSON(t, "GET", srv2.URL+"/v1/sessions/ops", nil)
 	if code != http.StatusOK {
 		t.Fatalf("restored status: %d %s", code, body)
 	}
@@ -166,12 +166,12 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 		t.Errorf("restored status %+v", restored)
 	}
 	// The restored session must answer exactly as the live one does.
-	code, body = doJSON(t, "POST", srv.URL+"/sessions/ops/ask", QuestionRequest{Question: vulnQuestion})
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions/ops/ask", QuestionRequest{Question: vulnQuestion})
 	if code != http.StatusOK {
 		t.Fatalf("live re-ask: %d %s", code, body)
 	}
 	liveAsk := decode[agent.Answer](t, body)
-	code, body = doJSON(t, "POST", srv2.URL+"/sessions/ops/ask", QuestionRequest{Question: vulnQuestion})
+	code, body = doJSON(t, "POST", srv2.URL+"/v1/sessions/ops/ask", QuestionRequest{Question: vulnQuestion})
 	if code != http.StatusOK {
 		t.Fatalf("restored ask: %d %s", code, body)
 	}
@@ -180,11 +180,11 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 	}
 
 	// Delete discards the session and its on-disk snapshot.
-	code, body = doJSON(t, "DELETE", srv2.URL+"/sessions/ops", nil)
+	code, body = doJSON(t, "DELETE", srv2.URL+"/v1/sessions/ops", nil)
 	if code != http.StatusOK {
 		t.Fatalf("delete: %d %s", code, body)
 	}
-	if code, _ = doJSON(t, "GET", srv2.URL+"/sessions/ops", nil); code != http.StatusNotFound {
+	if code, _ = doJSON(t, "GET", srv2.URL+"/v1/sessions/ops", nil); code != http.StatusNotFound {
 		t.Errorf("status after delete = %d, want 404", code)
 	}
 
@@ -204,7 +204,7 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 // serialization holds over HTTP.
 func TestHTTPConcurrentAsks(t *testing.T) {
 	srv, _ := newTestServer(t, ManagerConfig{})
-	code, body := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{ID: "shared", Train: true})
+	code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "shared", Train: true})
 	if code != http.StatusCreated {
 		t.Fatalf("create: %d %s", code, body)
 	}
@@ -215,7 +215,7 @@ func TestHTTPConcurrentAsks(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			code, body := doJSON(t, "POST", srv.URL+"/sessions/shared/ask", QuestionRequest{Question: vulnQuestion})
+			code, body := doJSON(t, "POST", srv.URL+"/v1/sessions/shared/ask", QuestionRequest{Question: vulnQuestion})
 			if code != http.StatusOK {
 				t.Errorf("ask %d: %d %s", i, code, body)
 				return
@@ -234,27 +234,27 @@ func TestHTTPConcurrentAsks(t *testing.T) {
 func TestHTTPErrors(t *testing.T) {
 	srv, _ := newTestServer(t, ManagerConfig{})
 	// Unknown session.
-	if code, _ := doJSON(t, "POST", srv.URL+"/sessions/ghost/ask", QuestionRequest{Question: "q"}); code != http.StatusNotFound {
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions/ghost/ask", QuestionRequest{Question: "q"}); code != http.StatusNotFound {
 		t.Errorf("unknown ask = %d, want 404", code)
 	}
-	if code, _ := doJSON(t, "GET", srv.URL+"/sessions/ghost", nil); code != http.StatusNotFound {
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/sessions/ghost", nil); code != http.StatusNotFound {
 		t.Errorf("unknown status = %d, want 404", code)
 	}
-	if code, _ := doJSON(t, "DELETE", srv.URL+"/sessions/ghost", nil); code != http.StatusNotFound {
+	if code, _ := doJSON(t, "DELETE", srv.URL+"/v1/sessions/ghost", nil); code != http.StatusNotFound {
 		t.Errorf("unknown delete = %d, want 404", code)
 	}
 	// Duplicate create.
-	if code, _ := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{ID: "dup"}); code != http.StatusCreated {
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "dup"}); code != http.StatusCreated {
 		t.Fatal("create dup failed")
 	}
-	if code, _ := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{ID: "dup"}); code != http.StatusConflict {
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "dup"}); code != http.StatusConflict {
 		t.Error("duplicate create not 409")
 	}
 	// Missing question and malformed body.
-	if code, _ := doJSON(t, "POST", srv.URL+"/sessions/dup/ask", QuestionRequest{}); code != http.StatusBadRequest {
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions/dup/ask", QuestionRequest{}); code != http.StatusBadRequest {
 		t.Error("empty question not 400")
 	}
-	resp, err := http.Post(srv.URL+"/sessions/dup/ask", "application/json", strings.NewReader("{not json"))
+	resp, err := http.Post(srv.URL+"/v1/sessions/dup/ask", "application/json", strings.NewReader("{not json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,11 +263,11 @@ func TestHTTPErrors(t *testing.T) {
 		t.Errorf("bad json = %d, want 400", resp.StatusCode)
 	}
 	// Invalid session IDs are rejected and nothing is created.
-	if code, _ := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{ID: "bad/id"}); code < 400 {
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "bad/id"}); code < 400 {
 		t.Errorf("invalid id accepted: %d", code)
 	}
 	// Snapshot without a snapshot dir is a server-side failure.
-	if code, _ := doJSON(t, "POST", srv.URL+"/sessions/dup/snapshot", nil); code != http.StatusInternalServerError {
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions/dup/snapshot", nil); code != http.StatusInternalServerError {
 		t.Error("snapshot without dir not 500")
 	}
 }
@@ -276,7 +276,7 @@ func TestHTTPErrors(t *testing.T) {
 // queued request gives up with 504 when the per-request timeout fires.
 func TestHTTPBusyTimeout(t *testing.T) {
 	srv, m := newTestServer(t, ManagerConfig{RequestTimeout: 30 * time.Millisecond})
-	if code, body := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{ID: "slow"}); code != http.StatusCreated {
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "slow"}); code != http.StatusCreated {
 		t.Fatalf("create: %d %s", code, body)
 	}
 	s, err := m.Get("slow")
@@ -290,7 +290,7 @@ func TestHTTPBusyTimeout(t *testing.T) {
 	if st := s.Status(); !st.Busy {
 		t.Error("session not reported busy while lock held")
 	}
-	if code, body := doJSON(t, "POST", srv.URL+"/sessions/slow/ask", QuestionRequest{Question: "q"}); code != http.StatusGatewayTimeout {
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions/slow/ask", QuestionRequest{Question: "q"}); code != http.StatusGatewayTimeout {
 		t.Errorf("busy session = %d %s, want 504", code, body)
 	}
 }
@@ -299,7 +299,7 @@ func TestHTTPCreateOptions(t *testing.T) {
 	srv, _ := newTestServer(t, ManagerConfig{})
 	seed := uint64(7)
 	social := true
-	code, body := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{
+	code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{
 		ID:        "ada",
 		Seed:      &seed,
 		Social:    &social,
@@ -318,7 +318,7 @@ func TestHTTPCreateOptions(t *testing.T) {
 		t.Errorf("incident role not applied: %q", st.Role)
 	}
 	// Generated IDs are sequential.
-	code, body = doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{})
+	code, body = doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{})
 	if code != http.StatusCreated {
 		t.Fatalf("create generated: %d %s", code, body)
 	}

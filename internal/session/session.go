@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/report"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/websim"
 )
@@ -39,6 +40,11 @@ type Session struct {
 	agent   *agent.Agent
 	engine  *websim.Engine
 	created time.Time
+	// events is the session's bounded step-event buffer: the agent's
+	// observer publishes into it, SSE subscribers read from it. It is
+	// closed when the session is (evicted or deleted), which cleanly
+	// ends every subscriber.
+	events *eventBuffer
 
 	// ops is the capacity-1 operation lock. Acquiring through a channel
 	// (rather than a mutex) lets waiters give up when their context is
@@ -76,18 +82,23 @@ func newSession(id string, cfg Config, use *atomic.Int64, now func() time.Time) 
 		return nil, err
 	}
 	t := now()
-	return &Session{
+	s := &Session{
 		id:       id,
 		cfg:      cfg,
 		agent:    a,
 		engine:   eng,
 		created:  t,
+		events:   newEventBuffer(),
 		ops:      make(chan struct{}, 1),
 		lastUsed: t,
 		useSeq:   use.Add(1), // creation counts as a use for LRU order
 		use:      use,
 		now:      now,
-	}, nil
+	}
+	// Every incremental step the agent emits lands in the session's
+	// event buffer, where SSE subscribers can follow it live.
+	a.Observer = s.events.publish
+	return s, nil
 }
 
 // acquire takes the operation lock, waiting until the session is free or
@@ -173,7 +184,9 @@ func (s *Session) Train(ctx context.Context) (agent.TrainReport, error) {
 		return agent.TrainReport{}, err
 	}
 	defer s.release()
+	s.emit(stream.Event{Type: stream.EventOp, Text: "train"})
 	rep, err := s.agent.Train(ctx)
+	s.emitOutcome(err, stream.Event{Type: stream.EventDone, Text: "train"})
 	if err != nil {
 		return rep, err
 	}
@@ -189,7 +202,10 @@ func (s *Session) Ask(ctx context.Context, question string) (agent.Answer, error
 		return agent.Answer{}, err
 	}
 	defer s.release()
-	return s.agent.Ask(ctx, question)
+	s.emit(stream.Event{Type: stream.EventOp, Text: "ask"})
+	ans, err := s.agent.Ask(ctx, question)
+	s.emitOutcome(err, stream.Event{Type: stream.EventAnswer, Text: ans.Text, Confidence: ans.Confidence, Verdict: ans.Verdict})
+	return ans, err
 }
 
 // Investigate runs the knowledge testing + self-learning loop (§3.2 step
@@ -199,7 +215,10 @@ func (s *Session) Investigate(ctx context.Context, question string) (agent.Inves
 		return agent.Investigation{}, err
 	}
 	defer s.release()
-	return s.agent.Investigate(ctx, question)
+	s.emit(stream.Event{Type: stream.EventOp, Text: "investigate"})
+	inv, err := s.agent.Investigate(ctx, question)
+	s.emitOutcome(err, stream.Event{Type: stream.EventAnswer, Text: inv.Final.Text, Confidence: inv.Final.Confidence, Verdict: inv.Final.Verdict})
+	return inv, err
 }
 
 // SelfLearn runs the given queries against the web and memorizes what it
@@ -241,7 +260,9 @@ func (s *Session) Report(ctx context.Context, question string) (report.Report, a
 		return report.Report{}, agent.Investigation{}, err
 	}
 	defer s.release()
+	s.emit(stream.Event{Type: stream.EventOp, Text: "report"})
 	inv, err := s.agent.Investigate(ctx, question)
+	s.emitOutcome(err, stream.Event{Type: stream.EventAnswer, Text: inv.Final.Text, Confidence: inv.Final.Confidence, Verdict: inv.Final.Verdict})
 	if err != nil {
 		return report.Report{}, inv, err
 	}
@@ -284,11 +305,13 @@ func (s *Session) snapshotLocked() Snapshot {
 }
 
 // markClosed flips the session to closed; in-flight operations finish,
-// later acquires fail with ErrClosed.
+// later acquires fail with ErrClosed. Closing the event buffer gives
+// every SSE subscriber a clean end-of-stream instead of a hang.
 func (s *Session) markClosed() {
 	s.st.Lock()
 	s.closed = true
 	s.st.Unlock()
+	s.events.close()
 }
 
 // lru returns the session's last-use sequence number for eviction order.

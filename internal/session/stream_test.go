@@ -1,0 +1,468 @@
+package session
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// sseFrame is one parsed SSE frame: comments arrive with name "comment".
+type sseFrame struct {
+	id   int64
+	name string
+	data string
+}
+
+// parseSSE reads SSE frames from rc into out until EOF, then closes out.
+func parseSSE(rc io.Reader, out chan<- sseFrame) {
+	sc := bufio.NewScanner(rc)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var f sseFrame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if f.name != "" || f.data != "" {
+				out <- f
+			}
+			f = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			f.id, _ = strconv.ParseInt(line[len("id: "):], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			f.name = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[len("data: "):]
+		case strings.HasPrefix(line, ":"):
+			out <- sseFrame{name: "comment", data: line}
+		}
+	}
+	close(out)
+}
+
+// openSSE subscribes to a session's event stream and returns the frame
+// channel (closed at EOF) plus a cancel that drops the connection.
+func openSSE(t *testing.T, url string, hdr map[string]string) (<-chan sseFrame, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("subscribe %s: %d %s", url, resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("content type %q", ct)
+	}
+	out := make(chan sseFrame, 256)
+	go func() {
+		defer resp.Body.Close()
+		parseSSE(resp.Body, out)
+	}()
+	t.Cleanup(cancel)
+	return out, cancel
+}
+
+// collectSSE drains frames until the channel closes (stream EOF) or the
+// deadline passes.
+func collectSSE(t *testing.T, ch <-chan sseFrame, within time.Duration) []sseFrame {
+	t.Helper()
+	var got []sseFrame
+	deadline := time.After(within)
+	for {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				return got
+			}
+			got = append(got, f)
+		case <-deadline:
+			t.Fatalf("stream did not end within %v; got %d frames: %+v", within, len(got), got)
+		}
+	}
+}
+
+func newStreamManager(t *testing.T) *Manager {
+	t.Helper()
+	m := NewManager(ManagerConfig{Defaults: Config{Seed: 42}})
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+// TestStreamInvestigateOrdering drives an investigation through the
+// programmatic API and asserts the buffered event sequence: the op
+// boundary first, at least one round (with a partial answer) before the
+// terminal answer, contiguous IDs throughout.
+func TestStreamInvestigateOrdering(t *testing.T) {
+	m := newStreamManager(t)
+	s, err := m.Create("stream", Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := s.Investigate(context.Background(), vulnQuestion)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs, closed, _ := s.Events(0)
+	if closed {
+		t.Fatal("event stream closed while session alive")
+	}
+	if len(evs) < 3 {
+		t.Fatalf("want >=3 events (op, round, answer), got %d: %+v", len(evs), evs)
+	}
+	for i, e := range evs {
+		if e.ID != int64(i+1) {
+			t.Fatalf("event %d has ID %d, want contiguous from 1", i, e.ID)
+		}
+	}
+	if evs[0].Type != stream.EventOp || evs[0].Text != "investigate" {
+		t.Errorf("first event %+v, want op/investigate", evs[0])
+	}
+	round, partial, answer := -1, -1, -1
+	for i, e := range evs {
+		switch e.Type {
+		case stream.EventRound:
+			if round == -1 {
+				round = i
+			}
+		case stream.EventPartial:
+			if partial == -1 {
+				partial = i
+			}
+		case stream.EventAnswer:
+			answer = i
+		}
+	}
+	if round == -1 || partial == -1 || answer == -1 {
+		t.Fatalf("missing event kinds (round=%d partial=%d answer=%d) in %+v", round, partial, answer, evs)
+	}
+	if round > answer || partial > answer {
+		t.Errorf("round (%d) and partial (%d) must precede answer (%d)", round, partial, answer)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != stream.EventAnswer || !last.Terminal {
+		t.Errorf("last event %+v, want terminal answer", last)
+	}
+	if last.Text != inv.Final.Text || last.Confidence != inv.Final.Confidence {
+		t.Errorf("terminal answer %+v does not match investigation final %+v", last, inv.Final)
+	}
+	if s.LastEventID() != last.ID {
+		t.Errorf("LastEventID %d, want %d", s.LastEventID(), last.ID)
+	}
+}
+
+// TestStreamSSELive subscribes over real HTTP before an investigation
+// starts and asserts the live stream delivers at least one step event
+// before the final answer, then ends at the terminal event.
+func TestStreamSSELive(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{})
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "live"}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+
+	ch, _ := openSSE(t, srv.URL+"/v1/sessions/live/events", nil)
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions/live/learn", QuestionRequest{Question: vulnQuestion}); code != http.StatusOK {
+		t.Fatalf("learn: %d %s", code, body)
+	}
+	frames := collectSSE(t, ch, 30*time.Second)
+
+	var names []string
+	for _, f := range frames {
+		if f.name != "comment" {
+			names = append(names, f.name)
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no events on the live stream")
+	}
+	if names[0] != stream.EventOp {
+		t.Errorf("first live event %q, want %q (got %v)", names[0], stream.EventOp, names)
+	}
+	roundAt, answerAt := -1, -1
+	for i, n := range names {
+		if n == stream.EventRound && roundAt == -1 {
+			roundAt = i
+		}
+		if n == stream.EventAnswer {
+			answerAt = i
+		}
+	}
+	if roundAt == -1 || answerAt == -1 || roundAt > answerAt {
+		t.Fatalf("want >=1 round event before the answer, got %v", names)
+	}
+	if names[len(names)-1] != stream.EventAnswer {
+		t.Errorf("stream should end at the terminal answer, got %v", names)
+	}
+}
+
+// TestStreamSSEResume checks the replay/resume modes: ?once=1 drains the
+// buffer without following, ?after=N and the Last-Event-ID header skip
+// already-seen events, and a resume token beyond the tail is clamped.
+func TestStreamSSEResume(t *testing.T) {
+	srv, m := newTestServer(t, ManagerConfig{})
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "rs"}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	s, err := m.Get("rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ask(context.Background(), vulnQuestion); err != nil {
+		t.Fatal(err)
+	}
+	last := s.LastEventID()
+	if last < 2 {
+		t.Fatalf("want >=2 buffered events after ask, got %d", last)
+	}
+
+	// Full replay.
+	ch, _ := openSSE(t, srv.URL+"/v1/sessions/rs/events?once=1&after=0", nil)
+	all := collectSSE(t, ch, 10*time.Second)
+	if int64(len(all)) != last || all[0].id != 1 {
+		t.Fatalf("full replay: %d frames from id %d, want %d from 1", len(all), all[0].id, last)
+	}
+
+	// Resume via query parameter.
+	ch, _ = openSSE(t, fmt.Sprintf("%s/v1/sessions/rs/events?once=1&after=%d", srv.URL, all[0].id), nil)
+	rest := collectSSE(t, ch, 10*time.Second)
+	if int64(len(rest)) != last-1 || rest[0].id != 2 {
+		t.Fatalf("resume after=1: %d frames from id %d", len(rest), rest[0].id)
+	}
+
+	// Resume via the standard header.
+	ch, _ = openSSE(t, srv.URL+"/v1/sessions/rs/events?once=1", map[string]string{"Last-Event-ID": "1"})
+	rest = collectSSE(t, ch, 10*time.Second)
+	if int64(len(rest)) != last-1 || rest[0].id != 2 {
+		t.Fatalf("resume Last-Event-ID 1: %d frames from id %d", len(rest), rest[0].id)
+	}
+
+	// A token beyond the live tail clamps to it instead of starving.
+	ch, _ = openSSE(t, srv.URL+"/v1/sessions/rs/events?once=1&after=999999", nil)
+	if over := collectSSE(t, ch, 10*time.Second); len(over) != 0 {
+		t.Fatalf("after beyond tail should replay nothing, got %+v", over)
+	}
+}
+
+// TestStreamCancelMidInvestigation cancels the caller's context as soon
+// as the first round event appears; the investigation must fail and the
+// stream must end with a terminal error event.
+func TestStreamCancelMidInvestigation(t *testing.T) {
+	m := newStreamManager(t)
+	s, err := m.Create("cancel", Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inner := s.agent.Observer
+	s.agent.Observer = func(e stream.Event) {
+		inner(e)
+		if e.Type == stream.EventRound {
+			cancel()
+		}
+	}
+	if _, err := s.Investigate(ctx, vulnQuestion); err == nil {
+		t.Fatal("investigate should fail once its context is cancelled")
+	}
+	evs, _, _ := s.Events(0)
+	if len(evs) == 0 {
+		t.Fatal("no events buffered")
+	}
+	last := evs[len(evs)-1]
+	if last.Type != stream.EventError || !last.Terminal || last.Err == "" {
+		t.Fatalf("last event %+v, want terminal error", last)
+	}
+	for _, e := range evs[:len(evs)-1] {
+		if e.Terminal {
+			t.Fatalf("unexpected earlier terminal event %+v", e)
+		}
+	}
+}
+
+// TestStreamSSECloseOnEviction holds a live subscription on a session
+// that gets LRU-evicted; the subscriber must receive the explicit close
+// event and a clean EOF rather than hanging.
+func TestStreamSSECloseOnEviction(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Capacity: 1})
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "old"}); code != http.StatusCreated {
+		t.Fatalf("create old: %d %s", code, body)
+	}
+	ch, _ := openSSE(t, srv.URL+"/v1/sessions/old/events", nil)
+
+	// Creating a second session in a capacity-1 manager evicts the first.
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "new"}); code != http.StatusCreated {
+		t.Fatalf("create new: %d %s", code, body)
+	}
+	frames := collectSSE(t, ch, 10*time.Second)
+	if len(frames) == 0 || frames[len(frames)-1].name != "close" {
+		t.Fatalf("want a final close event after eviction, got %+v", frames)
+	}
+}
+
+// TestStreamSSECloseOnDelete mirrors the eviction test for explicit
+// DELETE of a session with a live subscriber.
+func TestStreamSSECloseOnDelete(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{})
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "del"}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	ch, _ := openSSE(t, srv.URL+"/v1/sessions/del/events", nil)
+	if code, body := doJSON(t, "DELETE", srv.URL+"/v1/sessions/del", nil); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	frames := collectSSE(t, ch, 10*time.Second)
+	if len(frames) == 0 || frames[len(frames)-1].name != "close" {
+		t.Fatalf("want a final close event after delete, got %+v", frames)
+	}
+}
+
+// TestStreamHeartbeat shortens the heartbeat interval and checks an idle
+// stream emits comment frames that keep the connection alive.
+func TestStreamHeartbeat(t *testing.T) {
+	old := sseHeartbeat
+	sseHeartbeat = 20 * time.Millisecond
+	t.Cleanup(func() { sseHeartbeat = old })
+
+	srv, _ := newTestServer(t, ManagerConfig{})
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "hb"}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	ch, cancel := openSSE(t, srv.URL+"/v1/sessions/hb/events", nil)
+	select {
+	case f, ok := <-ch:
+		if !ok || f.name != "comment" {
+			t.Fatalf("want a heartbeat comment on an idle stream, got %+v (ok=%v)", f, ok)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no heartbeat within 5s at a 20ms interval")
+	}
+	cancel()
+}
+
+// TestStreamNoGoroutineLeaks opens and abandons a pile of SSE
+// subscriptions (client cancel and server-side delete) and polls the
+// goroutine count back to its baseline — the broadcast buffer must not
+// pin per-subscriber goroutines.
+func TestStreamNoGoroutineLeaks(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{})
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "leak"}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	before := runtime.NumGoroutine()
+
+	var cancels []context.CancelFunc
+	for i := 0; i < 8; i++ {
+		_, cancel := openSSE(t, srv.URL+"/v1/sessions/leak/events", nil)
+		cancels = append(cancels, cancel)
+	}
+	for _, c := range cancels {
+		c()
+	}
+
+	// A second wave is ended server-side by deleting the session.
+	var chans []<-chan sseFrame
+	for i := 0; i < 4; i++ {
+		ch, _ := openSSE(t, srv.URL+"/v1/sessions/leak/events", nil)
+		chans = append(chans, ch)
+	}
+	if code, body := doJSON(t, "DELETE", srv.URL+"/v1/sessions/leak", nil); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	for _, ch := range chans {
+		collectSSE(t, ch, 10*time.Second)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestEventBufferOverflow pushes far past capacity and checks the buffer
+// trims from the front while keeping IDs contiguous and resume tokens
+// meaningful.
+func TestEventBufferOverflow(t *testing.T) {
+	b := newEventBuffer()
+	total := eventBufferCap + 300
+	for i := 0; i < total; i++ {
+		b.publish(stream.Event{Type: "x"})
+	}
+	evs, closed, _ := b.readAfter(0)
+	if closed {
+		t.Fatal("buffer reported closed")
+	}
+	if len(evs) == 0 || len(evs) > eventBufferCap {
+		t.Fatalf("retained %d events, want 1..%d", len(evs), eventBufferCap)
+	}
+	if got := evs[len(evs)-1].ID; got != int64(total) {
+		t.Fatalf("newest ID %d, want %d", got, total)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].ID != evs[i-1].ID+1 {
+			t.Fatalf("IDs not contiguous at %d: %d then %d", i, evs[i-1].ID, evs[i].ID)
+		}
+	}
+	// Resuming from inside the dropped prefix starts at the oldest
+	// retained event.
+	first := evs[0].ID
+	got, _, _ := b.readAfter(first - 100)
+	if len(got) != len(evs) || got[0].ID != first {
+		t.Fatalf("resume from dropped prefix: %d events from %d, want %d from %d", len(got), got[0].ID, len(evs), first)
+	}
+	// Resuming from the tail yields nothing until the next publish.
+	if got, _, _ := b.readAfter(int64(total)); len(got) != 0 {
+		t.Fatalf("resume at tail returned %d events", len(got))
+	}
+	// A token beyond the tail clamps to it.
+	if got, _, _ := b.readAfter(int64(total) + 5000); len(got) != 0 {
+		t.Fatalf("resume beyond tail returned %d events", len(got))
+	}
+	b.publish(stream.Event{Type: "y"})
+	if got, _, _ := b.readAfter(int64(total)); len(got) != 1 || got[0].Type != "y" {
+		t.Fatalf("post-publish resume: %+v", got)
+	}
+	// close() wakes waiters and is idempotent; publish after close drops.
+	_, _, change := b.readAfter(b.last())
+	b.close()
+	select {
+	case <-change:
+	default:
+		t.Fatal("close did not wake waiters")
+	}
+	b.close()
+	b.publish(stream.Event{Type: "z"})
+	if evs, closed, _ := b.readAfter(int64(total)); !closed || len(evs) != 1 {
+		t.Fatalf("after close: closed=%v len=%d", closed, len(evs))
+	}
+}

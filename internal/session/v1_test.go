@@ -3,7 +3,6 @@ package session
 import (
 	"encoding/json"
 	"net/http"
-	"reflect"
 	"strings"
 	"testing"
 
@@ -58,39 +57,43 @@ func TestHTTPV1Routes(t *testing.T) {
 	}
 }
 
-// TestHTTPV1Aliases proves the deprecated unversioned paths answer
-// identically to their /v1 counterparts: a session created through one
-// prefix is visible and identical through the other.
-func TestHTTPV1Aliases(t *testing.T) {
+// TestHTTPUnversionedGone pins the removal of the deprecated unversioned
+// aliases: every pre-/v1 path now answers 404 with the standard error
+// envelope, and nothing leaks through to a live handler.
+func TestHTTPUnversionedGone(t *testing.T) {
 	srv, _ := newTestServer(t, ManagerConfig{})
 
-	// Create via the legacy path, read via /v1 and vice versa.
-	if code, body := doJSON(t, "POST", srv.URL+"/sessions", CreateRequest{ID: "legacy", Train: true}); code != http.StatusCreated {
-		t.Fatalf("legacy create: %d %s", code, body)
-	}
-	codeV1, bodyV1 := doJSON(t, "GET", srv.URL+"/v1/sessions/legacy", nil)
-	codeOld, bodyOld := doJSON(t, "GET", srv.URL+"/sessions/legacy", nil)
-	if codeV1 != http.StatusOK || codeOld != http.StatusOK {
-		t.Fatalf("status: v1=%d legacy=%d", codeV1, codeOld)
-	}
-	stV1 := decode[Status](t, bodyV1)
-	stOld := decode[Status](t, bodyOld)
-	if !reflect.DeepEqual(stV1, stOld) {
-		t.Errorf("status diverged:\n v1     %+v\n legacy %+v", stV1, stOld)
+	// A real session exists, so a surviving alias would answer 200.
+	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "legacy"}); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
 	}
 
-	// The same question answered through both prefixes is identical.
-	_, ansV1 := doJSON(t, "POST", srv.URL+"/v1/sessions/legacy/ask", QuestionRequest{Question: vulnQuestion})
-	_, ansOld := doJSON(t, "POST", srv.URL+"/sessions/legacy/ask", QuestionRequest{Question: vulnQuestion})
-	if !reflect.DeepEqual(decode[agent.Answer](t, ansV1), decode[agent.Answer](t, ansOld)) {
-		t.Errorf("answers diverged between prefixes:\n v1     %s\n legacy %s", ansV1, ansOld)
+	gone := []struct{ method, path string }{
+		{"POST", "/sessions"},
+		{"GET", "/sessions"},
+		{"GET", "/sessions/legacy"},
+		{"DELETE", "/sessions/legacy"},
+		{"POST", "/sessions/legacy/ask"},
+		{"POST", "/sessions/legacy/train"},
+		{"POST", "/sessions/legacy/learn"},
+		{"GET", "/sessions/legacy/trace"},
+		{"GET", "/stats"},
 	}
-
-	// Both list views see the session.
-	for _, path := range []string{"/v1/sessions", "/sessions"} {
-		if code, body := doJSON(t, "GET", srv.URL+path, nil); code != http.StatusOK || !strings.Contains(string(body), `"legacy"`) {
-			t.Errorf("list %s: %d %s", path, code, body)
+	for _, g := range gone {
+		code, body := doJSON(t, g.method, srv.URL+g.path, nil)
+		if code != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404", g.method, g.path, code)
+			continue
 		}
+		resp := decode[ErrorResponse](t, body)
+		if resp.Error.Code != "not_found" || resp.Error.Message == "" {
+			t.Errorf("%s %s envelope = %s", g.method, g.path, body)
+		}
+	}
+
+	// The removed aliases had no side effects: the session is untouched.
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/sessions/legacy", nil); code != http.StatusOK {
+		t.Errorf("session harmed by alias probes: %d", code)
 	}
 }
 
@@ -165,8 +168,8 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestHTTPStats exercises GET /v1/stats (and its legacy alias): manager
-// lifecycle counters plus the LLM backend counter block.
+// TestHTTPStats exercises GET /v1/stats: manager lifecycle counters plus
+// the LLM backend counter block.
 func TestHTTPStats(t *testing.T) {
 	srv, m := newTestServer(t, ManagerConfig{})
 	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "a"}); code != http.StatusCreated {
@@ -217,13 +220,9 @@ func TestHTTPStats(t *testing.T) {
 		}
 	}
 
-	// The legacy alias serves the same document shape.
-	code, aliasBody := doJSON(t, "GET", srv.URL+"/stats", nil)
-	if code != http.StatusOK {
-		t.Fatalf("legacy stats: %d %s", code, aliasBody)
-	}
-	if alias := decode[ManagerStats](t, aliasBody); alias.Live != st.Live {
-		t.Errorf("alias live = %d, want %d", alias.Live, st.Live)
+	// The removed unversioned alias is gone for good.
+	if code, aliasBody := doJSON(t, "GET", srv.URL+"/stats", nil); code != http.StatusNotFound {
+		t.Errorf("legacy /stats = %d %s, want 404", code, aliasBody)
 	}
 }
 

@@ -1,0 +1,84 @@
+// Package stream defines the incremental investigation events the agent
+// runtime publishes while it works. The paper's framework is interactive
+// — an operator watches a trained agent think, search and self-learn —
+// yet an HTTP client that only sees the final answer experiences the
+// whole multi-step Auto-GPT loop as dead air. Streaming the intermediate
+// THOUGHTS / COMMAND / observation steps and the per-round partial
+// answers drops perceived latency from full-investigation time to
+// time-to-first-step.
+//
+// The package is deliberately tiny: an Event record and a nil-safe
+// Observer callback. Producers (internal/autogpt, internal/agent) emit
+// through an Observer they do not own; the session runtime
+// (internal/session) owns the per-session bounded buffer behind it and
+// serves it as SSE. Observation is strictly passive — no producer ever
+// changes behaviour based on whether an observer is attached, which is
+// what keeps the simulated path byte-identical with streaming on or off.
+package stream
+
+// Event types. A Terminal event ends the operation the stream is
+// following; everything else is an intermediate step.
+const (
+	// EventOp marks the start of a session operation (train, ask,
+	// investigate, report); Text carries the operation name.
+	EventOp = "op"
+	// EventGoal marks the start of one Auto-GPT training goal.
+	EventGoal = "goal"
+	// EventThoughts carries the model's THOUGHTS text for one step.
+	EventThoughts = "thoughts"
+	// EventCommand is the command the model chose for one step.
+	EventCommand = "command"
+	// EventObservation is the execution result fed back into history.
+	EventObservation = "observation"
+	// EventRound reports one knowledge-testing round: confidence and
+	// verdict after the round's answer.
+	EventRound = "round"
+	// EventPartial carries the round's (not yet final) answer text.
+	EventPartial = "partial"
+	// EventLearn reports one self-learning pass: the proposed queries
+	// and how many new knowledge items they yielded.
+	EventLearn = "learn"
+	// EventAnswer is the final answer of an ask/investigate/report
+	// operation. Terminal.
+	EventAnswer = "answer"
+	// EventDone ends an operation that has no answer payload (train).
+	// Terminal.
+	EventDone = "done"
+	// EventError ends an operation that failed, including context
+	// cancellation mid-investigation. Terminal.
+	EventError = "error"
+)
+
+// Event is one step of a running investigation. ID is assigned by the
+// session event buffer (0 until published); all other fields are set by
+// the producer and zero values are omitted on the wire.
+type Event struct {
+	ID         int64    `json:"id,omitempty"`
+	Type       string   `json:"type"`
+	Step       int      `json:"step,omitempty"`
+	Round      int      `json:"round,omitempty"`
+	Goal       string   `json:"goal,omitempty"`
+	Command    string   `json:"command,omitempty"`
+	Arg        string   `json:"arg,omitempty"`
+	Text       string   `json:"text,omitempty"`
+	Confidence int      `json:"confidence,omitempty"`
+	Verdict    string   `json:"verdict,omitempty"`
+	Queries    []string `json:"queries,omitempty"`
+	NewItems   int      `json:"new_items,omitempty"`
+	Err        string   `json:"error,omitempty"`
+	// Terminal marks the event that ends the operation this stream is
+	// following; the SSE layer closes the response after sending it.
+	Terminal bool `json:"terminal,omitempty"`
+}
+
+// Observer receives events as they happen. A nil Observer is valid and
+// discards everything, so instrumentation is always optional and the
+// un-observed hot path pays one nil check.
+type Observer func(Event)
+
+// Emit publishes e through o, tolerating a nil observer.
+func (o Observer) Emit(e Event) {
+	if o != nil {
+		o(e)
+	}
+}

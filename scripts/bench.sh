@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Benchmark sweeps: runs the session-runtime and ask-hot-path benchmark
-# suites at -cpu 8 and records the results as BENCH_sessions.json and
-# BENCH_ask.json in the repo root. Opt-in and separate from check.sh,
-# whose 1-iteration sweep only guards the harness against rot — this
-# script takes real measurements.
+# Benchmark sweeps: runs the session-runtime, ask-hot-path and
+# streaming/batching benchmark suites at -cpu 8 and records the results
+# as BENCH_sessions.json, BENCH_ask.json and BENCH_stream.json in the
+# repo root. Opt-in and separate from check.sh, whose 1-iteration sweep
+# only guards the harness against rot — this script takes real
+# measurements.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s)
 set -euo pipefail
@@ -43,3 +44,11 @@ run_suite sessions \
 run_suite ask \
   '^BenchmarkAsk(Warm|WarmRotating|Parallel|HTTP)$|^BenchmarkHTTPAskParallel$' \
   BENCH_ask.json
+
+# The interactivity suite: time-to-first-event and time-to-first-round
+# against the full investigation, plus batched vs unbatched remote
+# completions. The acceptance line is FirstEvent >= 5x below
+# FullInvestigate.
+run_suite stream \
+  '^BenchmarkStream(FirstEvent|FirstRound|FullInvestigate)$|^BenchmarkRemote(Unbatched|Batched)$' \
+  BENCH_stream.json

@@ -23,6 +23,12 @@ go test -run='^$' -bench=. -benchtime=1x .
 # and the prompt round-trip fuzz corpus (seeds only; no -fuzz time).
 go test -race -run 'TestAskPath|TestSimFastPath|TestEnsembleFastPath|FuzzEncodeRoundTrip|FuzzParse' . ./internal/llm ./internal/prompt
 
+# Concurrency-heavy paths under the race detector: the fake-clock
+# batching/hedging/singleflight suite and the SSE stream lifecycle
+# (cancel mid-investigation, eviction, goroutine-leak checks).
+go test -race -count=1 -run 'TestRemoteBatch|TestRemoteSingleflight|TestRemoteHedge|TestLatencyTracker' ./internal/llm/backend
+go test -race -count=1 -run 'TestStream|TestEventBuffer' ./internal/session
+
 # End-to-end: websimd -model remote against the llmstub chat-completions
 # server, driven over real HTTP (curl) through the /v1 API.
 scripts/smoke.sh

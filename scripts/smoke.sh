@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the versioned session API over a real network hop:
-# llmstub serves OpenAI-compatible completions (with injected 429s),
-# websimd runs with -model remote pointed at it, and curl drives the /v1
-# routes — create, ask, list, legacy alias, error envelope, and the
-# stats counters that must show the injected failures were retried.
+# llmstub serves OpenAI-compatible completions (with injected 429s and a
+# latency tail), websimd runs with -model remote and hedging pointed at
+# it, and curl drives the /v1 routes — create, ask, list, the removed
+# unversioned aliases (now 404), the error envelope, live SSE event
+# streaming during an investigation, and the stats counters that must
+# show the injected failures were retried and the tail was hedged.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,10 +22,12 @@ trap cleanup EXIT
 go build -o "$WORK/llmstub" ./cmd/llmstub
 go build -o "$WORK/websimd" ./cmd/websimd
 
-"$WORK/llmstub" -addr "$LLM_ADDR" -fail 2 >"$WORK/llmstub.log" 2>&1 &
+"$WORK/llmstub" -addr "$LLM_ADDR" -fail 2 \
+  -slow-every 3 -slow-latency 300ms >"$WORK/llmstub.log" 2>&1 &
 PIDS+=($!)
 REPRO_LLM_ENDPOINT="http://$LLM_ADDR" \
-  "$WORK/websimd" -addr "$API_ADDR" -model remote >"$WORK/websimd.log" 2>&1 &
+  "$WORK/websimd" -addr "$API_ADDR" -model remote \
+  -llm-hedge -llm-hedge-delay 50ms >"$WORK/websimd.log" 2>&1 &
 PIDS+=($!)
 
 wait_up() {
@@ -69,9 +73,14 @@ expect_body '"confidence"'
 req GET /v1/sessions 200
 expect_body '"smoke"'
 
-# The deprecated unversioned alias answers identically.
-req GET /sessions/smoke 200
-expect_body '"id":"smoke"'
+# The removed unversioned aliases are gone for good: 404 with the
+# standard envelope, and they never leak through to the websim routes.
+req GET /sessions/smoke 404
+expect_body '"code":"not_found"'
+req POST /sessions 404 '{"id":"nope"}'
+expect_body '"code":"not_found"'
+req GET /stats 404
+expect_body '"code":"not_found"'
 
 # Failures use the standardized error envelope with stable codes.
 req GET /v1/sessions/ghost 404
@@ -79,10 +88,32 @@ expect_body '"code":"not_found"'
 req POST /v1/sessions 400 '{"id":"bad","model":"gpt-17"}'
 expect_body '"code":"unknown_model"'
 
-# The stats endpoint reports the backend counters; the two injected 429s
-# must show up as retries that the client absorbed.
+# Live event streaming: subscribe to a fresh session's SSE feed, run an
+# investigation, and require at least one round event to arrive before
+# the terminal answer — the interactivity the endpoint exists for.
+req POST /v1/sessions 201 '{"id":"stream"}'
+curl -sN --max-time 60 "http://$API_ADDR/v1/sessions/stream/events" >"$WORK/events" &
+SSE_PID=$!
+PIDS+=("$SSE_PID")
+sleep 0.3
+req POST /v1/sessions/stream/learn 200 '{"question":"Why are undersea cables vulnerable?"}'
+for _ in $(seq 100); do
+  kill -0 "$SSE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+round_line=$(grep -n '^event: round' "$WORK/events" | head -1 | cut -d: -f1 || true)
+answer_line=$(grep -n '^event: answer' "$WORK/events" | head -1 | cut -d: -f1 || true)
+if [[ -z "$round_line" || -z "$answer_line" || "$round_line" -ge "$answer_line" ]]; then
+  echo "smoke: SSE stream missing round-before-answer (round=$round_line answer=$answer_line):" >&2
+  cat "$WORK/events" >&2
+  exit 1
+fi
+
+# The stats endpoint reports the backend counters: the two injected 429s
+# must show up as absorbed retries, and the injected latency tail as
+# hedged attempts that won.
 req GET /v1/stats 200
-expect_body '"live":1'
+expect_body '"live"'
 expect_body '"backend"'
 python3 - "$WORK/resp" <<'EOF'
 import json, sys
@@ -91,9 +122,11 @@ be = stats["backend"]
 assert be["requests"] > 0, stats
 assert be["retries"] >= 2, f"injected 429s not retried: {stats}"
 assert be["failures"] == 0, f"smoke traffic should fully recover: {stats}"
+assert be["hedged_attempts"] >= 1, f"latency tail never hedged: {stats}"
+assert be["hedge_wins"] >= 1, f"hedges never beat the injected tail: {stats}"
 EOF
 
 req DELETE /v1/sessions/smoke 200
 req GET /v1/sessions/smoke 404
 
-echo "smoke: ok (remote backend retried injected 429s and recovered)"
+echo "smoke: ok (retries absorbed, tail hedged, SSE streamed rounds before the answer)"

@@ -1,0 +1,218 @@
+// Streaming + remote-batching benchmarks. The interactivity claim is a
+// latency ratio: a subscriber on the event stream hears about an
+// investigation long before the investigation returns, so the suite pins
+// time-to-first-event and time-to-first-round against the full
+// investigation wall time. The batching pair pins the throughput effect
+// of coalescing concurrent prompts into one upstream call when the
+// upstream charges a fixed per-call overhead. scripts/bench.sh records
+// the results as BENCH_stream.json.
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/llm/backend"
+	"repro/internal/session"
+	"repro/internal/stream"
+	"repro/internal/websim"
+)
+
+// streamBenchConfig gives the simulated web a small per-request latency:
+// a real investigation is bound by network and model calls, and that gap
+// is exactly what streaming exists to fill. Without it the zero-latency
+// sim finishes whole investigations in about a millisecond and the
+// comparison measures only scheduler wake jitter.
+var streamBenchConfig = session.Config{
+	Seed:       42,
+	WebOptions: websim.Options{Latency: 500 * time.Microsecond},
+}
+
+// waitEvent blocks until the session publishes an event with ID > after
+// that satisfies want (nil = any event), returning the last ID seen.
+func waitEvent(s *session.Session, after int64, want func(stream.Event) bool) int64 {
+	for {
+		evs, _, change := s.Events(after)
+		for _, e := range evs {
+			after = e.ID
+			if want == nil || want(e) {
+				return after
+			}
+		}
+		if len(evs) == 0 {
+			<-change
+		}
+	}
+}
+
+// benchTimeToEvent measures, per iteration on a fresh untrained session
+// (so the investigation is the full cold multi-round loop, not a warm
+// re-check), the gap between kicking off Investigate and the first event
+// matching want. The investigation is cancelled once the event arrives —
+// only the subscriber's wait is on the clock.
+func benchTimeToEvent(b *testing.B, want func(stream.Event) bool) {
+	b.Helper()
+	m := session.NewManager(session.ManagerConfig{Capacity: 4, Defaults: streamBenchConfig})
+	b.Cleanup(m.Shutdown)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		id := fmt.Sprintf("cold-%d", i)
+		s, err := m.Create(id, streamBenchConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		b.StartTimer()
+		go func() {
+			_, _ = s.Investigate(ctx, askQuestion)
+			close(done)
+		}()
+		waitEvent(s, 0, want)
+		b.StopTimer()
+		cancel()
+		<-done
+		if err := m.Close(context.Background(), id, true); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkStreamFirstEvent measures how quickly a subscriber hears that
+// an investigation has started: the gap between kicking off Investigate
+// and the first event landing in the buffer. This is the interactivity
+// headline — compare against BenchmarkStreamFullInvestigate.
+func BenchmarkStreamFirstEvent(b *testing.B) {
+	benchTimeToEvent(b, nil)
+}
+
+// BenchmarkStreamFirstRound measures time to the first round event — the
+// first substantive progress signal (an answer attempt with confidence),
+// not just the operation boundary.
+func BenchmarkStreamFirstRound(b *testing.B) {
+	benchTimeToEvent(b, func(e stream.Event) bool { return e.Type == stream.EventRound })
+}
+
+// BenchmarkStreamFullInvestigate is the baseline the streaming latencies
+// are judged against: the same cold investigation, start to final answer.
+func BenchmarkStreamFullInvestigate(b *testing.B) {
+	m := session.NewManager(session.ManagerConfig{Capacity: 4, Defaults: streamBenchConfig})
+	b.Cleanup(m.Shutdown)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		id := fmt.Sprintf("full-%d", i)
+		s, err := m.Create(id, streamBenchConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.Investigate(ctx, askQuestion); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := m.Close(ctx, id, true); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// benchUpstream is an OpenAI-compatible stub whose cost model is a fixed
+// per-call overhead plus a small per-prompt cost, calls fully serialized
+// — the shape that makes micro-batching pay: N prompts in one call cost
+// overhead + N·c instead of N·(overhead + c).
+func benchUpstream(b *testing.B) *httptest.Server {
+	b.Helper()
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /chat/completions", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Messages []struct {
+				Content string `json:"content"`
+			} `json:"messages"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		time.Sleep(200 * time.Microsecond) // per-call overhead
+		type msg struct {
+			Role    string `json:"role"`
+			Content string `json:"content"`
+		}
+		type choice struct {
+			Message msg `json:"message"`
+		}
+		choices := make([]choice, 0, len(req.Messages))
+		for _, m := range req.Messages {
+			time.Sleep(20 * time.Microsecond) // per-prompt cost
+			choices = append(choices, choice{Message: msg{Role: "assistant", Content: "echo:" + m.Content}})
+		}
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"choices": choices})
+	})
+	srv := httptest.NewServer(mux)
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+func benchRemote(b *testing.B, srv *httptest.Server, window time.Duration, max int) *backend.Remote {
+	b.Helper()
+	r, err := backend.NewRemote(backend.RemoteConfig{
+		Endpoint:    srv.URL,
+		CacheSize:   -1, // every completion goes upstream
+		BatchWindow: window,
+		BatchMax:    max,
+		Counters:    &backend.Counters{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// runRemoteCompletions drives parallel distinct-prompt completions —
+// distinct so neither the cache (disabled anyway) nor singleflight can
+// shortcut the upstream path.
+func runRemoteCompletions(b *testing.B, r *backend.Remote) {
+	var n atomic.Int64
+	ctx := context.Background()
+	b.SetParallelism(4) // 4×GOMAXPROCS concurrent prompts: a busy manager
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := fmt.Sprintf("prompt-%d", n.Add(1))
+			if _, err := r.Complete(ctx, p); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkRemoteUnbatched: every prompt is its own upstream call, so
+// concurrent callers queue behind the per-call overhead one by one.
+func BenchmarkRemoteUnbatched(b *testing.B) {
+	r := benchRemote(b, benchUpstream(b), 0, 0)
+	runRemoteCompletions(b, r)
+}
+
+// BenchmarkRemoteBatched: a 2ms window coalesces the same concurrency
+// into few upstream calls, paying the per-call overhead once per batch.
+func BenchmarkRemoteBatched(b *testing.B) {
+	r := benchRemote(b, benchUpstream(b), 2*time.Millisecond, 32)
+	runRemoteCompletions(b, r)
+}
