@@ -169,6 +169,11 @@ func (a *Agent) Train(ctx context.Context) (TrainReport, error) {
 		report.Goals = append(report.Goals, gr)
 	}
 	report.MemoryItems = a.Memory.Len()
+	// Seal the trained knowledge into an immutable base segment:
+	// everything learned after training lands in the store's delta, and
+	// every Clone from here on shares the segment by reference instead of
+	// deep-copying the training corpus and its index.
+	a.Memory.SealDelta()
 	return report, nil
 }
 

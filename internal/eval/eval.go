@@ -141,6 +141,10 @@ func trainedState(ctx context.Context, s Setup) (*memory.Store, agent.TrainRepor
 	if err != nil {
 		return nil, agent.TrainReport{}, fmt.Errorf("eval: train: %w", err)
 	}
+	// Train sealed the learned knowledge into a segment; intern it so
+	// every eval clone of this state — and any session runtime in the
+	// same process — shares one resident copy.
+	bob.Memory.InternSegments(evalcache.InternSegment)
 	trainedMu.Lock()
 	defer trainedMu.Unlock()
 	if t, ok := trainedCache[key]; ok {

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/corpus"
+	"repro/internal/memory"
 	"repro/internal/websim"
 	"repro/internal/world"
 )
@@ -39,6 +40,11 @@ var (
 	mu      sync.Mutex
 	corpora = map[uint64]*corpus.Corpus{}
 	bases   = map[baseKey]*websim.Engine{}
+
+	segMu     sync.Mutex
+	segments  = map[string]*memory.Segment{}
+	segHits   int64
+	segMisses int64
 )
 
 // Corpus returns the default-world corpus for seed, generating it at
@@ -73,4 +79,78 @@ func Engine(seed uint64, opts websim.Options) *websim.Engine {
 	}
 	mu.Unlock()
 	return base.Fork(opts)
+}
+
+// InternSegment returns the canonical copy of a sealed memory segment,
+// keyed by content fingerprint. The first caller's segment becomes
+// canonical; later callers with byte-identical content get the same
+// pointer back, so every session trained over the same (world, role,
+// seed) shares one resident copy of the knowledge and its index instead
+// of a million. Interned segments live for the process, exactly like the
+// cached corpora. A nil segment interns to nil.
+func InternSegment(seg *memory.Segment) *memory.Segment {
+	if seg == nil {
+		return nil
+	}
+	segMu.Lock()
+	defer segMu.Unlock()
+	if c, ok := segments[seg.Fingerprint()]; ok {
+		segHits++
+		return c
+	}
+	segMisses++
+	segments[seg.Fingerprint()] = seg
+	return seg
+}
+
+// LookupSegment returns the interned segment for a content fingerprint,
+// or nil — the fast path of snapshot restore, which re-attaches segments
+// by reference instead of re-reading their items from disk.
+func LookupSegment(fingerprint string) *memory.Segment {
+	segMu.Lock()
+	defer segMu.Unlock()
+	return segments[fingerprint]
+}
+
+// SegmentCacheStats is a residency snapshot of the segment intern table,
+// JSON-shaped for GET /v1/stats.
+type SegmentCacheStats struct {
+	// Segments is the number of distinct interned segments.
+	Segments int `json:"segments"`
+	// Items is the total knowledge items across interned segments.
+	Items int `json:"items"`
+	// Refs is the total store references across interned segments — how
+	// many live sessions share this memory.
+	Refs int64 `json:"refs"`
+	// ResidentBytes estimates the resident size of all interned segments
+	// (items plus frozen indexes), counted once each regardless of how
+	// many sessions attach them.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// Hits and Misses count intern calls that found, respectively did not
+	// find, an existing canonical segment.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// SegmentStats returns a snapshot of the segment intern table.
+func SegmentStats() SegmentCacheStats {
+	segMu.Lock()
+	defer segMu.Unlock()
+	st := SegmentCacheStats{Segments: len(segments), Hits: segHits, Misses: segMisses}
+	for _, seg := range segments {
+		st.Items += seg.Len()
+		st.Refs += seg.Refs()
+		st.ResidentBytes += seg.MemoryFootprint()
+	}
+	return st
+}
+
+// ResetSegmentCacheForTest empties the segment intern table and its
+// counters. Tests that assert on interning behavior call this to isolate
+// themselves from segments interned by earlier tests in the process.
+func ResetSegmentCacheForTest() {
+	segMu.Lock()
+	defer segMu.Unlock()
+	segments = map[string]*memory.Segment{}
+	segHits, segMisses = 0, 0
 }

@@ -1,0 +1,70 @@
+package evalcache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func sealedSegment(t *testing.T, n int) *memory.Segment {
+	t.Helper()
+	s := memory.NewStore(memory.DefaultWeights)
+	for i := 0; i < n; i++ {
+		s.Add(fmt.Sprintf("Interning test item %d about cable latitude.", i), "u", "t")
+	}
+	seg := s.SealDelta()
+	if seg == nil {
+		t.Fatal("SealDelta returned nil")
+	}
+	return seg
+}
+
+func TestInternSegmentCanonicalizes(t *testing.T) {
+	ResetSegmentCacheForTest()
+	a := sealedSegment(t, 5)
+	b := sealedSegment(t, 5) // same content, distinct pointer
+	if a == b {
+		t.Fatal("test setup broken: want distinct segments")
+	}
+	if got := InternSegment(a); got != a {
+		t.Error("first intern should return the segment itself")
+	}
+	if got := InternSegment(b); got != a {
+		t.Error("second intern of identical content should return the canonical copy")
+	}
+	if got := LookupSegment(a.Fingerprint()); got != a {
+		t.Error("LookupSegment missed the interned segment")
+	}
+	if got := LookupSegment("no-such-fingerprint"); got != nil {
+		t.Errorf("LookupSegment(miss) = %v, want nil", got)
+	}
+	if InternSegment(nil) != nil {
+		t.Error("interning nil should return nil")
+	}
+	other := sealedSegment(t, 7)
+	InternSegment(other)
+
+	st := SegmentStats()
+	if st.Segments != 2 {
+		t.Errorf("Segments = %d, want 2", st.Segments)
+	}
+	if st.Items != 12 {
+		t.Errorf("Items = %d, want 12", st.Items)
+	}
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", st.Hits, st.Misses)
+	}
+	if st.ResidentBytes <= 0 {
+		t.Error("ResidentBytes should be positive")
+	}
+	// Each *interned* segment is still retained by its sealing store; the
+	// duplicate b is not in the table, so its ref does not count.
+	if st.Refs != 2 {
+		t.Errorf("Refs = %d, want 2", st.Refs)
+	}
+	ResetSegmentCacheForTest()
+	if st := SegmentStats(); st.Segments != 0 || st.Hits != 0 {
+		t.Errorf("reset left %+v", st)
+	}
+}

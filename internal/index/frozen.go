@@ -1,0 +1,189 @@
+package index
+
+import (
+	"math"
+	"slices"
+)
+
+// Frozen is the read-only form of an Index: the same documents, postings
+// and length statistics, but immutable by construction, so any number of
+// readers can search it concurrently with no locking and any number of
+// owners can share one copy with no cloning. A frozen index is the
+// retrieval substrate of a memory.Segment — the trained knowledge for a
+// (world, role, seed) built once and shared by every session that
+// attaches it.
+//
+// A Frozen deliberately carries no derived BM25 state (idf, norms):
+// those depend on the statistics of the *whole* searched corpus, and a
+// frozen index is usually searched as one layer of an Overlay whose
+// other layers it cannot know about.
+type Frozen struct {
+	docs     map[string]Doc
+	postings map[string][]posting
+	docLen   map[string]int
+	totalLen int
+}
+
+// Freeze converts the index into its immutable form, transferring
+// ownership of the underlying structures: the receiver is reset to
+// empty, so no later Add can mutate what the Frozen now shares. It is
+// the sealing half of the segment lifecycle — build mutable, freeze
+// once, share forever.
+func (ix *Index) Freeze() *Frozen {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	f := &Frozen{
+		docs:     ix.docs,
+		postings: ix.postings,
+		docLen:   ix.docLen,
+		totalLen: ix.totalLen,
+	}
+	ix.docs = map[string]Doc{}
+	ix.postings = map[string][]posting{}
+	ix.docLen = map[string]int{}
+	ix.totalLen = 0
+	ix.idf = map[string]float64{}
+	ix.norm = map[string]float64{}
+	ix.dirty = false
+	return f
+}
+
+// Len returns the number of frozen documents.
+func (f *Frozen) Len() int { return len(f.docs) }
+
+// Get returns a document by ID.
+func (f *Frozen) Get(id string) (Doc, bool) {
+	d, ok := f.docs[id]
+	return d, ok
+}
+
+// MemoryFootprint estimates the resident bytes of the frozen index:
+// document text, postings lists and per-document statistics. It is an
+// estimate for capacity planning (GET /v1/stats), not an accounting of
+// allocator overhead.
+func (f *Frozen) MemoryFootprint() int64 {
+	var n int64
+	for id, d := range f.docs {
+		n += int64(len(id) + len(d.ID) + len(d.Title) + len(d.Body) + 48)
+		for _, tag := range d.Tags {
+			n += int64(len(tag) + 16)
+		}
+	}
+	for t, ps := range f.postings {
+		n += int64(len(t) + 48 + len(ps)*24)
+	}
+	n += int64(len(f.docLen) * 24)
+	return n
+}
+
+// Overlay searches one or more frozen bases plus an optional mutable
+// delta as if every document lived in a single index: term and length
+// statistics (document count, document frequency, average length) are
+// combined across all layers before scoring, and the scoring expressions
+// repeat the exact operation order of Index.search, so an overlay over
+// any partition of a document set returns bit-identical scores — and
+// therefore an identical ranking — to one combined index over the same
+// set. That equivalence is what lets a memory store split its items into
+// shared frozen segments plus a private delta without perturbing the
+// retrieval blend (pinned by TestOverlayMatchesCombined and the ask-path
+// determinism suite).
+type Overlay struct {
+	// Bases are the frozen layers, searched lock-free.
+	Bases []*Frozen
+	// Delta is the mutable layer; it may be nil. Its read lock is held
+	// for the whole search, so a racing Add never tears the statistics.
+	Delta *Index
+}
+
+// SearchScores returns the top-k documents across all layers under BM25,
+// without snippet extraction (the memory-retrieval contract; see
+// Index.SearchScores).
+func (o Overlay) SearchScores(query string, k int) []Hit {
+	terms := Tokenize(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	d := o.Delta
+	if d != nil {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
+	nDocs := 0
+	totalLen := 0
+	for _, f := range o.Bases {
+		nDocs += len(f.docs)
+		totalLen += f.totalLen
+	}
+	if d != nil {
+		nDocs += len(d.docs)
+		totalLen += d.totalLen
+	}
+	if nDocs == 0 {
+		return nil
+	}
+	// Combined statistics, with the same float expressions ensureWarm
+	// uses so scores stay bit-identical to a single index.
+	n := float64(nDocs)
+	avgLen := 1.0
+	if n > 0 {
+		avgLen = float64(totalLen) / n
+	}
+	scores := scratchScores.Get().(map[string]float64)
+	defer func() {
+		clear(scores)
+		scratchScores.Put(scores)
+	}()
+	for i, t := range terms {
+		if slices.Contains(terms[:i], t) {
+			continue // dedupe repeated query terms
+		}
+		dfInt := 0
+		for _, f := range o.Bases {
+			dfInt += len(f.postings[t])
+		}
+		if d != nil {
+			dfInt += len(d.postings[t])
+		}
+		if dfInt == 0 {
+			continue
+		}
+		df := float64(dfInt)
+		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
+		score := func(ps []posting, docLen map[string]int) {
+			for _, p := range ps {
+				tf := float64(p.tf)
+				norm := bm25K1 * (1 - bm25B + bm25B*float64(docLen[p.doc])/avgLen)
+				scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + norm)
+			}
+		}
+		for _, f := range o.Bases {
+			score(f.postings[t], f.docLen)
+		}
+		if d != nil {
+			score(d.postings[t], d.docLen)
+		}
+	}
+	winners := topK(scores, k)
+	hits := make([]Hit, len(winners))
+	for i, c := range winners {
+		doc, _ := o.lookup(c.id)
+		hits[i] = Hit{ID: c.id, Title: doc.Title, Score: c.score}
+	}
+	return hits
+}
+
+// lookup resolves a document across all layers. The delta's read lock is
+// already held by the caller.
+func (o Overlay) lookup(id string) (Doc, bool) {
+	for _, f := range o.Bases {
+		if d, ok := f.docs[id]; ok {
+			return d, ok
+		}
+	}
+	if o.Delta != nil {
+		if d, ok := o.Delta.docs[id]; ok {
+			return d, ok
+		}
+	}
+	return Doc{}, false
+}

@@ -1,0 +1,133 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+)
+
+// overlayDocs builds a deterministic corpus with overlapping vocabulary
+// so BM25 statistics (df, avgLen) genuinely differ between layers.
+func overlayDocs(n int) []Doc {
+	words := []string{"cable", "storm", "latitude", "geomagnetic", "outage", "repair", "atlantic", "grid"}
+	docs := make([]Doc, n)
+	for i := range docs {
+		body := ""
+		for j := 0; j <= i%5; j++ {
+			body += words[(i+j)%len(words)] + " "
+		}
+		body += fmt.Sprintf("unique%d", i)
+		docs[i] = Doc{ID: fmt.Sprintf("d%03d", i), Title: words[i%len(words)], Body: body}
+	}
+	return docs
+}
+
+// TestOverlayMatchesCombined pins the tentpole equivalence: an Overlay
+// over any partition of a document set into frozen bases + a mutable
+// delta returns bit-identical scores, in identical order, to one
+// combined index over the same documents.
+func TestOverlayMatchesCombined(t *testing.T) {
+	docs := overlayDocs(40)
+	queries := []string{
+		"cable storm", "geomagnetic latitude", "outage", "unique7 grid",
+		"cable cable storm", // repeated term: dedupe must match
+		"zebra",             // no hits
+		"atlantic repair outage grid",
+	}
+	splits := []struct {
+		name string
+		cuts []int // boundaries: docs[0:c0] seg1, [c0:c1] seg2, rest delta
+	}{
+		{"one-seg-plus-delta", []int{25}},
+		{"two-segs-plus-delta", []int{15, 30}},
+		{"all-in-segs", []int{20, 40}},
+		{"all-in-delta", []int{}},
+	}
+	combined := New()
+	for _, d := range docs {
+		combined.Add(d)
+	}
+	for _, split := range splits {
+		var bases []*Frozen
+		prev := 0
+		for _, c := range split.cuts {
+			seg := New()
+			for _, d := range docs[prev:c] {
+				seg.Add(d)
+			}
+			bases = append(bases, seg.Freeze())
+			prev = c
+		}
+		delta := New()
+		for _, d := range docs[prev:] {
+			delta.Add(d)
+		}
+		o := Overlay{Bases: bases, Delta: delta}
+		for _, q := range queries {
+			for _, k := range []int{1, 3, 40} {
+				want := combined.SearchScores(q, k)
+				got := o.SearchScores(q, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %q k=%d: %d hits, want %d", split.name, q, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].ID != want[i].ID || got[i].Score != want[i].Score || got[i].Title != want[i].Title {
+						t.Errorf("%s: %q k=%d hit %d: got %+v, want %+v", split.name, q, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFreezeTransfersOwnership proves Freeze resets the receiver: the
+// frozen view keeps the documents, and later Adds on the (now empty)
+// mutable index cannot reach into what was frozen.
+func TestFreezeTransfersOwnership(t *testing.T) {
+	ix := New()
+	ix.Add(Doc{ID: "a", Title: "t", Body: "cable storm"})
+	f := ix.Freeze()
+	if f.Len() != 1 {
+		t.Fatalf("frozen Len = %d, want 1", f.Len())
+	}
+	if _, ok := f.Get("a"); !ok {
+		t.Fatal("frozen lost doc a")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("receiver Len = %d after Freeze, want 0", ix.Len())
+	}
+	ix.Add(Doc{ID: "b", Title: "t", Body: "cable outage"})
+	if _, ok := f.Get("b"); ok {
+		t.Error("Add after Freeze leaked into the frozen view")
+	}
+	o := Overlay{Bases: []*Frozen{f}, Delta: ix}
+	hits := o.SearchScores("cable", 10)
+	if len(hits) != 2 {
+		t.Fatalf("overlay sees %d docs, want 2", len(hits))
+	}
+	if f.MemoryFootprint() <= 0 {
+		t.Error("frozen footprint should be positive")
+	}
+}
+
+func TestOverlayEmptyLayers(t *testing.T) {
+	if hits := (Overlay{}).SearchScores("cable", 5); hits != nil {
+		t.Errorf("empty overlay returned %v", hits)
+	}
+	empty := New().Freeze()
+	delta := New()
+	delta.Add(Doc{ID: "a", Title: "t", Body: "cable"})
+	o := Overlay{Bases: []*Frozen{empty}, Delta: delta}
+	if hits := o.SearchScores("cable", 5); len(hits) != 1 || hits[0].ID != "a" {
+		t.Errorf("overlay with empty base: %v", hits)
+	}
+	// Nil delta: bases only.
+	seg := New()
+	seg.Add(Doc{ID: "b", Title: "t", Body: "storm"})
+	o2 := Overlay{Bases: []*Frozen{seg.Freeze()}}
+	if hits := o2.SearchScores("storm", 5); len(hits) != 1 || hits[0].ID != "b" {
+		t.Errorf("overlay with nil delta: %v", hits)
+	}
+	if hits := o2.SearchScores("", 5); hits != nil {
+		t.Errorf("empty query returned %v", hits)
+	}
+}

@@ -6,6 +6,15 @@
 // the generative-agents architecture the paper builds on — and the
 // weights are configurable so the A1 ablation can compare relevance-only
 // retrieval against the full blend.
+//
+// The store is tiered for million-session residency: shared immutable
+// base Segments (trained knowledge, sealed once, attached by reference)
+// under a small mutable delta that holds only this store's self-learned
+// items. Clone copies the delta and retains the segments, so forking a
+// trained session costs the delta — not the training corpus and not its
+// index. Retrieval runs an index.Overlay across all layers, which is
+// bit-identical to a single combined index (see that type's contract),
+// so the tiering is invisible to ranking.
 package memory
 
 import (
@@ -15,6 +24,7 @@ import (
 	"fmt"
 	"maps"
 	"os"
+	"path/filepath"
 	"slices"
 	"sort"
 	"strings"
@@ -51,16 +61,26 @@ var RelevanceOnly = Weights{Relevance: 1}
 
 // Store is the knowledge memory. It is safe for concurrent use.
 type Store struct {
-	mu      sync.RWMutex
-	items   []Item
-	byHash  map[string]bool
-	idx     *index.Index
+	mu sync.RWMutex
+	// segs are the attached base segments, oldest first. Segments are
+	// frozen — every mutating method touches only the delta below — and
+	// shared across stores by reference.
+	segs []*Segment
+	// The delta: items this store learned itself, plus their dedup set
+	// and mutable retrieval index.
+	items  []Item
+	byHash map[string]bool
+	idx    *index.Index
+
 	seq     int64
 	weights Weights
 
-	// version is a monotonic epoch bumped on every mutation (while mu is
-	// held for writing); it keys the knowledge-text cache, so a stale
-	// rendering can never be served after the store changes.
+	// version is a monotonic epoch bumped on every content mutation
+	// (while mu is held for writing); it keys the knowledge-text cache,
+	// so a stale rendering can never be served after the store changes.
+	// Content-preserving restructures (SealDelta, segment interning)
+	// deliberately do not bump it: the rendering they would invalidate
+	// is byte-identical.
 	version atomic.Int64
 
 	// ktMu guards the (query, k) → rendered-KnowledgeText cache. Entries
@@ -126,16 +146,25 @@ func (s *Store) DisableCache() {
 	s.ktMu.Unlock()
 }
 
-// Clone returns an independent snapshot of the store: same items, dedup
-// state, sequence counter and weights, with its own retrieval index.
-// Snapshots are how a trained knowledge state is shared across parallel
-// investigations — concurrent agents that *write* must never share one
-// Store (their insertion sequences would interleave nondeterministically),
-// so each gets a clone and the original stays pristine.
+// Clone returns an independent snapshot of the store: the same knowledge,
+// dedup state, sequence counter and weights. Base segments are shared by
+// reference (they are immutable, so sharing is free and safe); only the
+// delta — items, dedup set, index — is deep-copied. Snapshots are how a
+// trained knowledge state is shared across parallel investigations:
+// concurrent agents that *write* must never share one Store (their
+// insertion sequences would interleave nondeterministically), so each
+// gets a clone and the original stays pristine. For a freshly trained
+// store the delta is empty and a clone costs a few pointers, which is
+// what makes million-session residency affordable.
 func (s *Store) Clone() *Store {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	segs := slices.Clone(s.segs)
+	for _, seg := range segs {
+		seg.Retain()
+	}
 	c := &Store{
+		segs:    segs,
 		items:   slices.Clone(s.items),
 		byHash:  maps.Clone(s.byHash),
 		idx:     s.idx.Clone(),
@@ -151,11 +180,19 @@ func (s *Store) Clone() *Store {
 	return c
 }
 
-// Len returns the number of items.
+// Len returns the number of items across all segments and the delta.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.items)
+	return s.lenLocked()
+}
+
+func (s *Store) lenLocked() int {
+	n := len(s.items)
+	for _, seg := range s.segs {
+		n += len(seg.items)
+	}
+	return n
 }
 
 // contentHash canonicalizes and hashes item text for deduplication.
@@ -171,10 +208,22 @@ func sanitize(text string) string {
 	return strings.ReplaceAll(text, "### ", "")
 }
 
+// hasContentLocked reports whether the content hash exists in any
+// segment or the delta. Caller holds mu.
+func (s *Store) hasContentLocked(h string) bool {
+	for _, seg := range s.segs {
+		if seg.byHash[h] {
+			return true
+		}
+	}
+	return s.byHash[h]
+}
+
 // Add memorizes text with its provenance. Duplicate content (after
-// whitespace normalization) is ignored; the second return reports whether
-// the item was new. Importance is the density of extractable structured
-// facts in the text.
+// whitespace normalization) is ignored — across the base segments and
+// the delta alike; the second return reports whether the item was new.
+// New items always land in the delta: segments are immutable.
+// Importance is the density of extractable structured facts in the text.
 func (s *Store) Add(text, source, topic string) (Item, bool) {
 	text = sanitize(strings.TrimSpace(text))
 	if text == "" {
@@ -183,7 +232,7 @@ func (s *Store) Add(text, source, topic string) (Item, bool) {
 	h := contentHash(text)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.byHash[h] {
+	if s.hasContentLocked(h) {
 		return Item{}, false
 	}
 	s.byHash[h] = true
@@ -207,17 +256,32 @@ func (s *Store) Add(text, source, topic string) (Item, bool) {
 	return it, true
 }
 
+// overlayLocked assembles the layered retrieval view. Caller holds mu.
+func (s *Store) overlayLocked() index.Overlay {
+	if len(s.segs) == 0 {
+		return index.Overlay{Delta: s.idx}
+	}
+	bases := make([]*index.Frozen, len(s.segs))
+	for i, seg := range s.segs {
+		bases[i] = seg.idx
+	}
+	return index.Overlay{Bases: bases, Delta: s.idx}
+}
+
 // Retrieve returns the top-k items for the query under the store's
 // weight blend. Relevance comes from BM25 over item text (normalized to
-// the top score), recency decays exponentially with age in insertions,
-// importance is the stored fact density.
+// the top score) via an overlay across all segments and the delta —
+// bit-identical to a single index over the same items; recency decays
+// exponentially with age in insertions; importance is the stored fact
+// density.
 func (s *Store) Retrieve(query string, k int) []Item {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if k <= 0 || len(s.items) == 0 {
+	total := s.lenLocked()
+	if k <= 0 || total == 0 {
 		return nil
 	}
-	hits := s.idx.SearchScores(query, len(s.items))
+	hits := s.overlayLocked().SearchScores(query, total)
 	var maxScore float64
 	for _, h := range hits {
 		if h.Score > maxScore {
@@ -236,7 +300,7 @@ func (s *Store) Retrieve(query string, k int) []Item {
 	}
 	outp := scoredPool.Get().(*[]scoredItem)
 	out := (*outp)[:0]
-	for _, it := range s.items {
+	score := func(it Item) {
 		age := float64(s.seq - it.Seq)
 		recency := 1.0
 		if age > 0 {
@@ -246,6 +310,14 @@ func (s *Store) Retrieve(query string, k int) []Item {
 			s.weights.Recency*recency +
 			s.weights.Importance*it.Importance
 		out = append(out, scoredItem{it, sc})
+	}
+	for _, seg := range s.segs {
+		for _, it := range seg.items {
+			score(it)
+		}
+	}
+	for _, it := range s.items {
+		score(it)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].score != out[j].score {
@@ -282,10 +354,11 @@ var scoredPool = sync.Pool{
 // KnowledgeText renders the top-k items for a query as the KNOWLEDGE
 // section of a prompt. With an empty query it concatenates the k most
 // recent items instead. Renders are cached per (query, k) at the
-// store's current version: every ask, confidence re-check and plan over
-// an unchanged memory reuses the rendered string (and, because the same
-// string instance flows into the model, the evidence cache's key
-// comparison short-circuits on it too).
+// store's current version — which covers the attached segment set and
+// the delta alike, since every content mutation bumps it: every ask,
+// confidence re-check and plan over an unchanged memory reuses the
+// rendered string (and, because the same string instance flows into the
+// model, the evidence cache's key comparison short-circuits on it too).
 func (s *Store) KnowledgeText(query string, k int) string {
 	s.ktMu.Lock()
 	disabled := s.noCache
@@ -338,26 +411,40 @@ func (s *Store) knowledgeText(query string, k int) string {
 	return b.String()
 }
 
-// Recent returns the k most recently added items, newest first.
+// Recent returns the k most recently added items, newest first. The
+// delta is newest, then segments from the most recently attached back.
 func (s *Store) Recent(k int) []Item {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n := len(s.items)
-	if k > n {
+	if n := s.lenLocked(); k > n {
 		k = n
 	}
+	if k <= 0 {
+		return nil
+	}
 	out := make([]Item, 0, k)
-	for i := n - 1; i >= n-k; i-- {
-		out = append(out, s.items[i])
+	tail := func(items []Item) {
+		for i := len(items) - 1; i >= 0 && len(out) < k; i-- {
+			out = append(out, items[i])
+		}
+	}
+	tail(s.items)
+	for i := len(s.segs) - 1; i >= 0 && len(out) < k; i-- {
+		tail(s.segs[i].items)
 	}
 	return out
 }
 
-// All returns a copy of every item in insertion order.
+// All returns a copy of every item in insertion order: segments in
+// attach order, then the delta.
 func (s *Store) All() []Item {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]Item(nil), s.items...)
+	out := make([]Item, 0, s.lenLocked())
+	for _, seg := range s.segs {
+		out = append(out, seg.items...)
+	}
+	return append(out, s.items...)
 }
 
 // Sources returns the distinct source URLs in the store, sorted. Used to
@@ -366,6 +453,11 @@ func (s *Store) Sources() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	seen := map[string]bool{}
+	for _, seg := range s.segs {
+		for _, it := range seg.items {
+			seen[it.Source] = true
+		}
+	}
 	for _, it := range s.items {
 		seen[it.Source] = true
 	}
@@ -382,16 +474,36 @@ type file struct {
 	Items []Item `json:"knowledge"`
 }
 
-// Save writes the store to path as knowledge.json.
+// Save writes the store to path as knowledge.json (segments and delta
+// flattened — the file format predates the tiering and stays portable).
+// The write is atomic: data lands in a temp file in the same directory
+// and is renamed over the target, so a crash mid-write can never leave a
+// truncated knowledge.json as the only copy.
 func (s *Store) Save(path string) error {
-	s.mu.RLock()
-	data, err := json.MarshalIndent(file{Items: s.items}, "", "  ")
-	s.mu.RUnlock()
+	data, err := json.MarshalIndent(file{Items: s.All()}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("memory: marshal: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
 		return fmt.Errorf("memory: write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memory: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memory: write %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memory: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memory: finalize %s: %w", path, err)
 	}
 	return nil
 }
@@ -410,21 +522,149 @@ func (s *Store) Load(path string) error {
 	return nil
 }
 
-// ReplaceItems replaces the store contents with the given items,
-// preserving their IDs, sequence numbers and importance — the restore
-// half of a session snapshot. Duplicate content is dropped exactly as
-// Load drops it.
+// ReplaceItems replaces the store contents — attached segments included —
+// with the given items, preserving their IDs, sequence numbers and
+// importance: the restore half of a v1 session snapshot and of
+// knowledge.json. Restored text passes through the same sanitizer as
+// Add, so a crafted memory file cannot reintroduce the prompt framing
+// the sanitizer exists to strip, and duplicate content is dropped
+// exactly as Add drops it.
 func (s *Store) ReplaceItems(items []Item) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.version.Add(1)
+	s.releaseSegsLocked()
+	s.resetDeltaLocked()
+	s.addRestoredLocked(items)
+}
+
+// RestoreParts replaces the store contents with the given base segments
+// plus delta items — the restore half of a v2 (segmented) session
+// snapshot. Segments are attached by reference (and retained); delta
+// items pass through the same sanitize-and-dedup path as ReplaceItems,
+// including dedup against the attached segments.
+func (s *Store) RestoreParts(segs []*Segment, delta []Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version.Add(1)
+	s.releaseSegsLocked()
+	s.resetDeltaLocked()
+	for _, seg := range segs {
+		if seg == nil {
+			continue
+		}
+		seg.Retain()
+		s.segs = append(s.segs, seg)
+		if seg.maxSeq > s.seq {
+			s.seq = seg.maxSeq
+		}
+	}
+	s.addRestoredLocked(delta)
+}
+
+// SealDelta freezes the current delta into a new base segment appended
+// to the segment list, leaving an empty delta for future writes. The
+// store's contents are unchanged item-for-item — retrieval over the
+// sealed segment is bit-identical to retrieval over the old delta — so
+// the version is not bumped. Returns the new segment (already attached
+// and retained by this store), or nil when the delta is empty.
+//
+// Sealing is how trained knowledge becomes shareable: agent.Train seals
+// after the role goals complete, the session layer interns the segment
+// in evalcache, and every Clone from then on shares it by reference.
+func (s *Store) SealDelta() *Segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return nil
+	}
+	seg := newSegment("", s.items, s.byHash, s.idx.Freeze(), s.seq)
+	seg.Retain()
+	s.segs = append(s.segs, seg)
+	s.items = nil
+	s.byHash = map[string]bool{}
+	s.idx = index.New()
+	return seg
+}
+
+// Segments returns the attached base segments in attach order. The
+// returned slice is a copy; the segments themselves are shared and
+// immutable.
+func (s *Store) Segments() []*Segment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return slices.Clone(s.segs)
+}
+
+// Parts returns the attached segments and a copy of the delta items —
+// the serialization halves of a v2 session snapshot.
+func (s *Store) Parts() ([]*Segment, []Item) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return slices.Clone(s.segs), append([]Item(nil), s.items...)
+}
+
+// InternSegments replaces each attached segment with intern(segment),
+// retaining the canonical copy and releasing the duplicate whenever the
+// two differ. Interning is content-addressed (the intern function is
+// expected to key on Segment.Fingerprint), so the store's contents — and
+// therefore every rendering — are unchanged and the version is not
+// bumped.
+func (s *Store) InternSegments(intern func(*Segment) *Segment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, seg := range s.segs {
+		c := intern(seg)
+		if c == nil || c == seg {
+			continue
+		}
+		c.Retain()
+		seg.Release()
+		s.segs[i] = c
+	}
+}
+
+// ReleaseSegments drops this store's references on its attached
+// segments without detaching them — the end-of-life half of refcounting,
+// called when a session closes. The store remains readable (segments are
+// immortal once interned); only the sharing statistics change.
+func (s *Store) ReleaseSegments() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, seg := range s.segs {
+		seg.Release()
+	}
+}
+
+// releaseSegsLocked detaches and releases every segment. Caller holds mu
+// for writing.
+func (s *Store) releaseSegsLocked() {
+	for _, seg := range s.segs {
+		seg.Release()
+	}
+	s.segs = nil
+}
+
+// resetDeltaLocked empties the delta. Caller holds mu for writing.
+func (s *Store) resetDeltaLocked() {
 	s.items = nil
 	s.byHash = map[string]bool{}
 	s.idx = index.New()
 	s.seq = 0
+}
+
+// addRestoredLocked appends restored items to the delta, sanitizing and
+// deduplicating each one (against segments and delta alike) while
+// preserving IDs, sequence numbers and importance. Caller holds mu for
+// writing.
+func (s *Store) addRestoredLocked(items []Item) {
 	for _, it := range items {
+		it.Text = sanitize(strings.TrimSpace(it.Text))
+		if it.Text == "" {
+			continue
+		}
 		h := contentHash(it.Text)
-		if s.byHash[h] {
+		if s.hasContentLocked(h) {
 			continue
 		}
 		s.byHash[h] = true

@@ -1,0 +1,140 @@
+package memory
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/index"
+)
+
+// Segment is a frozen, shareable bundle of knowledge items plus their
+// prebuilt retrieval index — the unit of the segmented copy-on-write
+// memory tier. A segment is sealed once (from a store's delta, or
+// rebuilt from persisted items) and never mutated afterwards, so any
+// number of stores can attach the same segment concurrently with no
+// locking and no copying: a million trained sessions over the same
+// (world, role, seed) share one segment instead of a million deep
+// clones. Sharing is arranged by interning segments by content
+// fingerprint in internal/evalcache, next to the corpus and engine
+// caches.
+//
+// The reference count tracks how many stores currently hold the segment
+// (attach and Clone retain; ReplaceItems, RestoreParts and a session's
+// close release). It exists for observability — GET /v1/stats reports
+// per-segment residency and sharing — not for freeing: interned segments
+// live for the process, exactly like the cached corpora, and short-lived
+// eval clones that are garbage-collected without an explicit release
+// only make the count conservative.
+type Segment struct {
+	id          string
+	fingerprint string
+	items       []Item // frozen, insertion order; never mutated
+	byHash      map[string]bool
+	idx         *index.Frozen
+	maxSeq      int64
+	bytes       int64
+	refs        atomic.Int64
+}
+
+// NewSegment builds a segment from restored items — the disk half of the
+// segment lifecycle (SealDelta is the live half). Items pass through the
+// same sanitization and content dedup as ReplaceItems, so a crafted
+// segment file cannot smuggle prompt framing past the sanitizer, and the
+// fingerprint of a rebuilt segment matches the fingerprint of the sealed
+// original.
+func NewSegment(id string, items []Item) *Segment {
+	ix := index.New()
+	kept := make([]Item, 0, len(items))
+	byHash := make(map[string]bool, len(items))
+	var maxSeq int64
+	for _, it := range items {
+		it.Text = sanitize(strings.TrimSpace(it.Text))
+		if it.Text == "" {
+			continue
+		}
+		h := contentHash(it.Text)
+		if byHash[h] {
+			continue
+		}
+		byHash[h] = true
+		if it.Seq > maxSeq {
+			maxSeq = it.Seq
+		}
+		kept = append(kept, it)
+		ix.Add(index.Doc{ID: it.ID, Title: it.Topic, Body: it.Text})
+	}
+	return newSegment(id, kept, byHash, ix.Freeze(), maxSeq)
+}
+
+// newSegment assembles a sealed segment around already-sanitized,
+// already-indexed state, computing its fingerprint and footprint once.
+func newSegment(id string, items []Item, byHash map[string]bool, idx *index.Frozen, maxSeq int64) *Segment {
+	fp := fingerprintItems(items)
+	if id == "" {
+		id = "seg-" + fp[:12]
+	}
+	g := &Segment{
+		id:          id,
+		fingerprint: fp,
+		items:       items,
+		byHash:      byHash,
+		idx:         idx,
+		maxSeq:      maxSeq,
+		bytes:       estimateItemBytes(items) + idx.MemoryFootprint(),
+	}
+	// refs starts at zero: attachment (SealDelta, RestoreParts, Clone)
+	// is what retains.
+	return g
+}
+
+// fingerprintItems hashes the full canonical content of items; equal
+// fingerprints mean byte-identical knowledge, which is what makes
+// content-addressed interning safe.
+func fingerprintItems(items []Item) string {
+	h := sha256.New()
+	for _, it := range items {
+		fmt.Fprintf(h, "%s\x1f%d\x1f%s\x1f%s\x1f%s\x1f%g\x1e",
+			it.ID, it.Seq, it.Text, it.Source, it.Topic, it.Importance)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// estimateItemBytes approximates the resident bytes of the item slice.
+func estimateItemBytes(items []Item) int64 {
+	var n int64
+	for _, it := range items {
+		n += int64(len(it.ID) + len(it.Text) + len(it.Source) + len(it.Topic) + 64)
+	}
+	return n
+}
+
+// ID returns the segment's name (deterministic from content when the
+// sealer did not pick one).
+func (g *Segment) ID() string { return g.id }
+
+// Fingerprint returns the content fingerprint interning keys on.
+func (g *Segment) Fingerprint() string { return g.fingerprint }
+
+// Len returns the number of items in the segment.
+func (g *Segment) Len() int { return len(g.items) }
+
+// Items returns a copy of the segment's items in insertion order — the
+// persistence form a segment file stores.
+func (g *Segment) Items() []Item { return append([]Item(nil), g.items...) }
+
+// Refs returns the current attached-store reference count.
+func (g *Segment) Refs() int64 { return g.refs.Load() }
+
+// MemoryFootprint estimates the segment's resident bytes: items plus the
+// frozen index.
+func (g *Segment) MemoryFootprint() int64 { return g.bytes }
+
+// Retain notes one more store holding the segment.
+func (g *Segment) Retain() { g.refs.Add(1) }
+
+// Release notes one fewer store holding the segment. Nothing is freed —
+// the count is observability, the garbage collector is the owner.
+func (g *Segment) Release() { g.refs.Add(-1) }

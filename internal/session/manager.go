@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/evalcache"
 	"repro/internal/llm"
 	"repro/internal/llm/backend"
 	"repro/internal/memory"
@@ -127,6 +128,12 @@ type ManagerStats struct {
 	// evidence LRU and the memory knowledge-text (retrieval) cache.
 	EvidenceCache  llm.CacheStats    `json:"evidence_cache"`
 	KnowledgeCache memory.CacheStats `json:"knowledge_cache"`
+
+	// MemorySegments is the process-wide interned memory-segment table:
+	// how many distinct trained-knowledge segments are resident, how many
+	// items and estimated bytes they hold (counted once each, however
+	// many sessions share them), and total attached-store refcounts.
+	MemorySegments evalcache.SegmentCacheStats `json:"memory_segments"`
 }
 
 // Manager owns named, long-lived agent sessions: the runtime every
@@ -159,6 +166,11 @@ type Manager struct {
 	stopOnce  sync.Once
 	mkdirOnce sync.Once
 	mkdirErr  error
+
+	// segDone records segment fingerprints whose item file is known to
+	// be on disk, so each shared segment is written once per process —
+	// not once per session snapshot that references it.
+	segDone sync.Map // fingerprint -> struct{}{}
 
 	stats struct {
 		restores, diskRestores, evictions   atomic.Int64
@@ -236,6 +248,7 @@ func (m *Manager) Stats() ManagerStats {
 		Backend:        backend.Snapshot(),
 		EvidenceCache:  llm.EvidenceCacheStats(),
 		KnowledgeCache: memory.KnowledgeCacheStats(),
+		MemorySegments: evalcache.SegmentStats(),
 	}
 }
 
@@ -400,7 +413,7 @@ func (m *Manager) restore(id string) (*Session, error) {
 		restage()
 		return nil, err
 	}
-	s, err := snap.restore(&m.use, m.now)
+	s, err := snap.restore(m.resolveSegment, &m.use, m.now)
 	if err != nil {
 		// A snapshot naming a model backend this process cannot build
 		// (e.g. a remote endpoint no longer configured) fails here.
@@ -765,6 +778,93 @@ func (m *Manager) snapshotPath(id string) string {
 	return filepath.Join(m.cfg.SnapshotDir, id+".json")
 }
 
+// segmentPath is where a segment's items persist, keyed by content
+// fingerprint so every session sharing the segment shares the file.
+func (m *Manager) segmentPath(fingerprint string) string {
+	return filepath.Join(m.cfg.SnapshotDir, "segments", fingerprint+".json")
+}
+
+// segFile is the on-disk form of one memory segment.
+type segFile struct {
+	ID          string        `json:"id"`
+	Fingerprint string        `json:"fingerprint"`
+	Items       []memory.Item `json:"knowledge"`
+}
+
+// persistSegments writes each segment's items to its fingerprint-keyed
+// file, once per process (and skipping files already on disk from an
+// earlier one). Segment files land before the session file that
+// references them — writeSnapshotData orders it so — which keeps a
+// crash from leaving a session snapshot pointing at a missing segment.
+func (m *Manager) persistSegments(segs []*memory.Segment) error {
+	for _, seg := range segs {
+		fp := seg.Fingerprint()
+		if _, done := m.segDone.Load(fp); done {
+			continue
+		}
+		dir := filepath.Join(m.cfg.SnapshotDir, "segments")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("session: segment dir: %w", err)
+		}
+		path := m.segmentPath(fp)
+		if _, err := os.Stat(path); err == nil {
+			m.segDone.Store(fp, struct{}{})
+			continue
+		}
+		data, err := json.Marshal(segFile{ID: seg.ID(), Fingerprint: fp, Items: seg.Items()})
+		if err != nil {
+			return fmt.Errorf("session: marshal segment %s: %w", fp, err)
+		}
+		// Unique temp name per writer: two sessions racing to persist the
+		// same segment both write identical content, and rename is atomic.
+		tmp, err := os.CreateTemp(dir, fp+".tmp*")
+		if err != nil {
+			return fmt.Errorf("session: write segment %s: %w", fp, err)
+		}
+		if _, err := tmp.Write(data); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("session: write segment %s: %w", fp, err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("session: write segment %s: %w", fp, err)
+		}
+		if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("session: write segment %s: %w", fp, err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("session: finalize segment %s: %w", fp, err)
+		}
+		m.segDone.Store(fp, struct{}{})
+	}
+	return nil
+}
+
+// resolveSegment maps a v2 snapshot's segment reference to a live
+// segment: the process-wide intern table first (free), the segment file
+// second (rebuild + verify + intern).
+func (m *Manager) resolveSegment(ref SegmentRef) (*memory.Segment, error) {
+	if seg := evalcache.LookupSegment(ref.Fingerprint); seg != nil {
+		return seg, nil
+	}
+	data, err := os.ReadFile(m.segmentPath(ref.Fingerprint))
+	if err != nil {
+		return nil, fmt.Errorf("session: segment %s: %w", ref.Fingerprint, err)
+	}
+	var f segFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("session: parse segment %s: %w", ref.Fingerprint, err)
+	}
+	seg := memory.NewSegment(f.ID, f.Items)
+	if seg.Fingerprint() != ref.Fingerprint {
+		return nil, fmt.Errorf("session: segment %s: content fingerprint mismatch (got %s)", ref.Fingerprint, seg.Fingerprint())
+	}
+	return evalcache.InternSegment(seg), nil
+}
+
 // snapBufPool recycles snapshot encode buffers; oversized ones are
 // dropped rather than pinned.
 var snapBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
@@ -788,6 +888,13 @@ func (m *Manager) writeSnapshotData(id string, snap Snapshot) (string, error) {
 	if m.mkdirErr != nil {
 		return "", fmt.Errorf("session: snapshot dir: %w", m.mkdirErr)
 	}
+	// Segment files first: a session file must never reference a segment
+	// that is not yet durable.
+	if snap.Schema >= snapshotSchema {
+		if err := m.persistSegments(snap.segs); err != nil {
+			return "", err
+		}
+	}
 	buf := snapBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer func() {
@@ -809,17 +916,46 @@ func (m *Manager) writeSnapshotData(id string, snap Snapshot) (string, error) {
 	return path, nil
 }
 
+// snapshotSchema is the current snapshot schema version. Version 2
+// splits the memory into segment references + delta items; version 1
+// (the zero value of Schema, for files that predate the field) inlines
+// the whole item list in Memory. Sessions with no attached segments are
+// still written in the v1 shape, so the common untrained case stays
+// readable by older builds.
+const snapshotSchema = 2
+
+// SegmentRef names one attached memory segment in a v2 snapshot. The
+// items themselves live once per segment in
+// <SnapshotDir>/segments/<fingerprint>.json (and, when the segment is
+// interned, in memory); the session file carries only this reference.
+type SegmentRef struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	Items       int    `json:"items"`
+}
+
 // Snapshot is the on-disk form of a session: everything needed to
 // rebuild an identical agent — its configuration, knowledge memory,
 // audit trace and lifecycle state.
 type Snapshot struct {
-	ID      string        `json:"id"`
-	Config  Config        `json:"config"`
-	Trained bool          `json:"trained"`
-	Created time.Time     `json:"created"`
-	Saved   time.Time     `json:"saved"`
-	Memory  []memory.Item `json:"memory"`
-	Trace   []trace.Event `json:"trace"`
+	ID      string    `json:"id"`
+	Schema  int       `json:"schema,omitempty"`
+	Config  Config    `json:"config"`
+	Trained bool      `json:"trained"`
+	Created time.Time `json:"created"`
+	Saved   time.Time `json:"saved"`
+	// Memory is the v1 inline item list; v2 snapshots use Segments +
+	// Delta instead.
+	Memory   []memory.Item `json:"memory,omitempty"`
+	Segments []SegmentRef  `json:"segments,omitempty"`
+	Delta    []memory.Item `json:"delta,omitempty"`
+	Trace    []trace.Event `json:"trace"`
+
+	// segs carries the live segment pointers alongside the refs while
+	// the snapshot stays in memory (the write-behind pending set), so a
+	// restore inside the settle window re-attaches them with no disk
+	// read and no intern lookup. Never serialized.
+	segs []*memory.Segment
 }
 
 func readSnapshot(path string) (Snapshot, error) {
@@ -837,13 +973,34 @@ func readSnapshot(path string) (Snapshot, error) {
 
 // restore rebuilds a live session from a snapshot: the agent stack is
 // reconstructed through the factory, then the memory and trace are
-// replaced with the persisted state.
-func (snap Snapshot) restore(use *atomic.Int64, now func() time.Time) (*Session, error) {
+// replaced with the persisted state. resolve maps a v2 segment
+// reference to a live segment (intern table first, segment file
+// second); v1 snapshots never call it.
+func (snap Snapshot) restore(resolve func(SegmentRef) (*memory.Segment, error), use *atomic.Int64, now func() time.Time) (*Session, error) {
 	s, err := newSession(snap.ID, snap.Config, use, now)
 	if err != nil {
 		return nil, err
 	}
-	s.agent.Memory.ReplaceItems(snap.Memory)
+	switch {
+	case snap.Schema >= snapshotSchema:
+		segs := snap.segs
+		if segs == nil {
+			// Read from disk: re-attach each referenced segment, sharing
+			// the interned copy whenever this process already holds it.
+			segs = make([]*memory.Segment, 0, len(snap.Segments))
+			for _, ref := range snap.Segments {
+				seg, err := resolve(ref)
+				if err != nil {
+					return nil, err
+				}
+				segs = append(segs, seg)
+			}
+		}
+		s.agent.Memory.RestoreParts(segs, snap.Delta)
+	default:
+		// v1 snapshot: the whole memory is inline.
+		s.agent.Memory.ReplaceItems(snap.Memory)
+	}
 	s.agent.Trace = trace.FromEvents(snap.Trace)
 	s.created = snap.Created
 	s.trained = snap.Trained

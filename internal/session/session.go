@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/evalcache"
 	"repro/internal/report"
 	"repro/internal/stream"
 	"repro/internal/trace"
@@ -190,6 +191,10 @@ func (s *Session) Train(ctx context.Context) (agent.TrainReport, error) {
 	if err != nil {
 		return rep, err
 	}
+	// Training sealed the learned knowledge into a segment; swap it for
+	// the process-wide canonical copy so every session trained over the
+	// same (world, role, seed) shares one resident segment.
+	s.agent.Memory.InternSegments(evalcache.InternSegment)
 	s.st.Lock()
 	s.trained = true
 	s.st.Unlock()
@@ -293,24 +298,50 @@ func (s *Session) snapshotLocked() Snapshot {
 	s.st.Lock()
 	trained := s.trained
 	s.st.Unlock()
-	return Snapshot{
+	snap := Snapshot{
 		ID:      s.id,
 		Config:  s.cfg,
 		Trained: trained,
 		Created: s.created,
 		Saved:   s.now(),
-		Memory:  s.agent.Memory.All(),
 		Trace:   s.agent.Trace.Events(),
 	}
+	segs, delta := s.agent.Memory.Parts()
+	if len(segs) == 0 {
+		// No segments: keep the exact v1 shape, so snapshots of
+		// untrained sessions stay readable by older builds.
+		snap.Memory = delta
+		return snap
+	}
+	snap.Schema = snapshotSchema
+	snap.Delta = delta
+	snap.segs = segs
+	snap.Segments = make([]SegmentRef, len(segs))
+	for i, seg := range segs {
+		snap.Segments[i] = SegmentRef{
+			ID:          seg.ID(),
+			Fingerprint: seg.Fingerprint(),
+			Items:       seg.Len(),
+		}
+	}
+	return snap
 }
 
 // markClosed flips the session to closed; in-flight operations finish,
 // later acquires fail with ErrClosed. Closing the event buffer gives
 // every SSE subscriber a clean end-of-stream instead of a hang.
+// markClosed is idempotent: eviction and explicit delete can race to
+// close the same session, and the segment references must be dropped
+// exactly once.
 func (s *Session) markClosed() {
 	s.st.Lock()
+	if s.closed {
+		s.st.Unlock()
+		return
+	}
 	s.closed = true
 	s.st.Unlock()
+	s.agent.Memory.ReleaseSegments()
 	s.events.close()
 }
 

@@ -52,3 +52,10 @@ run_suite ask \
 run_suite stream \
   '^BenchmarkStream(FirstEvent|FirstRound|FullInvestigate)$|^BenchmarkRemote(Unbatched|Batched)$' \
   BENCH_stream.json
+
+# The memory-footprint suite writes its own JSON (residency deltas need
+# runtime.MemStats, not benchmark counters): bytes/session at N=1k idle
+# trained sessions, clone cost, snapshot v1 vs v2 size, warm-ask guard.
+REPRO_FOOTPRINT_OUT="$PWD/BENCH_footprint.json" \
+  go test -count=1 -run '^TestFootprintReport$' .
+echo "wrote BENCH_footprint.json"

@@ -29,6 +29,16 @@ go test -race -run 'TestAskPath|TestSimFastPath|TestEnsembleFastPath|FuzzEncodeR
 go test -race -count=1 -run 'TestRemoteBatch|TestRemoteSingleflight|TestRemoteHedge|TestLatencyTracker' ./internal/llm/backend
 go test -race -count=1 -run 'TestStream|TestEventBuffer' ./internal/session
 
+# The segmented memory tier: overlay-vs-combined BM25 byte-identity,
+# store concurrency (Clone-vs-Add, KnowledgeText-vs-ReplaceItems, the
+# never-stale version-tag contract) and the snapshot v2/v1 paths, all
+# under the race detector; then the footprint acceptance gate (>= 5x
+# residency reduction, smaller snapshots, warm-ask guard).
+go test -race -count=1 -run 'TestOverlay|TestFreeze' ./internal/index
+go test -race -count=1 -run 'TestSealDelta|TestCloneShares|TestCloneVsAddRace|TestKnowledgeTextVsReplaceRace|TestKnowledgeTextNeverStale|TestReplaceItemsSanitizes|TestRestoreParts|TestIntern' ./internal/memory ./internal/evalcache
+go test -race -count=1 -run 'TestSnapshotV2|TestSnapshotRestoreColdProcess|TestSnapshotV1FileStillRestores|TestUntrainedSnapshotStaysV1|TestStatsReportSegments' ./internal/session
+go test -count=1 -run 'TestFootprintReport' .
+
 # End-to-end: websimd -model remote against the llmstub chat-completions
 # server, driven over real HTTP (curl) through the /v1 API.
 scripts/smoke.sh

@@ -115,6 +115,7 @@ fi
 req GET /v1/stats 200
 expect_body '"live"'
 expect_body '"backend"'
+expect_body '"memory_segments"'
 python3 - "$WORK/resp" <<'EOF'
 import json, sys
 stats = json.load(open(sys.argv[1]))
@@ -124,6 +125,10 @@ assert be["retries"] >= 2, f"injected 429s not retried: {stats}"
 assert be["failures"] == 0, f"smoke traffic should fully recover: {stats}"
 assert be["hedged_attempts"] >= 1, f"latency tail never hedged: {stats}"
 assert be["hedge_wins"] >= 1, f"hedges never beat the injected tail: {stats}"
+seg = stats["memory_segments"]
+assert seg["segments"] >= 1, f"trained session sealed no segment: {stats}"
+assert seg["refs"] >= 1, f"sealed segment not attached to the session: {stats}"
+assert seg["resident_bytes"] > 0, f"segment residency not accounted: {stats}"
 EOF
 
 req DELETE /v1/sessions/smoke 200
