@@ -81,6 +81,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 42, "world/corpus seed")
 	social := fs.Bool("social", false, "enable the social-media crawler extension")
 	threshold := fs.Int("threshold", 7, "confidence threshold for self-learning")
+	retrievalWorkers := fs.Int("retrieval-workers", 0, "concurrent web requests per self-learning round (0 = min(GOMAXPROCS, 8), 1 = sequential)")
 	model := fs.String("model", "", "LLM backend: sim, ensemble, remote (empty = sim)")
 	showTrace := fs.Bool("trace", false, "print the agent trace afterwards")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -92,7 +93,7 @@ func run(args []string) error {
 		Seed:        *seed,
 		Model:       *model,
 		WebOptions:  websim.Options{EnableSocial: *social},
-		AgentConfig: agent.Config{ConfidenceThreshold: *threshold},
+		AgentConfig: agent.Config{ConfidenceThreshold: *threshold, RetrievalWorkers: *retrievalWorkers},
 	})
 	if err != nil {
 		if errors.Is(err, backend.ErrUnknown) {

@@ -4,11 +4,13 @@
 // Usage:
 //
 //	quizrunner [-exp all|e1|e2|e3|e4|e5|e6|a1|a2|a3] [-seed N] [-parallel N]
-//	           [-model sim|ensemble|remote]
+//	           [-retrieval-workers N] [-model sim|ensemble|remote]
 //
 // -parallel sizes the worker pool for the per-conclusion fan-out inside
 // each experiment: 0 (the default) uses GOMAXPROCS, 1 forces the serial
-// path. Results are byte-identical at any setting for the same seed.
+// path. -retrieval-workers sizes the web fan-out inside each agent's
+// retrieval rounds (0 = min(GOMAXPROCS, 8), 1 = sequential). Results
+// are byte-identical at any setting of either for the same seed.
 // -model selects the LLM backend the experiment agents are built with
 // (default sim, the deterministic simulated model).
 package main
@@ -28,6 +30,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment to run: all, e1..e12, a1..a3")
 	seed := flag.Uint64("seed", 42, "world/corpus seed")
 	parallel := flag.Int("parallel", 0, "workers for per-conclusion fan-out: 0 = GOMAXPROCS, 1 = serial")
+	retrievalWorkers := flag.Int("retrieval-workers", 0, "concurrent web requests per agent retrieval round: 0 = min(GOMAXPROCS, 8), 1 = sequential")
 	model := flag.String("model", "", "LLM backend for the experiment agents: sim, ensemble, remote (empty = sim)")
 	flag.Parse()
 
@@ -39,6 +42,7 @@ func main() {
 	setup := eval.DefaultSetup()
 	setup.Seed = *seed
 	setup.Workers = *parallel
+	setup.AgentConfig.RetrievalWorkers = *retrievalWorkers
 	setup.Model = *model
 	ctx := context.Background()
 	out := os.Stdout

@@ -5,7 +5,7 @@
 //
 //	websimd [-addr :8080] [-seed N] [-social] [-latency 0ms]
 //	        [-capacity 64] [-shards 0] [-snapshots DIR] [-timeout 30s]
-//	        [-model sim|ensemble|remote]
+//	        [-model sim|ensemble|remote] [-retrieval-workers 0]
 //	        [-llm-batch-window 0ms] [-llm-batch-max 0]
 //	        [-llm-hedge] [-llm-hedge-delay 0ms]
 //
@@ -51,6 +51,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/agent"
 	"repro/internal/evalcache"
 	"repro/internal/llm/backend"
 	"repro/internal/session"
@@ -67,6 +68,7 @@ func main() {
 	snapshots := flag.String("snapshots", "", "directory for session snapshots (enables restore)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout for agent calls")
 	model := flag.String("model", "", "default LLM backend for new sessions: sim, ensemble, remote (empty = sim)")
+	retrievalWorkers := flag.Int("retrieval-workers", 0, "concurrent web requests per self-learning round (0 = min(GOMAXPROCS, 8), 1 = sequential)")
 	batchWindow := flag.Duration("llm-batch-window", 0, "remote backend micro-batch window (0 = off)")
 	batchMax := flag.Int("llm-batch-max", 0, "max prompts per batched upstream call (0 = default)")
 	hedge := flag.Bool("llm-hedge", false, "enable tail-latency request hedging in the remote backend")
@@ -101,9 +103,10 @@ func main() {
 		SnapshotDir:    *snapshots,
 		RequestTimeout: *timeout,
 		Defaults: session.Config{
-			Seed:       *seed,
-			Model:      *model,
-			WebOptions: websim.Options{EnableSocial: *social},
+			Seed:        *seed,
+			Model:       *model,
+			WebOptions:  websim.Options{EnableSocial: *social},
+			AgentConfig: agent.Config{RetrievalWorkers: *retrievalWorkers},
 		},
 	})
 

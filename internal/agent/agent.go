@@ -24,6 +24,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/memory"
 	"repro/internal/prompt"
+	"repro/internal/retrieval"
 	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/websim"
@@ -78,6 +79,14 @@ type Config struct {
 	// LearnResults is how many search results each self-learning query
 	// reads (default 2).
 	LearnResults int
+	// RetrievalWorkers bounds how many web requests one self-learning
+	// round keeps in flight: proposed searches fan out concurrently,
+	// then the planned result pages fetch through the same pool. 0
+	// selects the default width (min(GOMAXPROCS, 8)); 1 degenerates to
+	// the fully sequential pipeline. Committed output — memory items,
+	// trace, answers — is byte-identical at every setting; only wall
+	// time changes.
+	RetrievalWorkers int
 	// Runner configures the Auto-GPT training loop.
 	Runner autogpt.Config
 }
@@ -151,12 +160,18 @@ type TrainReport struct {
 // knowledge memory (§3.2 steps 1-3).
 func (a *Agent) Train(ctx context.Context) (TrainReport, error) {
 	cfg := a.Config.withDefaults()
+	rcfg := cfg.Runner
+	if rcfg.RetrievalWorkers == 0 {
+		// The agent-level retrieval width governs the training loop too
+		// unless the runner config pins its own.
+		rcfg.RetrievalWorkers = cfg.RetrievalWorkers
+	}
 	runner := &autogpt.Runner{
 		Model:    a.Model,
 		Web:      a.Web,
 		Memory:   a.Memory,
 		Trace:    a.Trace,
-		Config:   cfg.Runner,
+		Config:   rcfg,
 		Observer: a.Observer,
 	}
 	var report TrainReport
@@ -229,41 +244,63 @@ func (a *Agent) ProposeSearches(ctx context.Context, question string) ([]string,
 
 // SelfLearn runs the given queries against the web and memorizes what it
 // finds. It returns the number of new memory items.
+//
+// The pass is a three-phase pipeline (internal/retrieval): every query
+// searches concurrently through a bounded worker pool, the result pages
+// are planned so each distinct URL is fetched exactly once per pass —
+// a URL surfaced by two queries used to be fetched twice and rejected
+// by the content dedup only after the wasted fetch — and the fetched
+// pages then commit to the memory store and trace in canonical
+// (query-order, rank-order) sequence. Because commit order is fixed,
+// the memorized items and the trace are byte-identical at any
+// Config.RetrievalWorkers setting, including the sequential width 1.
+//
+// Transient search/fetch failures cost the query or page, not the
+// pass; the next round can retry them. Cancellation drains the worker
+// pool, commits nothing, and surfaces the context's error exactly once.
 func (a *Agent) SelfLearn(ctx context.Context, queries []string) (int, error) {
 	cfg := a.Config.withDefaults()
+	workers := retrieval.Workers(cfg.RetrievalWorkers)
+	searches, err := retrieval.SearchAll(ctx, a.Web, queries, cfg.LearnResults, workers)
+	if err != nil {
+		return 0, fmt.Errorf("agent: self-learn: %w", err)
+	}
+	plan := retrieval.BuildPlan(searches)
+	pages, err := retrieval.FetchAll(ctx, a.Web, plan.URLs, workers)
+	if err != nil {
+		return 0, fmt.Errorf("agent: self-learn: %w", err)
+	}
+	// Commit phase: single-goroutine replay in canonical order. Every
+	// trace line and memory add lands exactly where the sequential loop
+	// would have put it.
 	added := 0
-	for _, q := range queries {
-		// A cancelled context stops the whole learning pass promptly;
-		// otherwise every remaining query would fail one by one and be
-		// logged as transient errors.
-		if err := ctx.Err(); err != nil {
-			return added, fmt.Errorf("agent: self-learn: %w", err)
-		}
-		results, err := a.Web.Search(ctx, q, cfg.LearnResults)
-		if err != nil {
-			if ctx.Err() != nil {
-				return added, fmt.Errorf("agent: self-learn search %q: %w", q, err)
-			}
+	for qi, s := range searches {
+		if s.Err != nil {
 			// A transient search failure costs this query, not the whole
 			// investigation; the next round can retry it.
-			a.Trace.Add(trace.KindError, "self-learn search %q: %v", q, err)
+			a.Trace.Add(trace.KindError, "self-learn search %q: %v", s.Query, s.Err)
 			continue
 		}
-		a.Trace.Add(trace.KindSearch, "self-learn %q -> %d results", q, len(results))
-		for _, res := range results {
-			page, err := a.Web.Fetch(ctx, res.URL)
-			if err != nil {
-				if ctx.Err() != nil {
-					return added, fmt.Errorf("agent: self-learn fetch %s: %w", res.URL, err)
-				}
-				// Access-gated pages (social without crawler, restricted
-				// papers) are an expected dead end, not a failure.
-				a.Trace.Add(trace.KindError, "self-learn fetch %s: %v", res.URL, err)
+		a.Trace.Add(trace.KindSearch, "self-learn %q -> %d results", s.Query, len(s.Results))
+		for ri := range s.Results {
+			fi, claimed := plan.Claim(qi, ri)
+			if !claimed {
+				// Dedup hit: an earlier slot already fetched this URL, and
+				// its content would be rejected by the store's content
+				// hash — the sequential path produced no output for this
+				// slot either, just a wasted fetch.
 				continue
 			}
-			if _, ok := a.Memory.Add(page.Body, page.URL, q); ok {
+			f := pages[fi]
+			if f.Err != nil {
+				// Access-gated pages (social without crawler, restricted
+				// papers) are an expected dead end, not a failure.
+				a.Trace.Add(trace.KindError, "self-learn fetch %s: %v", f.URL, f.Err)
+				continue
+			}
+			if _, ok := a.Memory.Add(f.Page.Body, f.Page.URL, s.Query); ok {
 				added++
-				a.Trace.Add(trace.KindMemoryAdd, "self-learn memorized %s", page.URL)
+				a.Trace.Add(trace.KindMemoryAdd, "self-learn memorized %s", f.Page.URL)
 			}
 		}
 	}
@@ -344,7 +381,9 @@ func (a *Agent) Investigate(ctx context.Context, question string) (Investigation
 // published material can correct stale memory. It returns the refreshed
 // answer and the number of new knowledge items picked up. This is the
 // long-term-robustness mechanism (§5): conclusions track a drifting
-// world instead of fossilizing.
+// world instead of fossilizing. The refresh searches run through the
+// same pipelined SelfLearn pass as an investigation round, so a revisit
+// costs one fan-out, not one round-trip per query.
 func (a *Agent) Revisit(ctx context.Context, question string) (Answer, int, error) {
 	queries, err := a.ProposeSearches(ctx, question)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/memory"
 	"repro/internal/prompt"
+	"repro/internal/retrieval"
 	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/websim"
@@ -37,6 +38,12 @@ type Config struct {
 	// ChainOfThought enables query decomposition when a search comes
 	// back thin — the paper's CoT sub-planning. Ablation A2 toggles it.
 	ChainOfThought bool
+	// RetrievalWorkers bounds concurrent web requests when a step fans
+	// out (the CoT subquery searches). 0 selects the default width
+	// (min(GOMAXPROCS, 8)); 1 forces sequential requests. History and
+	// trace output are byte-identical at any setting. agent.Train
+	// propagates the agent-level width here when this is 0.
+	RetrievalWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -132,20 +139,27 @@ func (r *Runner) execute(ctx context.Context, cmd prompt.Command, goal string, c
 	case "google":
 		lines := r.google(ctx, cmd.Arg, cfg, report)
 		// Chain-of-thought sub-planning: if the search came back thin,
-		// decompose the query and search the sub-queries too.
+		// decompose the query and search the sub-queries too. The
+		// subqueries fan out concurrently through the retrieval pool and
+		// commit their history lines in subquery order, so the rendered
+		// history is byte-identical to searching them one by one.
 		if cfg.ChainOfThought && report.Searches > 0 && len(lines) == 1 && thinResults(lines[0]) {
-			for _, sub := range decompose(cmd.Arg) {
-				if ctx.Err() != nil {
-					break
-				}
-				r.Trace.Add(trace.KindNote, "CoT subquery %q", sub)
-				lines = append(lines, r.google(ctx, sub, cfg, report)...)
+			subs := decompose(cmd.Arg)
+			outs, err := retrieval.SearchAll(ctx, r.Web, subs, cfg.SearchResults, retrieval.Workers(cfg.RetrievalWorkers))
+			if err != nil {
+				// Cancelled mid-fan-out: commit nothing extra; the step
+				// loop's context check ends the goal.
+				return false, lines
+			}
+			for _, out := range outs {
+				r.Trace.Add(trace.KindNote, "CoT subquery %q", out.Query)
+				lines = append(lines, r.commitSearch(out, report))
 			}
 		}
 		return false, lines
 
 	case "browse_website":
-		page, err := r.Web.Fetch(ctx, cmd.Arg)
+		page, err := retrieval.Fetch(ctx, r.Web, cmd.Arg)
 		if err != nil {
 			report.Errors++
 			r.Trace.Add(trace.KindError, "fetch %s: %v", cmd.Arg, err)
@@ -195,19 +209,25 @@ func (r *Runner) execute(ctx context.Context, cmd prompt.Command, goal string, c
 }
 
 func (r *Runner) google(ctx context.Context, query string, cfg Config, report *GoalReport) []string {
-	results, err := r.Web.Search(ctx, query, cfg.SearchResults)
-	if err != nil {
+	return []string{r.commitSearch(retrieval.Search(ctx, r.Web, query, cfg.SearchResults), report)}
+}
+
+// commitSearch turns one search outcome into its trace entries and
+// history line — the commit half of a search, kept separate from the
+// request so fanned-out searches can commit in canonical order.
+func (r *Runner) commitSearch(out retrieval.SearchOutcome, report *GoalReport) string {
+	if out.Err != nil {
 		report.Errors++
-		r.Trace.Add(trace.KindError, "search %q: %v", query, err)
-		return []string{prompt.HistoryError("google", query, errString(err))}
+		r.Trace.Add(trace.KindError, "search %q: %v", out.Query, out.Err)
+		return prompt.HistoryError("google", out.Query, errString(out.Err))
 	}
 	report.Searches++
-	urls := make([]string, 0, len(results))
-	for _, res := range results {
+	urls := make([]string, 0, len(out.Results))
+	for _, res := range out.Results {
 		urls = append(urls, res.URL)
 	}
-	r.Trace.Add(trace.KindSearch, "%q -> %d results", query, len(urls))
-	return []string{prompt.HistoryGoogle(query, urls)}
+	r.Trace.Add(trace.KindSearch, "%q -> %d results", out.Query, len(urls))
+	return prompt.HistoryGoogle(out.Query, urls)
 }
 
 // thinResults reports whether a google history line carries fewer than

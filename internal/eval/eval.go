@@ -118,6 +118,14 @@ func trainedKey(s Setup) Setup {
 	s.AgentConfig.MaxRounds = 0
 	s.AgentConfig.KnowledgeItems = 0
 	s.AgentConfig.LearnResults = 0
+	// Retrieval width changes only wall time, never the trained output
+	// (the pipeline commits in canonical order), so setups differing
+	// only in fan-out share one training run. The injected clock times
+	// simulated latency and is equally output-neutral — and interface
+	// values must not reach the comparable cache key anyway.
+	s.AgentConfig.RetrievalWorkers = 0
+	s.AgentConfig.Runner.RetrievalWorkers = 0
+	s.WebOptions.Clock = nil
 	return s
 }
 

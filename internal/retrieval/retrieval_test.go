@@ -1,0 +1,231 @@
+package retrieval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/websim"
+)
+
+// stubWeb is a deterministic in-memory Web: results[q] lists the URLs a
+// query returns, pages[url] their bodies. Unknown queries return no
+// results; unknown URLs fail like a 404. blockFetch, when non-nil,
+// parks every Fetch until the context dies — the cancel-mid-fetch
+// fixture.
+type stubWeb struct {
+	results    map[string][]string
+	pages      map[string]string
+	failSearch map[string]error
+	blockFetch bool
+
+	searches atomic.Int64
+	fetches  atomic.Int64
+}
+
+func (w *stubWeb) Search(_ context.Context, q string, k int) ([]websim.Result, error) {
+	w.searches.Add(1)
+	if err := w.failSearch[q]; err != nil {
+		return nil, err
+	}
+	urls := w.results[q]
+	if len(urls) > k {
+		urls = urls[:k]
+	}
+	out := make([]websim.Result, len(urls))
+	for i, u := range urls {
+		out[i] = websim.Result{URL: u, Title: u}
+	}
+	return out, nil
+}
+
+func (w *stubWeb) Fetch(ctx context.Context, url string) (websim.Page, error) {
+	w.fetches.Add(1)
+	if w.blockFetch {
+		<-ctx.Done()
+		return websim.Page{}, ctx.Err()
+	}
+	body, ok := w.pages[url]
+	if !ok {
+		return websim.Page{}, fmt.Errorf("%w: %s", websim.ErrNotFound, url)
+	}
+	return websim.Page{URL: url, Body: body}, nil
+}
+
+func testWeb() *stubWeb {
+	return &stubWeb{
+		results: map[string][]string{
+			"alpha": {"u1", "u2"},
+			"beta":  {"u2", "u3"}, // u2 overlaps with alpha
+			"gamma": {"u1", "u4"}, // u1 overlaps with alpha
+		},
+		pages: map[string]string{
+			"u1": "body one", "u2": "body two", "u3": "body three", "u4": "body four",
+		},
+	}
+}
+
+// TestSearchAllOrderAndErrors: outcomes come back in query order at any
+// worker count, and a transient failure is captured per query instead
+// of aborting the fan-out.
+func TestSearchAllOrderAndErrors(t *testing.T) {
+	w := testWeb()
+	w.failSearch = map[string]error{"beta": websim.ErrTransient}
+	queries := []string{"alpha", "beta", "gamma"}
+	for _, workers := range []int{1, 2, 8} {
+		outs, err := SearchAll(context.Background(), w, queries, 2, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(outs) != 3 {
+			t.Fatalf("workers=%d: got %d outcomes", workers, len(outs))
+		}
+		for i, q := range queries {
+			if outs[i].Query != q {
+				t.Errorf("workers=%d: outs[%d].Query = %q, want %q", workers, i, outs[i].Query, q)
+			}
+		}
+		if !errors.Is(outs[1].Err, websim.ErrTransient) {
+			t.Errorf("workers=%d: beta error = %v, want transient", workers, outs[1].Err)
+		}
+		if len(outs[0].Results) != 2 || outs[0].Results[0].URL != "u1" {
+			t.Errorf("workers=%d: alpha results = %+v", workers, outs[0].Results)
+		}
+	}
+}
+
+// TestBuildPlanDedup: the plan claims each distinct URL for its first
+// (query-order, rank-order) occurrence and counts the duplicates.
+func TestBuildPlanDedup(t *testing.T) {
+	w := testWeb()
+	before := Snapshot()
+	outs, err := SearchAll(context.Background(), w, []string{"alpha", "beta", "gamma"}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := BuildPlan(outs)
+	want := []string{"u1", "u2", "u3", "u4"}
+	if len(p.URLs) != len(want) {
+		t.Fatalf("plan URLs = %v, want %v", p.URLs, want)
+	}
+	for i, u := range want {
+		if p.URLs[i] != u {
+			t.Fatalf("plan URLs = %v, want %v", p.URLs, want)
+		}
+	}
+	// beta's u2 and gamma's u1 are dedup hits; every other slot claims.
+	claims := map[[2]int]bool{{0, 0}: true, {0, 1}: true, {1, 0}: false, {1, 1}: true, {2, 0}: false, {2, 1}: true}
+	for slot, wantClaim := range claims {
+		if _, ok := p.Claim(slot[0], slot[1]); ok != wantClaim {
+			t.Errorf("Claim(%d,%d) = %v, want %v", slot[0], slot[1], ok, wantClaim)
+		}
+	}
+	after := Snapshot()
+	if d := after.DedupHits - before.DedupHits; d != 2 {
+		t.Errorf("dedup hits delta = %d, want 2", d)
+	}
+	if d := after.SavedFetches - before.SavedFetches; d != 2 {
+		t.Errorf("saved fetches delta = %d, want 2", d)
+	}
+}
+
+// TestFetchAllOutcomes: fetch outcomes map 1:1 onto the planned URLs,
+// with per-URL failures captured.
+func TestFetchAllOutcomes(t *testing.T) {
+	w := testWeb()
+	urls := []string{"u1", "missing", "u3"}
+	for _, workers := range []int{1, 3} {
+		outs, err := FetchAll(context.Background(), w, urls, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if outs[0].Page.Body != "body one" || outs[2].Page.Body != "body three" {
+			t.Errorf("workers=%d: bodies = %q, %q", workers, outs[0].Page.Body, outs[2].Page.Body)
+		}
+		if !errors.Is(outs[1].Err, websim.ErrNotFound) {
+			t.Errorf("workers=%d: missing URL error = %v", workers, outs[1].Err)
+		}
+	}
+}
+
+// TestFanoutCancelDrains: cancelling mid-fetch surfaces exactly the
+// context's error, once, and every pool goroutine exits.
+func TestFanoutCancelDrains(t *testing.T) {
+	w := testWeb()
+	w.blockFetch = true
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := FetchAll(ctx, w, []string{"u1", "u2", "u3", "u4"}, 4)
+		done <- err
+	}()
+	// Let the workers park inside Fetch, then pull the plug.
+	deadline := time.Now().Add(2 * time.Second)
+	for w.fetches.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %#v: the fan-out must surface the bare context error, not a wrapped or doubled one", err)
+	}
+	settle := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(settle) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines did not drain: before=%d now=%d", before, n)
+	}
+	if g := Snapshot().FetchesInFlight; g != 0 {
+		t.Fatalf("fetches_in_flight gauge = %d after drain, want 0", g)
+	}
+}
+
+// TestWorkersResolution pins the knob semantics: positive passes
+// through, zero and negative select the bounded default.
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	def := Workers(0)
+	if def < 1 || def > maxDefaultWorkers || def > runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want in [1, min(GOMAXPROCS, %d)]", def, maxDefaultWorkers)
+	}
+	if Workers(-5) != def {
+		t.Errorf("Workers(-5) = %d, want %d", Workers(-5), def)
+	}
+}
+
+// TestInFlightGauges: the gauges rise while requests are parked and
+// read zero after the round completes.
+func TestInFlightGauges(t *testing.T) {
+	w := testWeb()
+	w.blockFetch = true
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		_, _ = FetchAll(ctx, w, []string{"u1", "u2"}, 2)
+		close(done)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for Snapshot().FetchesInFlight < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := Snapshot().FetchesInFlight; g != 2 {
+		t.Fatalf("fetches_in_flight = %d with 2 parked fetches", g)
+	}
+	cancel()
+	<-done
+	if g := Snapshot().FetchesInFlight; g != 0 {
+		t.Fatalf("fetches_in_flight = %d after drain", g)
+	}
+}

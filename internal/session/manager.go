@@ -18,6 +18,7 @@ import (
 	"repro/internal/llm/backend"
 	"repro/internal/memory"
 	"repro/internal/parallel"
+	"repro/internal/retrieval"
 	"repro/internal/trace"
 )
 
@@ -134,6 +135,11 @@ type ManagerStats struct {
 	// items and estimated bytes they hold (counted once each, however
 	// many sessions share them), and total attached-store refcounts.
 	MemorySegments evalcache.SegmentCacheStats `json:"memory_segments"`
+
+	// Retrieval is the process-wide parallel retrieval pipeline:
+	// search/fetch totals and live in-flight gauges, plus the
+	// cross-query URL dedup savings.
+	Retrieval retrieval.Stats `json:"retrieval"`
 }
 
 // Manager owns named, long-lived agent sessions: the runtime every
@@ -249,6 +255,7 @@ func (m *Manager) Stats() ManagerStats {
 		EvidenceCache:  llm.EvidenceCacheStats(),
 		KnowledgeCache: memory.KnowledgeCacheStats(),
 		MemorySegments: evalcache.SegmentStats(),
+		Retrieval:      retrieval.Snapshot(),
 	}
 }
 

@@ -1,0 +1,93 @@
+package websim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock records every simulated sleep and returns instantly, so
+// latency-bearing engines run deterministic and fast under test.
+type fakeClock struct {
+	sleeps atomic.Int64
+	total  atomic.Int64 // nanoseconds requested
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.sleeps.Add(1)
+	c.total.Add(int64(d))
+	return ctx.Err()
+}
+
+// TestClockReplacesRealTimer: with a Clock injected, latency costs no
+// wall time and every request routes its configured delay through it.
+func TestClockReplacesRealTimer(t *testing.T) {
+	clock := &fakeClock{}
+	e := testEngine(t, Options{Latency: time.Hour, Clock: clock})
+	ctx := context.Background()
+	start := time.Now()
+	res, err := e.Search(ctx, "solar storm cable", 3)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("search: %v (%d results)", err, len(res))
+	}
+	if _, err := e.Fetch(ctx, res[0].URL); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fake-clocked requests took %v of wall time", elapsed)
+	}
+	if n := clock.sleeps.Load(); n != 2 {
+		t.Errorf("clock saw %d sleeps, want 2 (one per request)", n)
+	}
+	if got := time.Duration(clock.total.Load()); got != 2*time.Hour {
+		t.Errorf("clock asked to sleep %v, want 2h", got)
+	}
+}
+
+// TestClockCancellation: a dead context surfaces through the injected
+// clock exactly like the real-timer path.
+func TestClockCancellation(t *testing.T) {
+	e := testEngine(t, Options{Latency: time.Minute, Clock: &fakeClock{}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Search(ctx, "cable", 3); err != context.Canceled {
+		t.Errorf("search on dead ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestForkConcurrentFetchWithClock: concurrent Search+Fetch across
+// forks of a latency-bearing engine, all timed by one shared fake
+// clock — the retrieval pipeline's exact usage pattern, run under
+// -race.
+func TestForkConcurrentFetchWithClock(t *testing.T) {
+	clock := &fakeClock{}
+	base := testEngine(t, Options{Latency: 10 * time.Millisecond, Clock: clock})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := base.Fork(Options{Latency: 10 * time.Millisecond, Clock: clock})
+			for j := 0; j < 5; j++ {
+				res, err := f.Search(ctx, "solar storm cable", 3)
+				if err != nil {
+					t.Errorf("fork search: %v", err)
+					return
+				}
+				for _, r := range res {
+					if _, err := f.Fetch(ctx, r.URL); err != nil {
+						t.Errorf("fork fetch %s: %v", r.URL, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if clock.sleeps.Load() == 0 {
+		t.Error("shared clock saw no sleeps")
+	}
+}

@@ -80,6 +80,15 @@ var (
 	ErrTransient = errors.New("websim: transient failure")
 )
 
+// Clock abstracts the latency timer so pipeline latency tests can run
+// fake-clock deterministic under -race, matching the backend.Remote
+// pattern. A nil Clock uses a real timer.
+type Clock interface {
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
 // Options configures engine behaviour.
 type Options struct {
 	// EnableSocial makes the search engine index and serve social
@@ -89,6 +98,11 @@ type Options struct {
 	MaxResults int
 	// Latency is the simulated per-request latency (default 0).
 	Latency time.Duration
+	// Clock, when set, times the simulated latency instead of a real
+	// timer — injected by tests so latency pipelines run deterministic
+	// and instant. Never serialized; a restored engine gets a real
+	// timer again.
+	Clock Clock `json:"-"`
 	// Ranking selects the search ranking function (default BM25).
 	Ranking index.Ranking
 	// FailureRate injects deterministic transient failures: that
@@ -243,6 +257,9 @@ func (e *Engine) ResetStats() {
 func (e *Engine) sleep(ctx context.Context) error {
 	if e.opts.Latency <= 0 {
 		return ctx.Err()
+	}
+	if e.opts.Clock != nil {
+		return e.opts.Clock.Sleep(ctx, e.opts.Latency)
 	}
 	t := time.NewTimer(e.opts.Latency)
 	defer t.Stop()

@@ -1,0 +1,100 @@
+// Retrieval-pipeline benchmarks: the wall-time effect of fanning out
+// the web rounds inside a cold investigation and inside one
+// self-learning pass. The acceptance line is the pair ratio — Cold vs
+// ColdSequential and Fanout vs Sequential measure the identical
+// workload at the default width and at workers=1, and the pipeline's
+// byte-identity guarantee (see internal/retrieval) means the pairs
+// differ only in waiting, never in committed output. scripts/bench.sh
+// records the results as BENCH_investigate.json.
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/websim"
+	"repro/internal/world"
+)
+
+// investigateBenchLatency mirrors the streaming suite: a real
+// investigation is bound by network waits, and that wait is exactly
+// what the fan-out overlaps. At zero latency the sim answers in
+// microseconds and the benchmark would measure scheduler jitter.
+const investigateBenchLatency = 500 * time.Microsecond
+
+// benchInvestigateCold times the full cold investigation — knowledge
+// testing plus every gap-directed self-learning round — on a fresh
+// untrained agent, at the given retrieval width.
+func benchInvestigateCold(b *testing.B, workers int) {
+	b.Helper()
+	ctx := context.Background()
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42),
+		websim.Options{Latency: investigateBenchLatency})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil,
+			agent.Config{RetrievalWorkers: workers})
+		b.StartTimer()
+		if _, err := bob.Investigate(ctx, askQuestion); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvestigateCold is the headline: cold investigation at the
+// default fan-out width.
+func BenchmarkInvestigateCold(b *testing.B) {
+	benchInvestigateCold(b, 0)
+}
+
+// BenchmarkInvestigateColdSequential is the same investigation forced
+// through the one-request-at-a-time path — the pre-pipeline baseline.
+func BenchmarkInvestigateColdSequential(b *testing.B) {
+	benchInvestigateCold(b, 1)
+}
+
+// selfLearnQueries is a fixed gap-directed query set, the shape one
+// investigation round proposes.
+var selfLearnQueries = []string{
+	"solar storm cable vulnerability",
+	"geomagnetic latitude fiber",
+	"coronal mass ejection infrastructure",
+	"submarine cable repeater power",
+	"datacenter geomagnetic exposure",
+	"ionosphere disturbance internet",
+}
+
+// benchSelfLearn times one retrieval pass — search fan-out, fetch plan,
+// fetch fan-out, canonical commit — at the given width.
+func benchSelfLearn(b *testing.B, workers int) {
+	b.Helper()
+	ctx := context.Background()
+	eng := websim.NewEngine(corpus.Generate(world.Default(), 42),
+		websim.Options{Latency: investigateBenchLatency})
+	bob := agent.New(agent.BobRole(), llm.NewSim(), eng, nil,
+		agent.Config{RetrievalWorkers: workers})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bob.SelfLearn(ctx, selfLearnQueries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelfLearnFanout measures one self-learning pass at the
+// default width.
+func BenchmarkSelfLearnFanout(b *testing.B) {
+	benchSelfLearn(b, 0)
+}
+
+// BenchmarkSelfLearnSequential is the same pass at workers=1.
+func BenchmarkSelfLearnSequential(b *testing.B) {
+	benchSelfLearn(b, 1)
+}

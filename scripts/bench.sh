@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Benchmark sweeps: runs the session-runtime, ask-hot-path and
-# streaming/batching benchmark suites at -cpu 8 and records the results
-# as BENCH_sessions.json, BENCH_ask.json and BENCH_stream.json in the
-# repo root. Opt-in and separate from check.sh, whose 1-iteration sweep
+# Benchmark sweeps: runs the session-runtime, ask-hot-path,
+# streaming/batching and retrieval-pipeline benchmark suites at -cpu 8
+# and records the results as BENCH_sessions.json, BENCH_ask.json,
+# BENCH_stream.json and BENCH_investigate.json in the repo root. Opt-in and separate from check.sh, whose 1-iteration sweep
 # only guards the harness against rot — this script takes real
 # measurements.
 #
@@ -52,6 +52,13 @@ run_suite ask \
 run_suite stream \
   '^BenchmarkStream(FirstEvent|FirstRound|FullInvestigate)$|^BenchmarkRemote(Unbatched|Batched)$' \
   BENCH_stream.json
+
+# The retrieval-pipeline suite: cold investigation and one
+# self-learning pass at the default fan-out width vs workers=1. The
+# acceptance line is Cold >= 2x faster than ColdSequential.
+run_suite investigate \
+  '^BenchmarkInvestigateCold(Sequential)?$|^BenchmarkSelfLearn(Fanout|Sequential)$' \
+  BENCH_investigate.json
 
 # The memory-footprint suite writes its own JSON (residency deltas need
 # runtime.MemStats, not benchmark counters): bytes/session at N=1k idle

@@ -39,6 +39,14 @@ go test -race -count=1 -run 'TestSealDelta|TestCloneShares|TestCloneVsAddRace|Te
 go test -race -count=1 -run 'TestSnapshotV2|TestSnapshotRestoreColdProcess|TestSnapshotV1FileStillRestores|TestUntrainedSnapshotStaysV1|TestStatsReportSegments' ./internal/session
 go test -count=1 -run 'TestFootprintReport' .
 
+# The retrieval pipeline: byte-identity of memory/trace/investigation at
+# every fan-out width, the cancel-mid-fetch drain (exactly-once context
+# error, no goroutine leaks, zeroed in-flight gauges), and concurrent
+# fork Search/Fetch under the injected fake clock.
+go test -race -count=1 -run 'TestRetrievalPipelineByteIdentity|TestSelfLearnSkipsDuplicateURLs|TestSelfLearnCancelNoLeak' ./internal/agent
+go test -race -count=1 ./internal/retrieval
+go test -race -count=1 -run 'TestClock|TestForkConcurrentFetchWithClock' ./internal/websim
+
 # End-to-end: websimd -model remote against the llmstub chat-completions
 # server, driven over real HTTP (curl) through the /v1 API.
 scripts/smoke.sh

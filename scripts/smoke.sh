@@ -116,6 +116,7 @@ req GET /v1/stats 200
 expect_body '"live"'
 expect_body '"backend"'
 expect_body '"memory_segments"'
+expect_body '"retrieval"'
 python3 - "$WORK/resp" <<'EOF'
 import json, sys
 stats = json.load(open(sys.argv[1]))
@@ -125,6 +126,11 @@ assert be["retries"] >= 2, f"injected 429s not retried: {stats}"
 assert be["failures"] == 0, f"smoke traffic should fully recover: {stats}"
 assert be["hedged_attempts"] >= 1, f"latency tail never hedged: {stats}"
 assert be["hedge_wins"] >= 1, f"hedges never beat the injected tail: {stats}"
+rt = stats["retrieval"]
+assert rt["searches"] > 0, f"training ran no counted searches: {stats}"
+assert rt["fetches"] > 0, f"training ran no counted fetches: {stats}"
+assert rt["searches_in_flight"] == 0, f"search gauge stuck: {stats}"
+assert rt["fetches_in_flight"] == 0, f"fetch gauge stuck: {stats}"
 seg = stats["memory_segments"]
 assert seg["segments"] >= 1, f"trained session sealed no segment: {stats}"
 assert seg["refs"] >= 1, f"sealed segment not attached to the session: {stats}"
