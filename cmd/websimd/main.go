@@ -8,6 +8,7 @@
 //	        [-model sim|ensemble|remote] [-retrieval-workers 0]
 //	        [-llm-batch-window 0ms] [-llm-batch-max 0]
 //	        [-llm-hedge] [-llm-hedge-delay 0ms]
+//	        [-incident-workers 0] [-incident-max-turns 4] [-incident-sim]
 //
 // Simulated-web API:
 //
@@ -30,7 +31,22 @@
 //	POST   /v1/sessions/{id}/snapshot  persist session state to disk
 //	GET    /v1/sessions/{id}/trace     the audit trace
 //	GET    /v1/sessions/{id}/events    live investigation steps (SSE)
-//	GET    /v1/stats                   manager + LLM-backend counters
+//	GET    /v1/stats                   namespaced runtime counters
+//
+// Autonomous incident pipeline (off by default; see internal/incident
+// and API.md). -incident-workers N > 0 enables it: incidents filed over
+// the API (or generated from the built-in simulators with
+// -incident-sim) are claimed, grouped by type, and investigated
+// unattended by a leader-follower processor pool. -incident-max-turns
+// bounds each leader's self-learning rounds before the group escalates.
+// When -snapshots is set, the queue persists to incidents.json in the
+// same directory and survives restarts.
+//
+//	POST   /v1/incidents               file an incident
+//	GET    /v1/incidents               list incidents (paginated envelope)
+//	GET    /v1/incidents/{id}          full record incl. event log
+//	POST   /v1/incidents/{id}/resolve  manually resolve
+//	POST   /v1/incidents/{id}/escalate manually escalate
 //
 // -model picks the default LLM backend for new sessions (a per-session
 // "model" field in POST /v1/sessions overrides it). The remote backend
@@ -42,17 +58,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/evalcache"
+	"repro/internal/incident"
 	"repro/internal/llm/backend"
 	"repro/internal/session"
 	"repro/internal/websim"
@@ -73,6 +92,9 @@ func main() {
 	batchMax := flag.Int("llm-batch-max", 0, "max prompts per batched upstream call (0 = default)")
 	hedge := flag.Bool("llm-hedge", false, "enable tail-latency request hedging in the remote backend")
 	hedgeDelay := flag.Duration("llm-hedge-delay", 0, "fixed hedge trigger (0 = adaptive p99)")
+	incidentWorkers := flag.Int("incident-workers", 0, "incident-pipeline worker pool size (0 = pipeline disabled)")
+	incidentMaxTurns := flag.Int("incident-max-turns", 4, "self-learning rounds per leader investigation before the group escalates")
+	incidentSim := flag.Bool("incident-sim", false, "seed the incident queue from the built-in storm + BGP simulators at startup")
 	flag.Parse()
 
 	// The backend reads its tuning from the environment at session
@@ -110,7 +132,35 @@ func main() {
 		},
 	})
 
-	agents := session.Handler(mgr)
+	// The incident pipeline mounts its /v1 routes and stats block as a
+	// session.Extension, but only runs its processor pool when enabled.
+	var exts []session.Extension
+	if *incidentWorkers > 0 {
+		storePath := ""
+		if *snapshots != "" {
+			storePath = filepath.Join(*snapshots, "incidents.json")
+		}
+		store := incident.NewStore(incident.StoreConfig{Path: storePath})
+		if err := store.Load(); err != nil {
+			log.Fatalf("websimd: restore incident queue: %v", err)
+		}
+		proc := incident.NewProcessor(store, mgr, incident.ProcessorConfig{
+			Workers:  *incidentWorkers,
+			MaxTurns: *incidentMaxTurns,
+			Session:  mgr.Config().Defaults,
+		})
+		if *incidentSim {
+			if _, err := incident.FileAll(store, incident.SimBatch(*seed)); err != nil {
+				log.Fatalf("websimd: file simulator incidents: %v", err)
+			}
+		}
+		go proc.Run(context.Background())
+		exts = append(exts, &incident.API{Store: store, Proc: proc})
+		fmt.Printf("websimd: incident pipeline enabled (workers=%d, max-turns=%d, sim=%v)\n",
+			*incidentWorkers, *incidentMaxTurns, *incidentSim)
+	}
+
+	agents := session.Handler(mgr, exts...)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", agents)
 	mux.Handle("/sessions", agents)

@@ -1,0 +1,60 @@
+package bgpsim
+
+import "fmt"
+
+// IncidentEvent is one incident-worthy observation distilled from a
+// replay — the event-source feed the autonomous incident pipeline
+// (internal/incident) converts into filings. The type is the grouping
+// key leader-follower dedup runs on.
+type IncidentEvent struct {
+	Type     string `json:"type"`
+	Severity string `json:"severity"` // critical | warning | info
+	Title    string `json:"title"`
+	Detail   string `json:"detail"`
+}
+
+// IncidentEvents distills the replay into typed incident events in
+// deterministic timeline order: the route withdrawal, the resulting
+// resolution failure, and (when it happened) the management lockout.
+func (r Replay) IncidentEvents() []IncidentEvent {
+	var events []IncidentEvent
+	worstRate := 1.0
+	unavailable := false
+	for _, e := range r.Events {
+		if e.ResolveRate < worstRate {
+			worstRate = e.ResolveRate
+		}
+		if !e.Available {
+			unavailable = true
+		}
+	}
+	if unavailable {
+		events = append(events, IncidentEvent{
+			Type:     "bgp-route-withdrawal",
+			Severity: "critical",
+			Title:    "anycast prefixes withdrawn",
+			Detail:   fmt.Sprintf("service prefixes vanished from the routing table; outage ran %.1f hours", r.OutageHours),
+		})
+	}
+	if worstRate < 1.0 {
+		sev := "warning"
+		if worstRate == 0 {
+			sev = "critical"
+		}
+		events = append(events, IncidentEvent{
+			Type:     "dns-resolution-failure",
+			Severity: sev,
+			Title:    "authoritative DNS unreachable",
+			Detail:   fmt.Sprintf("resolve rate fell to %.0f%% across sampled resolvers", worstRate*100),
+		})
+	}
+	if r.LockedOut {
+		events = append(events, IncidentEvent{
+			Type:     "management-lockout",
+			Severity: "warning",
+			Title:    "operators locked out of management plane",
+			Detail:   "internal tooling resolved through the dead production zone; repair required physical access",
+		})
+	}
+	return events
+}

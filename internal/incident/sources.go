@@ -1,0 +1,94 @@
+package incident
+
+import (
+	"repro/internal/bgpsim"
+	"repro/internal/solar"
+	"repro/internal/stormsim"
+	"repro/internal/world"
+)
+
+// This file is the event-source side of the pipeline: adapters that
+// turn simulated world events (stormsim outcomes, bgpsim replays) into
+// typed filings. The sims stay dependency-free — each exposes its own
+// IncidentEvent type — and the conversion lives here, so no leaf
+// package imports the session-heavy incident runtime.
+
+// canonicalQuestions maps each simulator incident type onto the
+// investigation question its leader runs — the canonical historical
+// analog the agent can actually ground in the corpus (the paper's
+// flagship cable comparison, or a cause/mechanism/impact question about
+// a documented incident). Types without an entry fall back to the
+// filing default ("What caused the <title>?").
+var canonicalQuestions = map[string]string{
+	"solar-superstorm":       "Which is more vulnerable to solar activity? The fiber optic cable that connects Brazil to Europe or the one that connects the US to Europe?",
+	"power-grid-collapse":    "What caused the 1989 Quebec blackout?",
+	"submarine-cable-outage": "What caused the 2004 Indian Ocean earthquake and tsunami?",
+	"bgp-route-withdrawal":   "What caused the 2021 Facebook outage?",
+	"dns-resolution-failure": "How did the 2021 Facebook outage unfold?",
+	"management-lockout":     "What was the impact of the 2021 Facebook outage?",
+	// datacenter-outage intentionally has no entry: its default cause
+	// question names an event the corpus never documents, so that group
+	// saturates below the confidence threshold and exercises the
+	// escalation path end to end.
+}
+
+func filingFromEvent(source, typ, severity, title, detail string) Filing {
+	return Filing{
+		Type:     typ,
+		Severity: severity,
+		Title:    title,
+		Question: canonicalQuestions[typ],
+		Detail:   detail,
+		Source:   source,
+	}
+}
+
+// FromStorm converts a simulated storm outcome into filings.
+func FromStorm(o stormsim.Outcome) []Filing {
+	events := o.IncidentEvents()
+	out := make([]Filing, len(events))
+	for i, e := range events {
+		out[i] = filingFromEvent("stormsim", e.Type, e.Severity, e.Title, e.Detail)
+	}
+	return out
+}
+
+// FromReplay converts a BGP incident replay into filings.
+func FromReplay(r bgpsim.Replay) []Filing {
+	events := r.IncidentEvents()
+	out := make([]Filing, len(events))
+	for i, e := range events {
+		out[i] = filingFromEvent("bgpsim", e.Type, e.Severity, e.Title, e.Detail)
+	}
+	return out
+}
+
+// SimBatch generates a deterministic mixed-type incident batch from the
+// built-in simulators: every historical storm run against the default
+// world (unmitigated, seeded from the argument) plus the Facebook
+// outage replay. It is the unattended-drain workload used by the
+// websimd -incident-sim flag, the determinism tests and the benchmarks.
+func SimBatch(seed uint64) []Filing {
+	var out []Filing
+	w := world.Default()
+	for _, storm := range solar.HistoricalStorms() {
+		o := stormsim.Simulate(w, storm, nil, stormsim.Config{Seed: seed})
+		out = append(out, FromStorm(o)...)
+	}
+	out = append(out, FromReplay(bgpsim.ReplayFacebookOutage(false))...)
+	return out
+}
+
+// FileAll files every filing into the store, returning the opened
+// incidents in filing order. It stops at the first validation error.
+func FileAll(st *Store, filings []Filing) ([]Incident, error) {
+	out := make([]Incident, 0, len(filings))
+	for _, f := range filings {
+		inc, err := st.File(f)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, inc)
+	}
+	return out, nil
+}

@@ -1,0 +1,459 @@
+package incident
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// StoreConfig configures a Store.
+type StoreConfig struct {
+	// Clock stamps filings, transitions and event-log entries. Nil
+	// means time.Now; tests inject a fixed clock so a drained batch is
+	// byte-identical run to run.
+	Clock func() time.Time
+	// Path, when set, persists the queue: File and every terminal
+	// transition (and reopen) rewrite the file atomically, and Load
+	// restores it. Non-terminal statuses load back as open — a claim
+	// held by a dead process must not strand its incident.
+	Path string
+}
+
+// Stats is the store half of the `incidents` stats block: queue gauges
+// and lifecycle totals. The processor contributes the leader/follower
+// counters next to it.
+type Stats struct {
+	Filed         int64 `json:"filed"`
+	QueueDepth    int   `json:"queue_depth"` // currently open
+	Claimed       int   `json:"claimed"`     // currently claimed, not yet investigating
+	Investigating int   `json:"investigating"`
+	Resolved      int64 `json:"resolved"`
+	Escalated     int64 `json:"escalated"`
+	Reopened      int64 `json:"reopened"`
+}
+
+// Store owns the incident table: filings, atomic lifecycle
+// transitions (compare-and-swap on status, so two concurrent
+// processors can never both claim one incident), the append-only
+// per-incident event logs, and optional snapshot persistence.
+type Store struct {
+	mu        sync.Mutex
+	cfg       StoreConfig
+	seq       int64
+	incidents map[string]*Incident
+	order     []string // ascending incident IDs, filing order
+	filed     int64
+	reopened  int64
+	onFile    func()
+}
+
+// NewStore returns an empty store.
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Store{cfg: cfg, incidents: map[string]*Incident{}}
+}
+
+// OnFile registers a callback invoked (outside the store lock) after
+// every successful File — the processor's wake-up kick.
+func (st *Store) OnFile(fn func()) {
+	st.mu.Lock()
+	st.onFile = fn
+	st.mu.Unlock()
+}
+
+// File validates and opens a new incident, assigning the next ID in
+// filing order ("inc-000001", ...).
+func (st *Store) File(f Filing) (Incident, error) {
+	f, err := f.validate()
+	if err != nil {
+		return Incident{}, err
+	}
+	st.mu.Lock()
+	st.seq++
+	st.filed++
+	now := st.cfg.Clock()
+	inc := &Incident{
+		ID:       fmt.Sprintf("inc-%06d", st.seq),
+		Type:     f.Type,
+		Severity: f.Severity,
+		Title:    f.Title,
+		Question: f.Question,
+		Source:   f.Source,
+		Detail:   f.Detail,
+		Status:   StatusOpen,
+		Created:  now,
+		Updated:  now,
+	}
+	st.appendEventLocked(inc, EvFiled, fmt.Sprintf("%s incident filed via %s", f.Severity, f.Source))
+	st.incidents[inc.ID] = inc
+	st.order = append(st.order, inc.ID)
+	kick := st.onFile
+	st.persistLocked()
+	out := inc.copy()
+	st.mu.Unlock()
+	if kick != nil {
+		kick()
+	}
+	return out, nil
+}
+
+// Get returns a deep copy of the incident, including its event log.
+func (st *Store) Get(id string) (Incident, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	inc, ok := st.incidents[id]
+	if !ok {
+		return Incident{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return inc.copy(), nil
+}
+
+// List returns summaries (no event logs) of every incident in
+// ascending ID order, optionally filtered by status ("" = all).
+func (st *Store) List(status Status) []Incident {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Incident, 0, len(st.order))
+	for _, id := range st.order {
+		inc := st.incidents[id]
+		if status != "" && inc.Status != status {
+			continue
+		}
+		out = append(out, inc.summary())
+	}
+	return out
+}
+
+// OpenQueue returns up to limit open incidents in processing order:
+// severity first (critical before warning before info), then filing
+// order. The order is deterministic, so every worker count sees the
+// same batch boundaries.
+func (st *Store) OpenQueue(limit int) []Incident {
+	st.mu.Lock()
+	var open []*Incident
+	for _, id := range st.order {
+		if inc := st.incidents[id]; inc.Status == StatusOpen {
+			open = append(open, inc)
+		}
+	}
+	sort.SliceStable(open, func(i, j int) bool {
+		ri, rj := sevRank(open[i].Severity), sevRank(open[j].Severity)
+		if ri != rj {
+			return ri < rj
+		}
+		return open[i].ID < open[j].ID
+	})
+	if limit > 0 && len(open) > limit {
+		open = open[:limit]
+	}
+	out := make([]Incident, len(open))
+	for i, inc := range open {
+		out[i] = inc.summary()
+	}
+	st.mu.Unlock()
+	return out
+}
+
+// Claim atomically moves an open incident to claimed. It returns false
+// when the incident is unknown or not open — the compare-and-swap that
+// keeps two processors from investigating the same incident.
+func (st *Store) Claim(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	inc, ok := st.incidents[id]
+	if !ok || inc.Status != StatusOpen {
+		return false
+	}
+	inc.Status = StatusClaimed
+	st.appendEventLocked(inc, EvClaimed, "")
+	return true
+}
+
+// Start moves a claimed incident to investigating, recording the
+// session the investigation runs on and the group leader.
+func (st *Store) Start(id, session, leader string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	inc, ok := st.incidents[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if inc.Status != StatusClaimed {
+		return fmt.Errorf("%w: %s is %s, want claimed", ErrInvalidState, id, inc.Status)
+	}
+	inc.Status = StatusInvestigating
+	inc.Session = session
+	inc.Leader = leader
+	what := "leading the investigation"
+	if leader != id {
+		what = "following leader " + leader
+	}
+	st.appendEventLocked(inc, EvInvestigating, fmt.Sprintf("%s on session %s", what, session))
+	return nil
+}
+
+// SetHint records the leader's resolution hint on a follower.
+func (st *Store) SetHint(id, hint string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if inc, ok := st.incidents[id]; ok {
+		inc.Hint = hint
+		st.appendEventLocked(inc, EvHint, hint)
+	}
+}
+
+// Release reopens a claimed or investigating incident — the cancel
+// path: a processor losing its context mid-investigation puts the
+// incident back where another (or a later) processor can claim it.
+// Terminal incidents are left alone.
+func (st *Store) Release(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	inc, ok := st.incidents[id]
+	if !ok || inc.Status == StatusOpen || inc.Status.Terminal() {
+		return
+	}
+	inc.Status = StatusOpen
+	inc.Session = ""
+	inc.Leader = ""
+	st.reopened++
+	st.appendEventLocked(inc, EvReopened, "investigation interrupted; incident re-queued")
+	st.persistLocked()
+}
+
+// Close finishes an investigating incident with the processor's
+// outcome. The compare-and-swap against StatusInvestigating means a
+// manual resolve/escalate that raced ahead wins and the processor's
+// late outcome is dropped.
+func (st *Store) Close(id string, out Outcome) error {
+	if out.Status != StatusResolved && out.Status != StatusEscalated {
+		return fmt.Errorf("%w: close to %s", ErrInvalidState, out.Status)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	inc, ok := st.incidents[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if inc.Status != StatusInvestigating {
+		return fmt.Errorf("%w: %s is %s, want investigating", ErrInvalidState, id, inc.Status)
+	}
+	st.closeLocked(inc, out)
+	return nil
+}
+
+// Transition applies a manual resolve or escalate from the API: legal
+// from any non-terminal state, illegal (ErrInvalidState → 409) once
+// the incident is resolved or escalated.
+func (st *Store) Transition(id string, to Status, note string) (Incident, error) {
+	if !to.Terminal() {
+		return Incident{}, fmt.Errorf("%w: manual transition to %s", ErrInvalidState, to)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	inc, ok := st.incidents[id]
+	if !ok {
+		return Incident{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if inc.Status.Terminal() {
+		return Incident{}, fmt.Errorf("%w: %s is already %s", ErrInvalidState, id, inc.Status)
+	}
+	out := Outcome{Status: to, Note: note}
+	if to == StatusResolved {
+		out.Resolution = note
+		out.Note = ""
+	}
+	st.closeLocked(inc, out)
+	return inc.copy(), nil
+}
+
+// closeLocked applies a terminal outcome under the store lock.
+func (st *Store) closeLocked(inc *Incident, out Outcome) {
+	inc.Status = out.Status
+	inc.Resolution = out.Resolution
+	inc.Confidence = out.Confidence
+	inc.Verdict = out.Verdict
+	inc.Turns = out.Turns
+	if out.Hint != "" {
+		inc.Hint = out.Hint
+	}
+	kind, text := EvResolved, out.Resolution
+	if out.Status == StatusEscalated {
+		kind, text = EvEscalated, out.Note
+	}
+	st.appendEventLocked(inc, kind, text)
+	st.persistLocked()
+}
+
+// Observer returns a stream.Observer that appends every session step
+// event to the incident's log — the bridge the processor tees a
+// session's observer into, so each investigation step lands in the
+// incident record as it happens.
+func (st *Store) Observer(id string) stream.Observer {
+	return func(e stream.Event) {
+		st.AppendEvent(id, e.Type, describe(e))
+	}
+}
+
+// AppendEvent appends one event to the incident's log. Unknown IDs are
+// ignored (the incident may have been superseded).
+func (st *Store) AppendEvent(id, kind, text string) {
+	st.mu.Lock()
+	if inc, ok := st.incidents[id]; ok {
+		st.appendEventLocked(inc, kind, text)
+	}
+	st.mu.Unlock()
+}
+
+func (st *Store) appendEventLocked(inc *Incident, kind, text string) {
+	now := st.cfg.Clock()
+	inc.Updated = now
+	inc.Events = append(inc.Events, Event{
+		Seq:  int64(len(inc.Events) + 1),
+		Time: now,
+		Kind: kind,
+		Text: text,
+	})
+}
+
+// describe renders a bridged stream event as one event-log line.
+func describe(e stream.Event) string {
+	switch e.Type {
+	case stream.EventOp, stream.EventDone:
+		return e.Text
+	case stream.EventGoal:
+		return e.Goal
+	case stream.EventThoughts, stream.EventPartial:
+		return e.Text
+	case stream.EventCommand:
+		if e.Arg != "" {
+			return e.Command + " " + e.Arg
+		}
+		return e.Command
+	case stream.EventObservation:
+		return e.Text
+	case stream.EventRound:
+		return fmt.Sprintf("round %d: confidence %d, verdict %s", e.Round, e.Confidence, e.Verdict)
+	case stream.EventLearn:
+		return fmt.Sprintf("round %d: %d queries, %d new items", e.Round, len(e.Queries), e.NewItems)
+	case stream.EventAnswer:
+		return fmt.Sprintf("confidence %d: %s", e.Confidence, e.Text)
+	case stream.EventError:
+		return e.Err
+	}
+	return e.Text
+}
+
+// Stats returns the queue gauges and lifecycle totals.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{Filed: st.filed, Reopened: st.reopened}
+	for _, inc := range st.incidents {
+		switch inc.Status {
+		case StatusOpen:
+			s.QueueDepth++
+		case StatusClaimed:
+			s.Claimed++
+		case StatusInvestigating:
+			s.Investigating++
+		case StatusResolved:
+			s.Resolved++
+		case StatusEscalated:
+			s.Escalated++
+		}
+	}
+	return s
+}
+
+// storeSnapshot is the on-disk form of the queue.
+type storeSnapshot struct {
+	Seq       int64      `json:"seq"`
+	Filed     int64      `json:"filed"`
+	Reopened  int64      `json:"reopened"`
+	Incidents []Incident `json:"incidents"`
+}
+
+// persistLocked rewrites the snapshot file atomically (tmp + rename).
+// Claims are deliberately not persisted on their own — a claim is
+// transient state that reverts to open on restart anyway.
+func (st *Store) persistLocked() {
+	if st.cfg.Path == "" {
+		return
+	}
+	snap := storeSnapshot{Seq: st.seq, Filed: st.filed, Reopened: st.reopened}
+	snap.Incidents = make([]Incident, 0, len(st.order))
+	for _, id := range st.order {
+		snap.Incidents = append(snap.Incidents, st.incidents[id].copy())
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	tmp := st.cfg.Path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, st.cfg.Path)
+}
+
+// Load restores the queue from the snapshot file. Incidents persisted
+// mid-flight (claimed/investigating — possible only if the process
+// died between a terminal write and its claim) come back open, so no
+// incident is ever stranded by a dead claimant. A missing file is an
+// empty queue, not an error.
+func (st *Store) Load() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cfg.Path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(st.cfg.Path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var snap storeSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("incident: parse snapshot %s: %w", st.cfg.Path, err)
+	}
+	st.seq = snap.Seq
+	st.filed = snap.Filed
+	st.reopened = snap.Reopened
+	st.incidents = make(map[string]*Incident, len(snap.Incidents))
+	st.order = st.order[:0]
+	for i := range snap.Incidents {
+		inc := snap.Incidents[i]
+		if !inc.Status.Terminal() && inc.Status != StatusOpen {
+			inc.Status = StatusOpen
+			inc.Session = ""
+			inc.Leader = ""
+		}
+		st.incidents[inc.ID] = &inc
+		st.order = append(st.order, inc.ID)
+	}
+	return nil
+}
+
+// copy deep-copies the incident, including the event log.
+func (inc *Incident) copy() Incident {
+	out := *inc
+	out.Events = append([]Event(nil), inc.Events...)
+	return out
+}
+
+// summary copies the incident without its event log.
+func (inc *Incident) summary() Incident {
+	out := *inc
+	out.Events = nil
+	return out
+}

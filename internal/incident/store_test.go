@@ -1,0 +1,309 @@
+package incident
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// fixedClock returns a deterministic advancing clock for tests.
+func fixedClock() func() time.Time {
+	t := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func newTestStore(t *testing.T, path string) *Store {
+	t.Helper()
+	return NewStore(StoreConfig{Clock: fixedClock(), Path: path})
+}
+
+func TestStoreFileDefaults(t *testing.T) {
+	st := newTestStore(t, "")
+	inc, err := st.File(Filing{Type: "dns-resolution-failure"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.ID != "inc-000001" {
+		t.Errorf("id = %q", inc.ID)
+	}
+	if inc.Severity != SevWarning || inc.Source != "api" || inc.Title == "" || inc.Question == "" {
+		t.Errorf("defaults not applied: %+v", inc)
+	}
+	if inc.Status != StatusOpen || len(inc.Events) != 1 || inc.Events[0].Kind != EvFiled {
+		t.Errorf("filing lifecycle: %+v", inc)
+	}
+
+	for _, bad := range []Filing{
+		{},
+		{Type: "   "},
+		{Type: "x", Severity: "catastrophic"},
+	} {
+		if _, err := st.File(bad); err == nil {
+			t.Errorf("File(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestStoreOpenQueueOrder(t *testing.T) {
+	st := newTestStore(t, "")
+	for _, f := range []Filing{
+		{Type: "a", Severity: SevInfo},
+		{Type: "b", Severity: SevCritical},
+		{Type: "c", Severity: SevWarning},
+		{Type: "d", Severity: SevCritical},
+	} {
+		if _, err := st.File(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := st.OpenQueue(0)
+	got := make([]string, len(q))
+	for i, inc := range q {
+		got[i] = inc.Type
+	}
+	want := []string{"b", "d", "c", "a"} // critical first, then filing order
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("queue order = %v, want %v", got, want)
+		}
+	}
+	if q := st.OpenQueue(2); len(q) != 2 || q[0].Type != "b" || q[1].Type != "d" {
+		t.Errorf("limited queue = %+v", q)
+	}
+}
+
+// TestStoreClaimCAS proves the compare-and-swap: many concurrent
+// claimants, exactly one winner per incident. Run under -race.
+func TestStoreClaimCAS(t *testing.T) {
+	st := newTestStore(t, "")
+	inc, err := st.File(Filing{Type: "bgp-route-withdrawal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const claimants = 32
+	var wg sync.WaitGroup
+	wins := make(chan int, claimants)
+	for i := 0; i < claimants; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if st.Claim(inc.ID) {
+				wins <- 1
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	won := 0
+	for range wins {
+		won++
+	}
+	if won != 1 {
+		t.Fatalf("%d claimants won, want exactly 1", won)
+	}
+	if got, _ := st.Get(inc.ID); got.Status != StatusClaimed {
+		t.Errorf("status = %s", got.Status)
+	}
+	if st.Claim("inc-999999") {
+		t.Error("claimed unknown incident")
+	}
+}
+
+func TestStoreLifecycleAndRelease(t *testing.T) {
+	st := newTestStore(t, "")
+	inc, _ := st.File(Filing{Type: "t"})
+	if !st.Claim(inc.ID) {
+		t.Fatal("claim")
+	}
+	if err := st.Start(inc.ID, "sess-1", inc.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Starting twice is an illegal transition.
+	if err := st.Start(inc.ID, "sess-1", inc.ID); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("double start err = %v", err)
+	}
+
+	// Release re-queues: the incident is claimable again.
+	st.Release(inc.ID)
+	got, _ := st.Get(inc.ID)
+	if got.Status != StatusOpen || got.Session != "" {
+		t.Fatalf("after release: %+v", got)
+	}
+	if !st.Claim(inc.ID) {
+		t.Fatal("released incident not re-claimable")
+	}
+	if err := st.Start(inc.ID, "sess-2", inc.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(inc.ID, Outcome{Status: StatusResolved, Resolution: "fixed", Confidence: 9, Turns: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = st.Get(inc.ID)
+	if got.Status != StatusResolved || got.Resolution != "fixed" || got.Confidence != 9 || got.Turns != 2 {
+		t.Errorf("resolved record: %+v", got)
+	}
+	// Terminal incidents are immune to Release and late Close.
+	st.Release(inc.ID)
+	if err := st.Close(inc.ID, Outcome{Status: StatusEscalated}); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("close after terminal err = %v", err)
+	}
+	// Event log is strictly ordered with increasing seq.
+	for i, e := range got.Events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d seq = %d", i, e.Seq)
+		}
+	}
+}
+
+// TestStoreTransitionTable pins the manual-transition rules the API's
+// invalid_state (409) mapping relies on.
+func TestStoreTransitionTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(st *Store, id string)
+		to    Status
+		ok    bool
+	}{
+		{"resolve open", func(*Store, string) {}, StatusResolved, true},
+		{"escalate open", func(*Store, string) {}, StatusEscalated, true},
+		{"resolve claimed", func(st *Store, id string) { st.Claim(id) }, StatusResolved, true},
+		{"escalate investigating", func(st *Store, id string) {
+			st.Claim(id)
+			st.Start(id, "s", id)
+		}, StatusEscalated, true},
+		{"resolve resolved", func(st *Store, id string) {
+			st.Transition(id, StatusResolved, "")
+		}, StatusResolved, false},
+		{"escalate resolved", func(st *Store, id string) {
+			st.Transition(id, StatusResolved, "")
+		}, StatusEscalated, false},
+		{"resolve escalated", func(st *Store, id string) {
+			st.Transition(id, StatusEscalated, "")
+		}, StatusResolved, false},
+		{"to open", func(*Store, string) {}, StatusOpen, false},
+		{"to claimed", func(*Store, string) {}, StatusClaimed, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := newTestStore(t, "")
+			inc, _ := st.File(Filing{Type: "t"})
+			tc.setup(st, inc.ID)
+			_, err := st.Transition(inc.ID, tc.to, "note")
+			if tc.ok && err != nil {
+				t.Fatalf("transition: %v", err)
+			}
+			if !tc.ok && !errors.Is(err, ErrInvalidState) {
+				t.Fatalf("err = %v, want ErrInvalidState", err)
+			}
+		})
+	}
+	st := newTestStore(t, "")
+	if _, err := st.Transition("inc-404", StatusResolved, ""); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown id err = %v", err)
+	}
+}
+
+func TestStoreObserverBridge(t *testing.T) {
+	st := newTestStore(t, "")
+	inc, _ := st.File(Filing{Type: "t"})
+	obs := stream.Scoped(inc.ID, st.Observer(inc.ID))
+	obs(stream.Event{Type: stream.EventOp, Text: "investigate"})
+	obs(stream.Event{Type: stream.EventRound, Round: 1, Confidence: 8, Verdict: "yes"})
+	obs(stream.Event{Type: stream.EventAnswer, Text: "done", Confidence: 8})
+
+	got, _ := st.Get(inc.ID)
+	kinds := make([]string, 0, len(got.Events))
+	for _, e := range got.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []string{EvFiled, stream.EventOp, stream.EventRound, stream.EventAnswer}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestStoreSnapshotRoundTrip proves restart persistence: terminal
+// records survive byte-for-byte and in-flight incidents come back open
+// (re-claimable), never stranded under a dead claim.
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incidents.json")
+	st := newTestStore(t, path)
+
+	done, _ := st.File(Filing{Type: "resolved-type", Severity: SevCritical})
+	st.Claim(done.ID)
+	st.Start(done.ID, "s", done.ID)
+	if err := st.Close(done.ID, Outcome{Status: StatusResolved, Resolution: "root cause", Confidence: 8, Turns: 3}); err != nil {
+		t.Fatal(err)
+	}
+	inflight, _ := st.File(Filing{Type: "inflight-type"})
+	st.Claim(inflight.ID)
+	st.Start(inflight.ID, "s2", inflight.ID)
+	// Force a persist that captures the in-flight claim (Start alone
+	// does not persist; a reopen does).
+	st.Release(inflight.ID)
+	st.Claim(inflight.ID)
+	queued, _ := st.File(Filing{Type: "queued-type"})
+
+	re := newTestStore(t, path)
+	if err := re.Load(); err != nil {
+		t.Fatal(err)
+	}
+	gotDone, err := re.Get(done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDone, _ := st.Get(done.ID)
+	if gotDone.Status != StatusResolved || gotDone.Resolution != wantDone.Resolution || len(gotDone.Events) != len(wantDone.Events) {
+		t.Errorf("restored terminal record: %+v want %+v", gotDone, wantDone)
+	}
+	if got, _ := re.Get(queued.ID); got.Status != StatusOpen {
+		t.Errorf("queued incident restored as %s", got.Status)
+	}
+	// Claims do not persist on their own: the last durable state of the
+	// in-flight incident is its reopen, so it restores open and claimable.
+	if got, _ := re.Get(inflight.ID); got.Status != StatusOpen {
+		t.Errorf("in-flight incident restored as %s, want open", got.Status)
+	}
+	if !re.Claim(inflight.ID) {
+		t.Error("restored incident not claimable")
+	}
+	// IDs continue after the restored sequence instead of colliding.
+	next, err := re.File(Filing{Type: "post-restore"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "inc-000004" {
+		t.Errorf("post-restore id = %s, want inc-000004", next.ID)
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	st := newTestStore(t, "")
+	a, _ := st.File(Filing{Type: "a"})
+	b, _ := st.File(Filing{Type: "b"})
+	st.File(Filing{Type: "c"})
+	st.Claim(a.ID)
+	st.Start(a.ID, "s", a.ID)
+	st.Close(a.ID, Outcome{Status: StatusResolved})
+	st.Claim(b.ID)
+
+	s := st.Stats()
+	if s.Filed != 3 || s.QueueDepth != 1 || s.Claimed != 1 || s.Resolved != 1 || s.Escalated != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -13,7 +13,9 @@ import (
 	"sync"
 
 	"repro/internal/agent"
+	"repro/internal/llm"
 	"repro/internal/llm/backend"
+	"repro/internal/memory"
 	"repro/internal/trace"
 )
 
@@ -66,9 +68,62 @@ type SnapshotResponse struct {
 	Path string `json:"path"`
 }
 
-// SessionsResponse is the reply to GET /sessions.
-type SessionsResponse struct {
-	Sessions []Status `json:"sessions"`
+// ListPage is the shared paginated list envelope every /v1 collection
+// endpoint returns: {"items":[...],"next":"<cursor>"}. Ordering is
+// deterministic (ascending key), the `after` cursor is exclusive, and
+// `next` is present only when more items remain — pass it back as
+// ?after= to continue.
+type ListPage[T any] struct {
+	Items []T    `json:"items"`
+	Next  string `json:"next,omitempty"`
+}
+
+// Pagination limits for the shared ?limit=&after= contract.
+const (
+	// DefaultPageLimit applies when ?limit= is absent or 0.
+	DefaultPageLimit = 100
+	// MaxPageLimit caps any requested ?limit=.
+	MaxPageLimit = 1000
+)
+
+// PageArgs extracts the shared ?limit=&after= pagination arguments.
+// A malformed or non-positive limit is a bad_request error.
+func PageArgs(r *http.Request) (after string, limit int, err error) {
+	after = r.URL.Query().Get("after")
+	limit = DefaultPageLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n <= 0 {
+			return "", 0, fmt.Errorf("bad limit %q (want a positive integer)", v)
+		}
+		limit = n
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	return after, limit, nil
+}
+
+// Paginate slices an ascending-key item list into one ListPage: items
+// with key strictly greater than after, at most limit of them, and the
+// next cursor when the list continues past the page.
+func Paginate[T any](items []T, key func(T) string, after string, limit int) ListPage[T] {
+	start := 0
+	if after != "" {
+		for start < len(items) && key(items[start]) <= after {
+			start++
+		}
+	}
+	page := ListPage[T]{Items: []T{}}
+	end := start + limit
+	if end > len(items) {
+		end = len(items)
+	}
+	page.Items = append(page.Items, items[start:end]...)
+	if end < len(items) && end > start {
+		page.Next = key(items[end-1])
+	}
+	return page
 }
 
 // TraceResponse is the reply to GET /sessions/{id}/trace.
@@ -79,7 +134,8 @@ type TraceResponse struct {
 // ErrorInfo is the machine-readable error detail inside the envelope.
 type ErrorInfo struct {
 	// Code is a stable machine-readable identifier: bad_request,
-	// unknown_model, not_found, conflict, busy, timeout, internal.
+	// unknown_model, not_found, conflict, invalid_state, busy, timeout,
+	// internal.
 	Code string `json:"code"`
 	// Message is the human-readable detail.
 	Message string `json:"message"`
@@ -91,13 +147,27 @@ type ErrorResponse struct {
 	Error ErrorInfo `json:"error"`
 }
 
+// Extension lets another subsystem mount routes under /v1 and
+// contribute a named top-level block to GET /v1/stats — the hook the
+// autonomous incident pipeline (internal/incident) plugs into without
+// this package importing it. MountRoutes receives the same handle
+// function the built-in routes use (patterns are "METHOD /path",
+// rooted under /v1); StatsBlock returns the block's stable JSON key
+// and its value (an empty name contributes nothing).
+type Extension interface {
+	MountRoutes(handle func(pattern string, h http.HandlerFunc))
+	StatsBlock() (name string, v any)
+}
+
 // Handler exposes the manager as an HTTP JSON API — the agent-serving
-// side of websimd. The stable, versioned contract lives under /v1; the
+// side of websimd — plus any mounted extensions (the incident
+// pipeline). The stable, versioned contract lives under /v1; the
 // deprecated unversioned aliases have been removed and now return 404
-// with the standard error envelope:
+// with the standard error envelope. See API.md for the full
+// request/response reference.
 //
 //	POST   /v1/sessions                  create (optionally train) a session
-//	GET    /v1/sessions                  list sessions
+//	GET    /v1/sessions                  list sessions (paginated envelope)
 //	GET    /v1/sessions/{id}             session status
 //	DELETE /v1/sessions/{id}             close and discard a session
 //	POST   /v1/sessions/{id}/train       run role-goal training
@@ -108,14 +178,14 @@ type ErrorResponse struct {
 //	POST   /v1/sessions/{id}/snapshot    persist memory+trace+config to disk
 //	GET    /v1/sessions/{id}/trace       the audit trace
 //	GET    /v1/sessions/{id}/events      live investigation steps (SSE)
-//	GET    /v1/stats                     manager + LLM-backend counters
+//	GET    /v1/stats                     namespaced runtime counters
 //
 // Every request runs under the manager's per-request timeout; a request
 // queued behind a busy session gives up when the timeout fires (504).
 // The events stream is the exception: it follows the client connection,
 // not the request timeout. Errors are returned as the ErrorResponse
 // envelope.
-func Handler(m *Manager) http.Handler {
+func Handler(m *Manager, exts ...Extension) http.Handler {
 	mux := http.NewServeMux()
 
 	// handle registers h under the versioned /v1 path. The pre-/v1
@@ -179,7 +249,15 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	handle("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, SessionsResponse{Sessions: m.List()})
+		after, limit, err := PageArgs(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// List() is sorted ascending by ID, so the cursor is the last ID
+		// of the previous page.
+		page := Paginate(m.List(), func(s Status) string { return s.ID }, after, limit)
+		writeJSON(w, http.StatusOK, page)
 	})
 
 	handle("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -274,13 +352,74 @@ func Handler(m *Manager) http.Handler {
 		handleEvents(m, w, r)
 	})
 
-	// The capacity-planning endpoint: session-lifecycle counters plus
-	// the process-wide LLM backend counters.
+	// The capacity-planning endpoint. The body is namespaced into
+	// stable top-level blocks (see StatsBlocks and API.md): sessions,
+	// backend, caches, memory_segments, retrieval, plus one block per
+	// mounted extension (the incident pipeline adds "incidents").
 	handle("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Stats())
+		writeJSON(w, http.StatusOK, StatsBlocks(m, exts...))
 	})
 
+	for _, ext := range exts {
+		ext.MountRoutes(handle)
+	}
+
 	return mux
+}
+
+// SessionsStats is the `sessions` block of GET /v1/stats: the manager's
+// session-lifecycle counters.
+type SessionsStats struct {
+	Live           int   `json:"live"`             // committed live sessions
+	Restores       int64 `json:"restores"`         // sessions rebuilt from a snapshot (memory or disk)
+	DiskRestores   int64 `json:"disk_restores"`    // restores that had to read + decode a snapshot file
+	Evictions      int64 `json:"evictions"`        // sessions evicted to make room
+	AsyncWrites    int64 `json:"async_writes"`     // eviction snapshots queued to the writer pool
+	SyncWriteFalls int64 `json:"sync_write_falls"` // eviction snapshots written inline (pool saturated)
+	WriteErrors    int64 `json:"write_errors"`     // background snapshot writes that failed
+}
+
+// CachesStats is the `caches` block of GET /v1/stats: the process-wide
+// ask-hot-path caches.
+type CachesStats struct {
+	Evidence  llm.CacheStats    `json:"evidence"`
+	Knowledge memory.CacheStats `json:"knowledge"`
+}
+
+// StatsBlocks assembles the namespaced GET /v1/stats body: one stable
+// top-level block per subsystem. JSON object keys encode in sorted
+// order, so the wire shape is deterministic. The schema (documented in
+// API.md) is:
+//
+//	sessions         SessionsStats — manager lifecycle counters
+//	backend          backend.Stats — process-wide LLM backend counters
+//	caches           CachesStats — evidence + knowledge cache hit/miss
+//	memory_segments  evalcache.SegmentCacheStats — interned segment table
+//	retrieval        retrieval.Stats — parallel retrieval pipeline
+//	<extension>      one block per mounted Extension (e.g. incidents)
+func StatsBlocks(m *Manager, exts ...Extension) map[string]any {
+	st := m.Stats()
+	body := map[string]any{
+		"sessions": SessionsStats{
+			Live:           st.Live,
+			Restores:       st.Restores,
+			DiskRestores:   st.DiskRestores,
+			Evictions:      st.Evictions,
+			AsyncWrites:    st.AsyncWrites,
+			SyncWriteFalls: st.SyncWriteFalls,
+			WriteErrors:    st.WriteErrors,
+		},
+		"backend":         st.Backend,
+		"caches":          CachesStats{Evidence: st.EvidenceCache, Knowledge: st.KnowledgeCache},
+		"memory_segments": st.MemorySegments,
+		"retrieval":       st.Retrieval,
+	}
+	for _, ext := range exts {
+		if name, v := ext.StatsBlock(); name != "" {
+			body[name] = v
+		}
+	}
+	return body
 }
 
 // requestCtx derives the per-request context with the manager's timeout.
@@ -379,6 +518,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: ErrorInfo{Code: code, Message: msg}})
 }
+
+// WriteJSON writes v with the shared pooled-buffer encoder — exported
+// so extensions answer with the same framing as the built-in routes.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteErrorCode writes the standardized error envelope — exported so
+// extensions return the same {"error":{"code","message"}} shape and
+// stable codes as the built-in routes.
+func WriteErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorCode(w, status, code, msg)
+}
+
+// WriteError maps a runtime error to its HTTP status and envelope code
+// using the same table as the built-in routes.
+func WriteError(w http.ResponseWriter, err error) { writeError(w, err) }
 
 // httpError is the bad-request shorthand for body-validation failures.
 func httpError(w http.ResponseWriter, status int, msg string) {

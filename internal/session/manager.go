@@ -111,10 +111,11 @@ const flushSettle = 5 * time.Millisecond
 // bounded even under one-way eviction storms that never restore.
 const maxDirty = 256
 
-// ManagerStats counts runtime events for capacity planning; it is the
-// JSON body of GET /v1/stats. Backend aggregates the process-wide LLM
-// backend counters (remote requests, retries, breaker opens, cache
-// hits, fallback completions) next to the session-lifecycle counts.
+// ManagerStats counts runtime events for capacity planning — the
+// in-process aggregate StatsBlocks reshapes into the namespaced GET
+// /v1/stats body. Backend aggregates the process-wide LLM backend
+// counters (remote requests, retries, breaker opens, cache hits,
+// fallback completions) next to the session-lifecycle counts.
 type ManagerStats struct {
 	Live           int           `json:"live"`             // committed live sessions
 	Restores       int64         `json:"restores"`         // sessions rebuilt from a snapshot (memory or disk)

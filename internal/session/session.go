@@ -178,6 +178,22 @@ func (s *Session) Status() Status {
 	}
 }
 
+// Tee mirrors every step event the session's agent publishes into obs,
+// in addition to the session's own SSE event buffer. The incident
+// pipeline uses it to land each investigation step in the incident's
+// event log as it happens. Attaching waits for the session to go idle
+// (honoring ctx) so the observer never changes mid-operation; events
+// stay strictly ordered because the agent emits them from within the
+// serialized operation.
+func (s *Session) Tee(ctx context.Context, obs stream.Observer) error {
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+	s.agent.Observer = stream.Tee(s.agent.Observer, obs)
+	return nil
+}
+
 // Train runs the role goals through the autonomous loop (§3.2 steps
 // 1-3), populating the knowledge memory.
 func (s *Session) Train(ctx context.Context) (agent.TrainReport, error) {

@@ -168,8 +168,9 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestHTTPStats exercises GET /v1/stats: manager lifecycle counters plus
-// the LLM backend counter block.
+// TestHTTPStats exercises GET /v1/stats: the namespaced top-level
+// blocks documented in API.md, with the manager lifecycle counters
+// under "sessions" and the LLM counters under "backend".
 func TestHTTPStats(t *testing.T) {
 	srv, m := newTestServer(t, ManagerConfig{})
 	if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "a"}); code != http.StatusCreated {
@@ -180,33 +181,39 @@ func TestHTTPStats(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("stats: %d %s", code, body)
 	}
-	st := decode[ManagerStats](t, body)
-	if st.Live != 1 {
-		t.Errorf("stats live = %d, want 1", st.Live)
-	}
-	if want := m.Stats().Live; st.Live != want {
-		t.Errorf("served live = %d, manager reports %d", st.Live, want)
-	}
-
-	// The wire shape carries the documented keys, including the nested
-	// backend counter block GET /v1/stats promises.
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(body, &raw); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"live", "restores", "evictions", "backend", "evidence_cache", "knowledge_cache"} {
-		if _, ok := raw[key]; !ok {
-			t.Errorf("stats JSON missing %q: %s", key, body)
+	for _, block := range []string{"sessions", "backend", "caches", "memory_segments", "retrieval"} {
+		if _, ok := raw[block]; !ok {
+			t.Errorf("stats JSON missing block %q: %s", block, body)
 		}
 	}
-	for _, block := range []string{"evidence_cache", "knowledge_cache"} {
+
+	var sess SessionsStats
+	if err := json.Unmarshal(raw["sessions"], &sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Live != 1 {
+		t.Errorf("sessions.live = %d, want 1", sess.Live)
+	}
+	if want := m.Stats().Live; sess.Live != want {
+		t.Errorf("served live = %d, manager reports %d", sess.Live, want)
+	}
+
+	var caches map[string]json.RawMessage
+	if err := json.Unmarshal(raw["caches"], &caches); err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range []string{"evidence", "knowledge"} {
 		var cc map[string]json.RawMessage
-		if err := json.Unmarshal(raw[block], &cc); err != nil {
+		if err := json.Unmarshal(caches[block], &cc); err != nil {
 			t.Fatal(err)
 		}
 		for _, key := range []string{"hits", "misses"} {
 			if _, ok := cc[key]; !ok {
-				t.Errorf("%s stats missing %q: %s", block, key, raw[block])
+				t.Errorf("caches.%s missing %q: %s", block, key, caches[block])
 			}
 		}
 	}
@@ -223,6 +230,64 @@ func TestHTTPStats(t *testing.T) {
 	// The removed unversioned alias is gone for good.
 	if code, aliasBody := doJSON(t, "GET", srv.URL+"/stats", nil); code != http.StatusNotFound {
 		t.Errorf("legacy /stats = %d %s, want 404", code, aliasBody)
+	}
+}
+
+// TestHTTPListEnvelope pins the shared paginated list contract on GET
+// /v1/sessions: the {"items":[...],"next":...} envelope, deterministic
+// ascending-ID ordering, ?limit= windows and the ?after= cursor.
+func TestHTTPListEnvelope(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{})
+	for _, id := range []string{"c", "a", "b"} {
+		if code, body := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: id}); code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", id, code, body)
+		}
+	}
+
+	ids := func(p ListPage[Status]) []string {
+		out := make([]string, len(p.Items))
+		for i, s := range p.Items {
+			out[i] = s.ID
+		}
+		return out
+	}
+
+	code, body := doJSON(t, "GET", srv.URL+"/v1/sessions", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	page := decode[ListPage[Status]](t, body)
+	if got := ids(page); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("full list order = %v, want [a b c]", got)
+	}
+	if page.Next != "" {
+		t.Errorf("full list next = %q, want empty", page.Next)
+	}
+
+	// Page 1 of 2: the cursor points at the last item served.
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions?limit=2", nil)
+	if code != http.StatusOK {
+		t.Fatalf("limit=2: %d %s", code, body)
+	}
+	page = decode[ListPage[Status]](t, body)
+	if got := ids(page); len(got) != 2 || got[0] != "a" || got[1] != "b" || page.Next != "b" {
+		t.Errorf("page 1 = %v next=%q, want [a b] next=b", got, page.Next)
+	}
+
+	// Page 2: resume after the cursor, no further pages.
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions?limit=2&after="+page.Next, nil)
+	if code != http.StatusOK {
+		t.Fatalf("after: %d %s", code, body)
+	}
+	page = decode[ListPage[Status]](t, body)
+	if got := ids(page); len(got) != 1 || got[0] != "c" || page.Next != "" {
+		t.Errorf("page 2 = %v next=%q, want [c] next=\"\"", got, page.Next)
+	}
+
+	// A malformed limit is a bad_request envelope.
+	code, body = doJSON(t, "GET", srv.URL+"/v1/sessions?limit=zero", nil)
+	if code != http.StatusBadRequest || decode[ErrorResponse](t, body).Error.Code != "bad_request" {
+		t.Errorf("bad limit: %d %s", code, body)
 	}
 }
 

@@ -1,0 +1,72 @@
+package stormsim
+
+import "fmt"
+
+// IncidentEvent is one incident-worthy observation distilled from a
+// simulated outcome — the event-source feed the autonomous incident
+// pipeline (internal/incident) converts into filings. The type is the
+// grouping key leader-follower dedup runs on, so every failed grid
+// files under the one "power-grid-collapse" type, not a type per grid.
+type IncidentEvent struct {
+	Type     string `json:"type"`
+	Severity string `json:"severity"` // critical | warning | info
+	Title    string `json:"title"`
+	Detail   string `json:"detail"`
+}
+
+// IncidentEvents distills the outcome's timeline into typed incident
+// events, in deterministic order: the storm summary first, then grid,
+// cable and data-center damage in the outcome's own (deterministic)
+// order. A harmless storm yields a single info event.
+func (o Outcome) IncidentEvents() []IncidentEvent {
+	sev := SevInfo
+	switch {
+	case o.DamageScore >= 0.5:
+		sev = SevCritical
+	case o.DamageScore >= 0.15:
+		sev = SevWarning
+	}
+	events := []IncidentEvent{{
+		Type:     "solar-superstorm",
+		Severity: sev,
+		Title:    o.Storm + " solar superstorm",
+		Detail: fmt.Sprintf("damage score %.2f, peak capacity loss %.0f%%, recovery %.0fh",
+			o.DamageScore, o.CapacityLossPct, o.RecoveryHours),
+	}}
+	for _, grid := range o.GridsFailed {
+		events = append(events, IncidentEvent{
+			Type:     "power-grid-collapse",
+			Severity: SevCritical,
+			Title:    grid + " power grid collapse",
+			Detail:   fmt.Sprintf("the %s grid failed under geomagnetically induced currents during %s", grid, o.Storm),
+		})
+	}
+	cableSev := SevWarning
+	if o.CapacityLossPct >= 50 {
+		cableSev = SevCritical
+	}
+	for _, cable := range o.CablesFailed {
+		events = append(events, IncidentEvent{
+			Type:     "submarine-cable-outage",
+			Severity: cableSev,
+			Title:    cable + " submarine cable outage",
+			Detail:   fmt.Sprintf("repeater power failure on %s during %s", cable, o.Storm),
+		})
+	}
+	if o.DCsOffline > 0 {
+		events = append(events, IncidentEvent{
+			Type:     "datacenter-outage",
+			Severity: SevWarning,
+			Title:    fmt.Sprintf("%d data centers offline", o.DCsOffline),
+			Detail:   fmt.Sprintf("%d data centers lost power or connectivity during %s", o.DCsOffline, o.Storm),
+		})
+	}
+	return events
+}
+
+// Severity names shared with the incident pipeline's filing contract.
+const (
+	SevCritical = "critical"
+	SevWarning  = "warning"
+	SevInfo     = "info"
+)

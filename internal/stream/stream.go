@@ -53,7 +53,14 @@ const (
 // session event buffer (0 until published); all other fields are set by
 // the producer and zero values are omitted on the wire.
 type Event struct {
-	ID         int64    `json:"id,omitempty"`
+	ID int64 `json:"id,omitempty"`
+	// Incident scopes the event to an incident when the operation runs
+	// on behalf of the autonomous incident pipeline (internal/incident):
+	// the processor tees the session's step events into the incident's
+	// event log, stamped with the incident ID, so one SSE subscriber or
+	// log reader can tell which incident a step served. Empty for plain
+	// interactive sessions.
+	Incident   string   `json:"incident,omitempty"`
 	Type       string   `json:"type"`
 	Step       int      `json:"step,omitempty"`
 	Round      int      `json:"round,omitempty"`
@@ -80,5 +87,43 @@ type Observer func(Event)
 func (o Observer) Emit(e Event) {
 	if o != nil {
 		o(e)
+	}
+}
+
+// Tee fans one event out to every given observer in order, skipping nil
+// ones. It is the bridge primitive the incident pipeline uses to mirror
+// a session's step events into an incident's event log while the
+// session's own SSE buffer keeps receiving them unchanged. A Tee of
+// zero or all-nil observers behaves like a nil Observer.
+func Tee(obs ...Observer) Observer {
+	// Compact away nils once so the hot emit path only ranges live ones.
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e Event) {
+		for _, o := range live {
+			o(e)
+		}
+	}
+}
+
+// Scoped returns an observer that stamps every event with the incident
+// ID before forwarding to next — the incident-scoped half of a Tee.
+func Scoped(incident string, next Observer) Observer {
+	if next == nil {
+		return nil
+	}
+	return func(e Event) {
+		e.Incident = incident
+		next(e)
 	}
 }

@@ -2,9 +2,11 @@
 # Benchmark sweeps: runs the session-runtime, ask-hot-path,
 # streaming/batching and retrieval-pipeline benchmark suites at -cpu 8
 # and records the results as BENCH_sessions.json, BENCH_ask.json,
-# BENCH_stream.json and BENCH_investigate.json in the repo root. Opt-in and separate from check.sh, whose 1-iteration sweep
-# only guards the harness against rot — this script takes real
-# measurements.
+# BENCH_stream.json and BENCH_investigate.json in the repo root; the
+# footprint and incident-pipeline suites write BENCH_footprint.json and
+# BENCH_incidents.json themselves. Opt-in and separate from check.sh,
+# whose 1-iteration sweep only guards the harness against rot — this
+# script takes real measurements.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s)
 set -euo pipefail
@@ -66,3 +68,11 @@ run_suite investigate \
 REPRO_FOOTPRINT_OUT="$PWD/BENCH_footprint.json" \
   go test -count=1 -run '^TestFootprintReport$' .
 echo "wrote BENCH_footprint.json"
+
+# The incident-pipeline suite also writes its own JSON (incidents/sec
+# and the dedup speedup are derived metrics): full sim-batch drains at
+# workers 1/4/8 plus the all-leader baseline the leader-follower dedup
+# is measured against.
+REPRO_INCIDENTS_OUT="$PWD/BENCH_incidents.json" \
+  go test -count=1 -run '^TestIncidentPipelineReport$' .
+echo "wrote BENCH_incidents.json"

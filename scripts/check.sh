@@ -47,8 +47,17 @@ go test -race -count=1 -run 'TestRetrievalPipelineByteIdentity|TestSelfLearnSkip
 go test -race -count=1 ./internal/retrieval
 go test -race -count=1 -run 'TestClock|TestForkConcurrentFetchWithClock' ./internal/websim
 
+# The incident pipeline: atomic claim CAS, lifecycle transition table,
+# leader-failure fan-out, cancel-and-reclaim, snapshot round-trip,
+# worker-count byte-identity and the HTTP extension (envelopes, 409
+# invalid_state), all under the race detector; then the throughput
+# acceptance gate (leader-follower dedup must beat all-leader).
+go test -race -count=1 ./internal/incident
+go test -count=1 -run '^TestIncidentPipelineReport$' .
+
 # End-to-end: websimd -model remote against the llmstub chat-completions
-# server, driven over real HTTP (curl) through the /v1 API.
+# server, driven over real HTTP (curl) through the /v1 API — including
+# an incident filed over POST /v1/incidents and drained to resolved.
 scripts/smoke.sh
 
 # Real measurements (and BENCH_sessions.json) are opt-in: scripts/bench.sh

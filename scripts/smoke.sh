@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the versioned session API over a real network hop:
 # llmstub serves OpenAI-compatible completions (with injected 429s and a
-# latency tail), websimd runs with -model remote and hedging pointed at
-# it, and curl drives the /v1 routes — create, ask, list, the removed
-# unversioned aliases (now 404), the error envelope, live SSE event
-# streaming during an investigation, and the stats counters that must
-# show the injected failures were retried and the tail was hedged.
+# latency tail), websimd runs with -model remote, hedging and the
+# incident pipeline enabled, and curl drives the /v1 routes — create,
+# ask, paginated list envelopes, the removed unversioned aliases (now
+# 404), the error envelope, live SSE event streaming during an
+# investigation, an incident filed over POST /v1/incidents and polled to
+# resolved by the queue processor, and the namespaced stats blocks that
+# must show the injected failures were retried, the tail was hedged and
+# the incident drained.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +30,8 @@ go build -o "$WORK/websimd" ./cmd/websimd
 PIDS+=($!)
 REPRO_LLM_ENDPOINT="http://$LLM_ADDR" \
   "$WORK/websimd" -addr "$API_ADDR" -model remote \
-  -llm-hedge -llm-hedge-delay 50ms >"$WORK/websimd.log" 2>&1 &
+  -llm-hedge -llm-hedge-delay 50ms \
+  -incident-workers 2 >"$WORK/websimd.log" 2>&1 &
 PIDS+=($!)
 
 wait_up() {
@@ -71,6 +75,7 @@ expect_body '"trained":true'
 req POST /v1/sessions/smoke/ask 200 '{"question":"Why are undersea cables vulnerable?"}'
 expect_body '"confidence"'
 req GET /v1/sessions 200
+expect_body '"items"'
 expect_body '"smoke"'
 
 # The removed unversioned aliases are gone for good: 404 with the
@@ -109,17 +114,55 @@ if [[ -z "$round_line" || -z "$answer_line" || "$round_line" -ge "$answer_line" 
   exit 1
 fi
 
-# The stats endpoint reports the backend counters: the two injected 429s
-# must show up as absorbed retries, and the injected latency tail as
-# hedged attempts that won.
+# Incident pipeline, end to end: file an incident over the API and let
+# the queue processor claim, investigate and resolve it unattended. The
+# title names a documented incident, so the leader's investigation can
+# ground its cause question in the corpus and clear the threshold.
+req POST /v1/incidents 201 \
+  '{"type":"bgp-route-withdrawal","severity":"critical","title":"2021 Facebook outage"}'
+expect_body '"status":"open"'
+INC_ID=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/resp")
+for _ in $(seq 300); do
+  req GET "/v1/incidents/$INC_ID" 200
+  grep -q '"status":"resolved"' "$WORK/resp" && break
+  if grep -q '"status":"escalated"' "$WORK/resp"; then
+    echo "smoke: incident escalated instead of resolving:" >&2
+    cat "$WORK/resp" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+if ! grep -q '"status":"resolved"' "$WORK/resp"; then
+  echo "smoke: incident never resolved:" >&2
+  cat "$WORK/resp" >&2
+  exit 1
+fi
+expect_body '"resolution"'
+
+# Incident lists share the paginated envelope, and illegal lifecycle
+# transitions use the standard error envelope with the 409 code.
+req GET /v1/incidents 200
+expect_body '"items"'
+expect_body "$INC_ID"
+req POST "/v1/incidents/$INC_ID/resolve" 409
+expect_body '"code":"invalid_state"'
+req GET /v1/incidents/inc-999999 404
+expect_body '"code":"not_found"'
+
+# The stats endpoint reports the namespaced blocks: the two injected
+# 429s must show up as absorbed retries, the injected latency tail as
+# hedged attempts that won, and the incident as drained.
 req GET /v1/stats 200
-expect_body '"live"'
+expect_body '"sessions"'
 expect_body '"backend"'
 expect_body '"memory_segments"'
 expect_body '"retrieval"'
+expect_body '"incidents"'
 python3 - "$WORK/resp" <<'EOF'
 import json, sys
 stats = json.load(open(sys.argv[1]))
+se = stats["sessions"]
+assert se["live"] >= 1, f"live sessions not counted: {stats}"
 be = stats["backend"]
 assert be["requests"] > 0, stats
 assert be["retries"] >= 2, f"injected 429s not retried: {stats}"
@@ -135,9 +178,15 @@ seg = stats["memory_segments"]
 assert seg["segments"] >= 1, f"trained session sealed no segment: {stats}"
 assert seg["refs"] >= 1, f"sealed segment not attached to the session: {stats}"
 assert seg["resident_bytes"] > 0, f"segment residency not accounted: {stats}"
+inc = stats["incidents"]
+assert inc["filed"] >= 1, f"filed incident not counted: {stats}"
+assert inc["resolved"] >= 1, f"incident not resolved: {stats}"
+assert inc["queue_depth"] == 0 and inc["claimed"] == 0, f"incident queue not drained: {stats}"
+assert inc["leaders"] >= 1, f"no leader investigation counted: {stats}"
+assert inc["workers"] == 2, f"worker count not reported: {stats}"
 EOF
 
 req DELETE /v1/sessions/smoke 200
 req GET /v1/sessions/smoke 404
 
-echo "smoke: ok (retries absorbed, tail hedged, SSE streamed rounds before the answer)"
+echo "smoke: ok (retries absorbed, tail hedged, SSE streamed rounds, incident drained to resolved)"
