@@ -6,9 +6,24 @@
 //	websimd [-addr :8080] [-seed N] [-social] [-latency 0ms]
 //	        [-capacity 64] [-shards 0] [-snapshots DIR] [-timeout 30s]
 //	        [-model sim|ensemble|remote] [-retrieval-workers 0]
+//	        [-max-inflight 0]
 //	        [-llm-batch-window 0ms] [-llm-batch-max 0]
 //	        [-llm-hedge] [-llm-hedge-delay 0ms]
 //	        [-incident-workers 0] [-incident-max-turns 4] [-incident-sim]
+//
+// Gateway mode (scale-out tier; see internal/gateway and API.md):
+//
+//	websimd -gateway -backends host1:8081,host2:8081 [-addr :8080]
+//	websimd -gateway -spawn 4 [-addr :8080] [backend flags...]
+//
+// A gateway consistent-hashes session IDs (and incident-<id> keys)
+// across the backends, reverse-proxies every /v1 route to the owner,
+// streams SSE through with per-event flush, and fans GET /v1/stats and
+// GET /v1/metrics out to all backends with merged results. -spawn N
+// starts N child websimd backends from this binary on loopback ports,
+// sharing a snapshot directory so ring changes migrate sessions
+// between them; backend flags given alongside -spawn propagate to the
+// children.
 //
 // Simulated-web API:
 //
@@ -29,9 +44,11 @@
 //	POST   /v1/sessions/{id}/plan      propose a response plan
 //	POST   /v1/sessions/{id}/report    investigate + markdown report
 //	POST   /v1/sessions/{id}/snapshot  persist session state to disk
+//	POST   /v1/sessions/{id}/drain     snapshot + close for migration
 //	GET    /v1/sessions/{id}/trace     the audit trace
 //	GET    /v1/sessions/{id}/events    live investigation steps (SSE)
 //	GET    /v1/stats                   namespaced runtime counters
+//	GET    /v1/metrics                 Prometheus text exposition
 //
 // Autonomous incident pipeline (off by default; see internal/incident
 // and API.md). -incident-workers N > 0 enables it: incidents filed over
@@ -64,13 +81,16 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/evalcache"
+	"repro/internal/gateway"
 	"repro/internal/incident"
 	"repro/internal/llm/backend"
 	"repro/internal/session"
@@ -95,7 +115,16 @@ func main() {
 	incidentWorkers := flag.Int("incident-workers", 0, "incident-pipeline worker pool size (0 = pipeline disabled)")
 	incidentMaxTurns := flag.Int("incident-max-turns", 4, "self-learning rounds per leader investigation before the group escalates")
 	incidentSim := flag.Bool("incident-sim", false, "seed the incident queue from the built-in storm + BGP simulators at startup")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent agent operations on this node (0 = unlimited)")
+	gatewayMode := flag.Bool("gateway", false, "run as a gateway that consistent-hashes sessions across backends")
+	backends := flag.String("backends", "", "comma-separated backend addresses for -gateway")
+	spawn := flag.Int("spawn", 0, "spawn N child websimd backends for -gateway")
 	flag.Parse()
+
+	if err := validateFlags(*shards, *gatewayMode, *backends, *spawn, *incidentSim, *maxInFlight); err != nil {
+		fmt.Fprintf(os.Stderr, "websimd: %v\n", err)
+		os.Exit(2)
+	}
 
 	// The backend reads its tuning from the environment at session
 	// construction; the flags just feed it.
@@ -117,6 +146,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *gatewayMode {
+		gatewayMain(*addr, *backends, *spawn, *snapshots)
+		return
+	}
+
 	opts := websim.Options{EnableSocial: *social, Latency: *latency}
 	eng := evalcache.Engine(*seed, opts)
 	mgr := session.NewManager(session.ManagerConfig{
@@ -124,6 +158,7 @@ func main() {
 		Shards:         *shards,
 		SnapshotDir:    *snapshots,
 		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInFlight,
 		Defaults: session.Config{
 			Seed:        *seed,
 			Model:       *model,
@@ -182,4 +217,122 @@ func modelName(m string) string {
 		return backend.DefaultName
 	}
 	return m
+}
+
+// validateFlags rejects flag combinations that would start a broken
+// process. All of these exit 2 before anything listens.
+func validateFlags(shards int, gatewayMode bool, backends string, spawn int, incidentSim bool, maxInFlight int) error {
+	// -shards 0 is the auto default, but saying it explicitly is a
+	// contradiction: the user asked for zero lock shards.
+	explicitShards := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			explicitShards = true
+		}
+	})
+	if shards < 0 || (explicitShards && shards == 0) {
+		return fmt.Errorf("-shards must be positive (got %d; omit the flag for auto)", shards)
+	}
+	if maxInFlight < 0 {
+		return fmt.Errorf("-max-inflight must be >= 0 (got %d)", maxInFlight)
+	}
+	if spawn < 0 {
+		return fmt.Errorf("-spawn must be >= 0 (got %d)", spawn)
+	}
+	if !gatewayMode {
+		if backends != "" {
+			return fmt.Errorf("-backends requires -gateway")
+		}
+		if spawn > 0 {
+			return fmt.Errorf("-spawn requires -gateway")
+		}
+		return nil
+	}
+	if incidentSim {
+		return fmt.Errorf("-gateway cannot run -incident-sim: simulators file incidents on backends, not the gateway")
+	}
+	if backends != "" && spawn > 0 {
+		return fmt.Errorf("-backends and -spawn are mutually exclusive")
+	}
+	if backends == "" && spawn == 0 {
+		return fmt.Errorf("-gateway needs -backends host:port,... or -spawn N")
+	}
+	if backends != "" {
+		if _, err := gateway.ParseBackends(backends); err != nil {
+			return fmt.Errorf("-backends: %v", err)
+		}
+	}
+	return nil
+}
+
+// childArgs rebuilds the backend flag set for spawned children: every
+// explicitly-set flag except the gateway/topology ones, plus the
+// shared snapshot directory migration depends on.
+func childArgs(snapshots string) []string {
+	skip := map[string]bool{"addr": true, "gateway": true, "backends": true, "spawn": true, "snapshots": true, "incident-sim": true}
+	var args []string
+	flag.Visit(func(f *flag.Flag) {
+		if skip[f.Name] {
+			return
+		}
+		args = append(args, "-"+f.Name, f.Value.String())
+	})
+	return append(args, "-snapshots", snapshots)
+}
+
+// gatewayMain runs the gateway tier: resolve (or spawn) the backends,
+// build the ring, serve the proxy.
+func gatewayMain(addr, backendList string, spawn int, snapshots string) {
+	var (
+		addrs    []string
+		children []gateway.Child
+	)
+	if spawn > 0 {
+		// Children must share one snapshot directory or sessions cannot
+		// migrate between them.
+		if snapshots == "" {
+			dir, err := os.MkdirTemp("", "websimd-gateway-*")
+			if err != nil {
+				log.Fatalf("websimd: create shared snapshot dir: %v", err)
+			}
+			snapshots = dir
+			fmt.Printf("websimd: gateway using shared snapshot dir %s\n", snapshots)
+		}
+		var err error
+		children, err = gateway.SpawnChildren(spawn, childArgs(snapshots), 30*time.Second)
+		if err != nil {
+			log.Fatalf("websimd: %v", err)
+		}
+		for _, c := range children {
+			addrs = append(addrs, c.Addr)
+		}
+	} else {
+		addrs, _ = gateway.ParseBackends(backendList) // validated earlier
+	}
+
+	gw := gateway.New(gateway.Config{
+		HealthInterval: 2 * time.Second,
+		Logf:           log.Printf,
+	}, addrs)
+
+	// The gateway owns its children: a signal tears the whole tier down.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		gw.Close()
+		gateway.KillChildren(children)
+		os.Exit(0)
+	}()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("websimd: gateway on %s proxying %d backends: %s\n",
+		addr, len(addrs), strings.Join(addrs, ", "))
+	err := srv.ListenAndServe()
+	gateway.KillChildren(children)
+	log.Fatal(err)
 }

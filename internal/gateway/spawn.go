@@ -1,0 +1,96 @@
+package gateway
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// Child is one self-hosted backend process.
+type Child struct {
+	Addr string
+	Cmd  *exec.Cmd
+}
+
+// SpawnChildren starts n copies of this binary as backend processes on
+// loopback ports and waits for each /healthz to come up. extraArgs is
+// the flag set every child runs with (the caller curates which parent
+// flags propagate); each child additionally gets its own -addr.
+// Children inherit the parent's stdout/stderr so their logs interleave
+// visibly. On any failure every already-started child is killed.
+func SpawnChildren(n int, extraArgs []string, timeout time.Duration) ([]Child, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("gateway: locate own binary: %w", err)
+	}
+	var children []Child
+	fail := func(err error) ([]Child, error) {
+		KillChildren(children)
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		addr, err := reservePort()
+		if err != nil {
+			return fail(fmt.Errorf("gateway: reserve port for child %d: %w", i, err))
+		}
+		args := append(append([]string(nil), extraArgs...), "-addr", addr)
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("gateway: start child %d: %w", i, err))
+		}
+		children = append(children, Child{Addr: addr, Cmd: cmd})
+	}
+	deadline := time.Now().Add(timeout)
+	for _, c := range children {
+		if err := waitHealthy(c.Addr, deadline); err != nil {
+			return fail(err)
+		}
+	}
+	return children, nil
+}
+
+// KillChildren terminates every child process and reaps it.
+func KillChildren(children []Child) {
+	for _, c := range children {
+		if c.Cmd != nil && c.Cmd.Process != nil {
+			_ = c.Cmd.Process.Kill()
+			_ = c.Cmd.Wait()
+		}
+	}
+}
+
+// reservePort binds an ephemeral loopback port and releases it,
+// returning the address for the child to claim. The race between
+// release and the child's bind is the standard one every
+// spawn-a-server harness accepts on loopback.
+func reservePort() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// waitHealthy polls the child's /healthz until it answers or the
+// deadline passes.
+func waitHealthy(addr string, deadline time.Time) error {
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	for time.Now().Before(deadline) {
+		resp, err := client.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("gateway: child %s never became healthy", addr)
+}

@@ -81,6 +81,10 @@ var (
 // on; Question is what the investigation answers (defaulted from the
 // title when empty).
 type Filing struct {
+	// ID, when set, names the incident instead of the store's own
+	// inc-%06d sequence. The gateway pre-assigns globally unique IDs
+	// this way so filings landing on different backends never collide.
+	ID       string `json:"id,omitempty"`
 	Type     string `json:"type"`
 	Severity string `json:"severity,omitempty"` // critical | warning | info (default warning)
 	Title    string `json:"title,omitempty"`
@@ -91,6 +95,9 @@ type Filing struct {
 
 // validate normalizes a filing and rejects unusable ones.
 func (f Filing) validate() (Filing, error) {
+	if f.ID != "" && !validFilingID(f.ID) {
+		return f, fmt.Errorf("invalid incident id %q (want 1-64 chars of [A-Za-z0-9_-])", f.ID)
+	}
 	f.Type = strings.TrimSpace(f.Type)
 	if f.Type == "" {
 		return f, fmt.Errorf("missing incident type")
@@ -118,6 +125,22 @@ func (f Filing) validate() (Filing, error) {
 		f.Source = "api"
 	}
 	return f, nil
+}
+
+// validFilingID mirrors the session-ID charset: incident IDs embed
+// into session names ("incident-<id>"), so they must stay legal there.
+func validFilingID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Event is one entry of an incident's append-only event log: lifecycle

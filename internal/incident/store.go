@@ -69,18 +69,27 @@ func (st *Store) OnFile(fn func()) {
 }
 
 // File validates and opens a new incident, assigning the next ID in
-// filing order ("inc-000001", ...).
+// filing order ("inc-000001", ...). A filing that carries its own ID
+// keeps it — the store's sequence is not advanced — and filing a
+// duplicate ID is an error.
 func (st *Store) File(f Filing) (Incident, error) {
 	f, err := f.validate()
 	if err != nil {
 		return Incident{}, err
 	}
 	st.mu.Lock()
-	st.seq++
+	id := f.ID
+	if id == "" {
+		st.seq++
+		id = fmt.Sprintf("inc-%06d", st.seq)
+	} else if _, taken := st.incidents[id]; taken {
+		st.mu.Unlock()
+		return Incident{}, fmt.Errorf("incident id %s already filed", id)
+	}
 	st.filed++
 	now := st.cfg.Clock()
 	inc := &Incident{
-		ID:       fmt.Sprintf("inc-%06d", st.seq),
+		ID:       id,
 		Type:     f.Type,
 		Severity: f.Severity,
 		Title:    f.Title,

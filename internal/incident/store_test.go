@@ -3,6 +3,7 @@ package incident
 import (
 	"errors"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -305,5 +306,36 @@ func TestStoreStats(t *testing.T) {
 	s := st.Stats()
 	if s.Filed != 3 || s.QueueDepth != 1 || s.Claimed != 1 || s.Resolved != 1 || s.Escalated != 0 {
 		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestStoreFileExplicitID(t *testing.T) {
+	st := newTestStore(t, "")
+	inc, err := st.File(Filing{ID: "inc-g000042", Type: "bgp-leak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.ID != "inc-g000042" {
+		t.Errorf("id = %q, want the explicit one", inc.ID)
+	}
+	// The explicit ID did not advance the store's own sequence.
+	next, err := st.File(Filing{Type: "bgp-leak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "inc-000001" {
+		t.Errorf("sequence id after explicit filing = %q, want inc-000001", next.ID)
+	}
+	// Duplicates and illegal charsets are rejected.
+	if _, err := st.File(Filing{ID: "inc-g000042", Type: "bgp-leak"}); err == nil {
+		t.Error("duplicate explicit id accepted")
+	}
+	for _, bad := range []string{"has space", "dot.dot", strings.Repeat("x", 65)} {
+		if _, err := st.File(Filing{ID: bad, Type: "bgp-leak"}); err == nil {
+			t.Errorf("File with id %q accepted", bad)
+		}
+	}
+	if st.Stats().Filed != 2 {
+		t.Errorf("filed = %d, want 2", st.Stats().Filed)
 	}
 }

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scrape is one node's exposition text, tagged with the node identity
+// the merge stamps onto every sample.
+type Scrape struct {
+	Node string
+	Text []byte
+}
+
+// MergeProm merges several nodes' exposition outputs into one valid
+// exposition: families keep a single HELP/TYPE header (first seen
+// wins), all samples of a family stay consecutive, and every sample
+// gains a node="<addr>" label identifying its origin. Sample order is
+// deterministic: families in first-seen order, within a family the
+// scrape order, within a scrape the original line order. The gateway
+// uses this to answer GET /v1/metrics with the whole tier in one
+// scrape.
+func MergeProm(w io.Writer, scrapes []Scrape) {
+	type fam struct {
+		header  []string
+		samples []string
+	}
+	var order []string
+	fams := map[string]*fam{}
+	for _, sc := range scrapes {
+		scanner := bufio.NewScanner(bytes.NewReader(sc.Text))
+		scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+		var pendingHeader []string
+		var cur *fam
+		for scanner.Scan() {
+			line := scanner.Text()
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				// HELP/TYPE lines buffer until the family's first sample
+				// names it; other comments are dropped.
+				if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+					pendingHeader = append(pendingHeader, line)
+				}
+				continue
+			}
+			name := sampleFamily(line)
+			f, ok := fams[name]
+			if !ok {
+				f = &fam{header: pendingHeader}
+				fams[name] = f
+				order = append(order, name)
+			}
+			pendingHeader = nil
+			cur = f
+			cur.samples = append(cur.samples, addNodeLabel(line, sc.Node))
+		}
+	}
+	for _, name := range order {
+		f := fams[name]
+		for _, h := range f.header {
+			fmt.Fprintln(w, h)
+		}
+		for _, s := range f.samples {
+			fmt.Fprintln(w, s)
+		}
+	}
+}
+
+// sampleFamily returns the family name a sample line belongs to,
+// folding the histogram/summary suffixes onto their base family so
+// _bucket/_sum/_count stay grouped with their TYPE header.
+func sampleFamily(line string) string {
+	name := line
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name = line[:i]
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// addNodeLabel inserts node="<node>" as the first label of a sample
+// line, creating the label set when the sample has none.
+func addNodeLabel(line, node string) string {
+	esc := escapeLabel(node)
+	if i := strings.Index(line, "{"); i >= 0 {
+		rest := line[i+1:]
+		if strings.HasPrefix(rest, "}") {
+			return line[:i] + `{node="` + esc + `"` + rest
+		}
+		return line[:i] + `{node="` + esc + `",` + rest
+	}
+	if i := strings.Index(line, " "); i >= 0 {
+		return line[:i] + `{node="` + esc + `"}` + line[i:]
+	}
+	return line
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("repro_proxied_total", "proxied requests", Label{"route", "ask"})
+	c.Add(3)
+	c.Inc()
+	r.GaugeFunc("repro_backends", "ring size", func() float64 { return 4 })
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP repro_proxied_total proxied requests",
+		"# TYPE repro_proxied_total counter",
+		`repro_proxied_total{route="ask"} 4`,
+		"# TYPE repro_backends gauge",
+		"repro_backends 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("repro_http_request_seconds", "latency", []float64{0.001, 0.01, 0.1}, Label{"route", "ask"})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.0005) // first bucket
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.005) // second bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // +Inf bucket
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	if got, want := h.Sum(), 50*0.0005+40*0.005+10*0.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	// p50 falls inside the first bucket, p90 at the end of the second.
+	if q := h.Quantile(0.5); q <= 0 || q > 0.001 {
+		t.Errorf("p50 = %v, want in (0, 0.001]", q)
+	}
+	if q := h.Quantile(0.9); q <= 0.001 || q > 0.01+1e-12 {
+		t.Errorf("p90 = %v, want in (0.001, 0.01]", q)
+	}
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE repro_http_request_seconds histogram",
+		`repro_http_request_seconds_bucket{route="ask",le="0.001"} 50`,
+		`repro_http_request_seconds_bucket{route="ask",le="0.01"} 90`,
+		`repro_http_request_seconds_bucket{route="ask",le="0.1"} 90`,
+		`repro_http_request_seconds_bucket{route="ask",le="+Inf"} 100`,
+		`repro_http_request_seconds_count{route="ask"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "x", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+	if got := h.Sum(); math.Abs(got-8.0) > 1e-6 {
+		t.Fatalf("Sum = %v, want 8.0", got)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "x", nil)
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	if h.Count() != 1 || h.Sum() < 0.009 {
+		t.Fatalf("ObserveSince recorded count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestWriteStatsFlattensBlocks(t *testing.T) {
+	blocks := map[string]any{
+		"backend": map[string]any{"breaker_opens": 3, "requests": 120},
+		"caches": map[string]any{
+			"evidence": map[string]any{"hits": 10, "misses": 2},
+		},
+		"incidents": map[string]any{"queue_depth": 7, "label": "ignored-string"},
+		"flag":      true,
+	}
+	var b strings.Builder
+	WriteStats(&b, "repro_stats", blocks)
+	out := b.String()
+	for _, want := range []string{
+		"repro_stats_backend_breaker_opens 3",
+		"repro_stats_backend_requests 120",
+		"repro_stats_caches_evidence_hits 10",
+		"repro_stats_incidents_queue_depth 7",
+		"repro_stats_flag 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flattened stats missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ignored-string") {
+		t.Errorf("string leaf leaked into exposition:\n%s", out)
+	}
+	// Deterministic output: two renders are byte-identical.
+	var b2 strings.Builder
+	WriteStats(&b2, "repro_stats", blocks)
+	if b.String() != b2.String() {
+		t.Error("WriteStats output is not deterministic")
+	}
+}
+
+func TestMergePromAddsNodeLabels(t *testing.T) {
+	a := "# HELP m reqs\n# TYPE m counter\nm{route=\"ask\"} 1\nm 2\n"
+	b := "# HELP m reqs\n# TYPE m counter\nm{route=\"ask\"} 5\n# TYPE other gauge\nother 9\n"
+	var out strings.Builder
+	MergeProm(&out, []Scrape{{Node: "127.0.0.1:1", Text: []byte(a)}, {Node: "127.0.0.1:2", Text: []byte(b)}})
+	got := out.String()
+	for _, want := range []string{
+		`m{node="127.0.0.1:1",route="ask"} 1`,
+		`m{node="127.0.0.1:1"} 2`,
+		`m{node="127.0.0.1:2",route="ask"} 5`,
+		`other{node="127.0.0.1:2"} 9`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("merged exposition missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "# TYPE m counter") != 1 {
+		t.Errorf("family header duplicated:\n%s", got)
+	}
+	// All of family m's samples stay consecutive (before family other).
+	if strings.Index(got, "other{") < strings.LastIndex(got, "m{") {
+		t.Errorf("family samples interleaved:\n%s", got)
+	}
+	// Histogram suffixes fold onto their base family.
+	h := "# TYPE lat histogram\nlat_bucket{le=\"+Inf\"} 1\nlat_sum 0.5\nlat_count 1\n"
+	var out2 strings.Builder
+	MergeProm(&out2, []Scrape{{Node: "n1", Text: []byte(h)}})
+	if strings.Count(out2.String(), "# TYPE lat histogram") != 1 {
+		t.Errorf("histogram family split:\n%s", out2.String())
+	}
+}

@@ -11,11 +11,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/llm"
 	"repro/internal/llm/backend"
 	"repro/internal/memory"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -176,9 +178,11 @@ type Extension interface {
 //	POST   /v1/sessions/{id}/plan        propose a response plan
 //	POST   /v1/sessions/{id}/report      investigate + markdown report
 //	POST   /v1/sessions/{id}/snapshot    persist memory+trace+config to disk
+//	POST   /v1/sessions/{id}/drain       snapshot + close, restorable (migration handoff)
 //	GET    /v1/sessions/{id}/trace       the audit trace
 //	GET    /v1/sessions/{id}/events      live investigation steps (SSE)
 //	GET    /v1/stats                     namespaced runtime counters
+//	GET    /v1/metrics                   Prometheus text exposition
 //
 // Every request runs under the manager's per-request timeout; a request
 // queued behind a busy session gives up when the timeout fires (504).
@@ -188,12 +192,25 @@ type Extension interface {
 func Handler(m *Manager, exts ...Extension) http.Handler {
 	mux := http.NewServeMux()
 
-	// handle registers h under the versioned /v1 path. The pre-/v1
-	// unversioned aliases are gone; the catch-all below turns them into
-	// enveloped 404s.
+	// Per-handler metrics registry: every route registered through
+	// handle gets a latency histogram labeled with its pattern, and GET
+	// /v1/metrics serves the whole registry (plus the flattened stats
+	// blocks) in Prometheus text format.
+	reg := metrics.NewRegistry()
+
+	// handle registers h under the versioned /v1 path, wrapped in the
+	// per-route latency observer. The pre-/v1 unversioned aliases are
+	// gone; the catch-all below turns them into enveloped 404s.
 	handle := func(pattern string, h http.HandlerFunc) {
 		method, path, _ := strings.Cut(pattern, " ")
-		mux.HandleFunc(method+" /v1"+path, h)
+		hist := reg.Histogram("repro_http_request_seconds",
+			"HTTP request latency by route.", nil,
+			metrics.Label{Key: "route", Value: method + " /v1" + path})
+		mux.HandleFunc(method+" /v1"+path, func(w http.ResponseWriter, r *http.Request) {
+			t0 := time.Now()
+			h(w, r)
+			hist.ObserveSince(t0)
+		})
 	}
 
 	// Anything outside /v1 — including the removed unversioned aliases —
@@ -237,7 +254,13 @@ func Handler(m *Manager, exts ...Extension) http.Handler {
 		}
 		resp := CreateResponse{}
 		if req.Train {
+			release, err := m.Admit(ctx)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
 			rep, err := s.Train(ctx)
+			release()
 			if err != nil {
 				writeError(w, err)
 				return
@@ -337,6 +360,21 @@ func Handler(m *Manager, exts ...Extension) http.Handler {
 		writeJSON(w, http.StatusOK, SnapshotResponse{Path: path})
 	})
 
+	// The migration handoff: persist final state and close, leaving the
+	// snapshot restorable by any node sharing the snapshot directory.
+	// The gateway drains a session here when its ring slot moves; the
+	// new owner restores it lazily on the next request. 409 (conflict)
+	// when the node has no snapshot directory to hand off through.
+	handle("POST /sessions/{id}/drain", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := m.requestCtx(r)
+		defer cancel()
+		if err := m.Drain(ctx, r.PathValue("id")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"drained": r.PathValue("id")})
+	})
+
 	handle("GET /sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		s, err := m.Get(r.PathValue("id"))
 		if err != nil {
@@ -360,6 +398,21 @@ func Handler(m *Manager, exts ...Extension) http.Handler {
 		writeJSON(w, http.StatusOK, StatsBlocks(m, exts...))
 	})
 
+	// The Prometheus scrape endpoint: per-route latency histograms from
+	// this handler's registry, derived cache hit-ratio gauges, then
+	// every /v1/stats counter flattened into repro_stats_* gauges
+	// (backend breaker opens, cache hits, incident queue depth, ...).
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.ContentType)
+		reg.WriteProm(w)
+		st := m.Stats()
+		fmt.Fprintf(w, "# HELP repro_cache_hit_ratio Hit ratio of the ask-hot-path caches.\n# TYPE repro_cache_hit_ratio gauge\n")
+		fmt.Fprintf(w, "repro_cache_hit_ratio{cache=\"evidence\"} %s\n", ratio(st.EvidenceCache.Hits, st.EvidenceCache.Misses))
+		fmt.Fprintf(w, "repro_cache_hit_ratio{cache=\"knowledge\"} %s\n", ratio(st.KnowledgeCache.Hits, st.KnowledgeCache.Misses))
+		fmt.Fprintf(w, "repro_cache_hit_ratio{cache=\"llm_response\"} %s\n", ratio(st.Backend.CacheHits, st.Backend.Requests))
+		metrics.WriteStats(w, "repro_stats", StatsBlocks(m, exts...))
+	})
+
 	for _, ext := range exts {
 		ext.MountRoutes(handle)
 	}
@@ -377,6 +430,8 @@ type SessionsStats struct {
 	AsyncWrites    int64 `json:"async_writes"`     // eviction snapshots queued to the writer pool
 	SyncWriteFalls int64 `json:"sync_write_falls"` // eviction snapshots written inline (pool saturated)
 	WriteErrors    int64 `json:"write_errors"`     // background snapshot writes that failed
+	InFlight       int   `json:"inflight_ops"`     // agent operations currently holding an admission slot
+	MaxInFlight    int   `json:"max_inflight"`     // admission gate size (0 = unlimited)
 }
 
 // CachesStats is the `caches` block of GET /v1/stats: the process-wide
@@ -408,6 +463,8 @@ func StatsBlocks(m *Manager, exts ...Extension) map[string]any {
 			AsyncWrites:    st.AsyncWrites,
 			SyncWriteFalls: st.SyncWriteFalls,
 			WriteErrors:    st.WriteErrors,
+			InFlight:       st.InFlight,
+			MaxInFlight:    st.MaxInFlight,
 		},
 		"backend":         st.Backend,
 		"caches":          CachesStats{Evidence: st.EvidenceCache, Knowledge: st.KnowledgeCache},
@@ -427,8 +484,18 @@ func (m *Manager) requestCtx(r *http.Request) (context.Context, context.CancelFu
 	return context.WithTimeout(r.Context(), m.cfg.RequestTimeout)
 }
 
+// ratio renders hits/(hits+misses) for the hit-ratio gauges (0 when no
+// traffic has been counted yet).
+func ratio(hits, misses int64) string {
+	if hits+misses == 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(float64(hits)/float64(hits+misses), 'g', -1, 64)
+}
+
 // withSession resolves the {id} session and runs op under the request
-// timeout, writing the JSON result or the mapped error.
+// timeout and the per-node admission gate, writing the JSON result or
+// the mapped error.
 func withSession(m *Manager, w http.ResponseWriter, r *http.Request, op func(context.Context, *Session) (any, error)) {
 	ctx, cancel := m.requestCtx(r)
 	defer cancel()
@@ -437,6 +504,12 @@ func withSession(m *Manager, w http.ResponseWriter, r *http.Request, op func(con
 		writeError(w, err)
 		return
 	}
+	release, err := m.Admit(ctx)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	out, err := op(ctx, s)
 	if err != nil {
 		writeError(w, err)
@@ -478,7 +551,7 @@ func writeError(w http.ResponseWriter, err error) {
 		writeErrorCode(w, http.StatusBadRequest, "unknown_model", err.Error())
 	case errors.Is(err, ErrNotFound):
 		writeErrorCode(w, http.StatusNotFound, "not_found", err.Error())
-	case errors.Is(err, ErrExists), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrExists), errors.Is(err, ErrClosed), errors.Is(err, ErrNoSnapshots):
 		writeErrorCode(w, http.StatusConflict, "conflict", err.Error())
 	case errors.Is(err, ErrBusy):
 		writeErrorCode(w, http.StatusServiceUnavailable, "busy", err.Error())

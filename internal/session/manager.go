@@ -43,6 +43,12 @@ type ManagerConfig struct {
 	// RequestTimeout bounds each HTTP request served by Handler
 	// (default 30s).
 	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently executing agent operations
+	// (train/ask/learn/plan/report) across all sessions on this node —
+	// the per-node admission gate the gateway tier spreads load
+	// against. Excess requests queue honoring their context (so they
+	// time out with 504 rather than melt the node); 0 means unlimited.
+	MaxInFlight int
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -124,6 +130,8 @@ type ManagerStats struct {
 	AsyncWrites    int64         `json:"async_writes"`     // eviction snapshots queued to the writer pool
 	SyncWriteFalls int64         `json:"sync_write_falls"` // eviction snapshots written inline (pool saturated)
 	WriteErrors    int64         `json:"write_errors"`     // background snapshot writes that failed
+	InFlight       int           `json:"inflight_ops"`     // agent operations currently holding an admission slot
+	MaxInFlight    int           `json:"max_inflight"`     // admission gate size (0 = unlimited)
 	Backend        backend.Stats `json:"backend"`          // process-wide LLM backend counters
 
 	// Ask-hot-path cache counters, process-wide like Backend: the sim
@@ -152,6 +160,10 @@ type ManagerStats struct {
 type Manager struct {
 	cfg    ManagerConfig
 	shards []*shard
+
+	// gate is the admission semaphore when MaxInFlight > 0 (nil
+	// otherwise): one slot per concurrently executing agent operation.
+	gate chan struct{}
 
 	seq  atomic.Int64 // generated-ID sequence
 	live atomic.Int64 // committed sessions + in-flight reservations
@@ -202,6 +214,9 @@ func NewManager(cfg ManagerConfig) *Manager {
 	for i := range m.shards {
 		m.shards[i] = &shard{entries: map[string]*entry{}}
 	}
+	if cfg.MaxInFlight > 0 {
+		m.gate = make(chan struct{}, cfg.MaxInFlight)
+	}
 	if cfg.SnapshotDir != "" {
 		m.writer = parallel.NewPool(2, 4*cfg.Shards)
 		m.sweepStop = make(chan struct{})
@@ -242,10 +257,41 @@ func (m *Manager) sweep() {
 // Config returns the manager's effective configuration.
 func (m *Manager) Config() ManagerConfig { return m.cfg }
 
+// Admit claims one slot of the per-node admission gate, blocking until
+// a slot frees or ctx is done. The returned release function must be
+// called exactly once. With no MaxInFlight configured it is a no-op —
+// the common single-node case pays one nil check.
+func (m *Manager) Admit(ctx context.Context) (release func(), err error) {
+	if m.gate == nil {
+		return func() {}, nil
+	}
+	select {
+	case m.gate <- struct{}{}:
+		return func() { <-m.gate }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Drain persists the session's final state and closes it, leaving the
+// snapshot restorable by any node sharing the snapshot directory — the
+// migration handoff the gateway invokes when a session's ring slot
+// moves to another backend. It is Close without discard, plus the
+// guarantee that a node with no snapshot directory refuses instead of
+// silently dropping the only copy of the state.
+func (m *Manager) Drain(ctx context.Context, id string) error {
+	if m.cfg.SnapshotDir == "" {
+		return fmt.Errorf("%w: cannot drain %s", ErrNoSnapshots, id)
+	}
+	return m.Close(ctx, id, false)
+}
+
 // Stats returns a point-in-time event-count snapshot.
 func (m *Manager) Stats() ManagerStats {
 	return ManagerStats{
 		Live:           m.Len(),
+		InFlight:       len(m.gate),
+		MaxInFlight:    m.cfg.MaxInFlight,
 		Restores:       m.stats.restores.Load(),
 		DiskRestores:   m.stats.diskRestores.Load(),
 		Evictions:      m.stats.evictions.Load(),

@@ -27,6 +27,9 @@ var (
 	// ErrBusy is returned when the manager is at capacity and every
 	// session is mid-operation, so none can be evicted.
 	ErrBusy = errors.New("session: manager at capacity and all sessions busy")
+	// ErrNoSnapshots is returned for operations (drain) that require a
+	// snapshot directory on a manager configured without one.
+	ErrNoSnapshots = errors.New("session: node has no snapshot directory")
 )
 
 // Session is one named, long-lived agent. Operations are serialized per

@@ -1,0 +1,5 @@
+//go:build !race
+
+package repro
+
+const raceEnabled = false

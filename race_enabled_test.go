@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether this binary was built with the race
+// detector; timing-gated suites skip themselves under it.
+const raceEnabled = true

@@ -76,3 +76,12 @@ echo "wrote BENCH_footprint.json"
 REPRO_INCIDENTS_OUT="$PWD/BENCH_incidents.json" \
   go test -count=1 -run '^TestIncidentPipelineReport$' .
 echo "wrote BENCH_incidents.json"
+
+# The gateway suite spawns real processes (the hop is a real loopback
+# proxy, scale-out is real backend processes behind llmstub latency):
+# warm-connection p50 ask latency direct vs proxied, then aggregate
+# asks/sec at 1/2/4 backends vs one direct backend. The acceptance
+# lines are hop overhead p50 < 150us and 4-backend throughput >= 2.5x.
+REPRO_GATEWAY_OUT="$PWD/BENCH_gateway.json" \
+  go test -count=1 -timeout 900s -run '^TestGatewayReport$' .
+echo "wrote BENCH_gateway.json"

@@ -55,9 +55,19 @@ go test -race -count=1 -run 'TestClock|TestForkConcurrentFetchWithClock' ./inter
 go test -race -count=1 ./internal/incident
 go test -count=1 -run '^TestIncidentPipelineReport$' .
 
+# The gateway tier: ring determinism/balance/minimal-movement, routing
+# and fan-out merge through a live two-backend fixture, SSE flushing
+# per event through the proxy hop, and the migration protocol (drain ->
+# snapshot -> lazy restore, byte-identical answers), plus the metrics
+# registry exposition/merge — all under the race detector.
+go test -race -count=1 ./internal/gateway ./internal/metrics
+go test -race -count=1 -run 'TestHTTPMetricsEndpoint|TestHTTPDrainHandoff|TestAdmissionGate' ./internal/session
+
 # End-to-end: websimd -model remote against the llmstub chat-completions
 # server, driven over real HTTP (curl) through the /v1 API — including
-# an incident filed over POST /v1/incidents and drained to resolved.
+# an incident filed over POST /v1/incidents and drained to resolved,
+# and a two-backend gateway that migrates a session off a removed
+# backend and serves merged /v1/metrics.
 scripts/smoke.sh
 
 # Real measurements (and BENCH_sessions.json) are opt-in: scripts/bench.sh

@@ -189,4 +189,121 @@ EOF
 req DELETE /v1/sessions/smoke 200
 req GET /v1/sessions/smoke 404
 
-echo "smoke: ok (retries absorbed, tail hedged, SSE streamed rounds, incident drained to resolved)"
+# ---------------------------------------------------------------------
+# Gateway tier: two backends sharing a snapshot directory behind one
+# consistent-hash gateway. A session created through the gateway must
+# survive the graceful removal of whichever backend owns it (drain ->
+# snapshot -> lazy restore on the survivor) and keep answering the same
+# question with the same answer, and /v1/metrics must serve Prometheus
+# text on the gateway (merged, node-labelled) and on each backend.
+GW_ADDR=127.0.0.1:18060
+B1_ADDR=127.0.0.1:18061
+B2_ADDR=127.0.0.1:18062
+mkdir -p "$WORK/snap"
+for b in "$B1_ADDR" "$B2_ADDR"; do
+  REPRO_LLM_ENDPOINT="http://$LLM_ADDR" \
+    "$WORK/websimd" -addr "$b" -model remote \
+    -snapshots "$WORK/snap" >"$WORK/backend-$b.log" 2>&1 &
+  PIDS+=($!)
+done
+"$WORK/websimd" -addr "$GW_ADDR" -gateway \
+  -backends "$B1_ADDR,$B2_ADDR" >"$WORK/gateway.log" 2>&1 &
+PIDS+=($!)
+wait_up "$B1_ADDR"
+wait_up "$B2_ADDR"
+wait_up "$GW_ADDR"
+
+# req_at HOST METHOD PATH EXPECTED_STATUS [JSON_BODY]
+req_at() {
+  local host=$1 method=$2 path=$3 want=$4 body=${5:-}
+  local args=(-s -o "$WORK/resp" -w '%{http_code}' -X "$method")
+  if [[ -n "$body" ]]; then
+    args+=(-H 'Content-Type: application/json' -d "$body")
+  fi
+  local got
+  got=$(curl "${args[@]}" "http://$host$path")
+  if [[ "$got" != "$want" ]]; then
+    echo "smoke: $method $host$path = $got, want $want:" >&2
+    cat "$WORK/resp" >&2
+    exit 1
+  fi
+}
+
+req_at "$GW_ADDR" POST /v1/sessions 201 '{"id":"gwsmoke","train":true}'
+expect_body '"trained":true'
+req_at "$GW_ADDR" POST /v1/sessions/gwsmoke/ask 200 \
+  '{"question":"Why are undersea cables vulnerable?"}'
+expect_body '"confidence"'
+cp "$WORK/resp" "$WORK/ask-before"
+
+# The session lives on exactly one backend; the other has no snapshot
+# yet and must 404 it when asked directly.
+OWNER=""
+for b in "$B1_ADDR" "$B2_ADDR"; do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "http://$b/v1/sessions/gwsmoke")
+  if [[ "$code" == 200 ]]; then OWNER="$b"; fi
+done
+if [[ -z "$OWNER" ]]; then
+  echo "smoke: no backend owns gwsmoke" >&2
+  exit 1
+fi
+
+# Remove the owner gracefully: the gateway drains its sessions to the
+# shared snapshot directory and the survivor restores on next touch.
+req_at "$GW_ADDR" DELETE "/v1/gateway/backends/$OWNER" 200
+req_at "$GW_ADDR" GET /v1/gateway 200
+python3 - "$WORK/resp" "$OWNER" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+assert sys.argv[2] not in st["backends"], f"owner still in ring: {st}"
+assert len(st["backends"]) == 1, f"ring should hold the survivor: {st}"
+assert st["migrations"] >= 1, f"drain moved no sessions: {st}"
+EOF
+req_at "$GW_ADDR" POST /v1/sessions/gwsmoke/ask 200 \
+  '{"question":"Why are undersea cables vulnerable?"}'
+if ! cmp -s "$WORK/ask-before" "$WORK/resp"; then
+  echo "smoke: migrated session changed its answer:" >&2
+  cat "$WORK/ask-before" "$WORK/resp" >&2
+  exit 1
+fi
+
+# Prometheus exposition on both tiers: the gateway merges its own
+# gauges with node-labelled backend scrapes; backends serve their
+# request histograms and flattened stats directly.
+curl -sf "http://$GW_ADDR/v1/metrics" >"$WORK/gw-metrics"
+grep -q '^repro_gateway_backends 1$' "$WORK/gw-metrics" || {
+  echo "smoke: gateway metrics missing ring gauge:" >&2
+  cat "$WORK/gw-metrics" >&2; exit 1; }
+grep -q 'repro_gateway_proxied_total' "$WORK/gw-metrics" || {
+  echo "smoke: gateway metrics missing proxied counter" >&2; exit 1; }
+grep -q 'node="' "$WORK/gw-metrics" || {
+  echo "smoke: gateway metrics missing node-labelled backend series" >&2; exit 1; }
+for b in "$B1_ADDR" "$B2_ADDR"; do
+  [[ "$b" == "$OWNER" ]] && continue
+  curl -sf "http://$b/v1/metrics" >"$WORK/backend-metrics"
+  grep -q 'repro_http_request_seconds_bucket' "$WORK/backend-metrics" || {
+    echo "smoke: backend metrics missing request histogram" >&2; exit 1; }
+  grep -q 'repro_stats_sessions_live' "$WORK/backend-metrics" || {
+    echo "smoke: backend metrics missing flattened stats" >&2; exit 1; }
+done
+
+# Flag validation fails fast with exit 2, before any listener binds.
+expect_exit2() {
+  local why=$1; shift
+  set +e
+  "$WORK/websimd" "$@" >/dev/null 2>&1
+  local code=$?
+  set -e
+  if [[ "$code" != 2 ]]; then
+    echo "smoke: websimd $* exited $code, want 2 ($why)" >&2
+    exit 1
+  fi
+}
+expect_exit2 "zero shards"          -shards 0
+expect_exit2 "negative shards"      -shards -3
+expect_exit2 "backends sans gateway" -backends 127.0.0.1:1
+expect_exit2 "gateway sans backends" -gateway
+expect_exit2 "duplicate backends"   -gateway -backends "127.0.0.1:1,127.0.0.1:1"
+expect_exit2 "gateway + incident-sim" -gateway -backends 127.0.0.1:1 -incident-sim
+
+echo "smoke: ok (retries absorbed, tail hedged, SSE streamed rounds, incident drained to resolved, session migrated across backends, metrics scraped)"
